@@ -1,0 +1,998 @@
+(* Benchmark and experiment harness.
+
+   The paper (PODC 2000) is a theory paper: Figures 1-4 are definitions,
+   Figures 5-7 are pseudo-code, and there is no empirical evaluation
+   section.  This harness therefore regenerates, as tables, the paper's
+   *claims* (see DESIGN.md "Per-experiment index" and EXPERIMENTS.md):
+
+     E1  x-ability of the protocol under crashes/suspicions/failures
+     E2  behaviour spectrum: primary-backup-like -> active-like
+     E3  baseline comparison: exactly-once violations
+     E4  failure-free latency vs replica count, per scheme
+     E5  liveness (R2) under adversarial schedules
+     E6  three-tier composition (locality of x-ability)
+     E7  reduction-engine behaviour and cost
+     E8  consensus substrate (Paxos) behaviour and cost
+
+   plus Bechamel microbenchmarks of the hot paths.
+
+   Run with: dune exec bench/main.exe            (full, a few minutes)
+             QUICK=1 dune exec bench/main.exe    (reduced seed counts) *)
+
+open Xability
+module Runner = Xworkload.Runner
+module Workloads = Xworkload.Workloads
+module Stats = Xworkload.Stats
+module Service = Xreplication.Service
+
+let quick = Sys.getenv_opt "QUICK" <> None
+let seeds n = if quick then max 2 (n / 5) else n
+
+let header title =
+  Format.printf
+    "@.==============================================================@.";
+  Format.printf "%s@." title;
+  Format.printf
+    "==============================================================@."
+
+let row fmt = Format.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Shared runners *)
+
+let protocol_run ?(n_requests = 5) ?(mix = Workloads.Mixed) ?(crashes = [])
+    ?noise ?(fail_prob = 0.0) ?(n_replicas = 3) ?(backend = `Register 25)
+    ~seed () =
+  let spec =
+    {
+      Runner.default_spec with
+      seed;
+      crashes;
+      noise;
+      env_config = { Xsm.Environment.default_config with fail_prob };
+      service_config = { Service.default_config with n_replicas; backend };
+      time_limit = 5_000_000;
+      quiesce_grace = 20_000;
+    }
+  in
+  Runner.run ~spec ~setup:Workloads.setup_all
+    ~workload:(fun _ c s -> Workloads.sequence mix ~n:n_requests c s)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* E1: X-ability under faults *)
+
+let e1 () =
+  header
+    "E1  X-ability verdicts (R3+R4) under fault schedules  [paper: section 5 \
+     correctness claim]";
+  row "%-34s %-8s %-10s %-12s@." "fault schedule" "runs" "x-able" "dup-effects";
+  let n = seeds 25 in
+  let configs =
+    [
+      ("none (failure-free)", [], None, 0.0);
+      ("owner crash", [ (150, 0) ], None, 0.0);
+      ("two crashes of three", [ (150, 0); (700, 1) ], None, 0.0);
+      ("false-suspicion noise", [], Some (0.08, 150, 8_000), 0.0);
+      ("crash + noise", [ (150, 0) ], Some (0.08, 150, 8_000), 0.0);
+      ("action failures (p=.3)", [], None, 0.3);
+      ("crash + noise + failures", [ (150, 0) ], Some (0.06, 150, 8_000), 0.2);
+    ]
+  in
+  List.iter
+    (fun (name, crashes, noise, fail_prob) ->
+      let ok = ref 0 and dups = ref 0 in
+      for seed = 1 to n do
+        let r, _ =
+          protocol_run ~crashes ?noise ~fail_prob ~seed:(seed * 7919) ()
+        in
+        if Runner.ok r then incr ok;
+        dups := !dups + r.Runner.duplicate_effects
+      done;
+      row "%-34s %-8d %-10s %-12d@." name n
+        (Printf.sprintf "%d/%d" !ok n)
+        !dups)
+    configs;
+  row
+    "expected shape: x-able = runs and dup-effects = 0 everywhere (the \
+     theorem)@."
+
+(* ------------------------------------------------------------------ *)
+(* E2: behaviour spectrum *)
+
+let e2 () =
+  header
+    "E2  Behaviour spectrum vs suspicion rate  [paper: sections 1 and 5.1, \
+     'asynchronous flavor']";
+  row "%-12s %-12s %-12s %-14s %-12s %-10s@." "noise-prob" "rounds/req"
+    "execs/req" "cleanups/req" "takeovers" "x-able";
+  let n = seeds 10 and n_requests = 6 in
+  List.iter
+    (fun prob ->
+      let rounds = ref [] and execs = ref [] in
+      let cleanups = ref [] and takeovers = ref [] in
+      let all_ok = ref true in
+      for seed = 1 to n do
+        let noise = if prob > 0.0 then Some (prob, 150, 10_000) else None in
+        let r, _ =
+          protocol_run ~n_requests ?noise
+            ~seed:(seed + int_of_float (prob *. 1000.))
+            ()
+        in
+        if not (Runner.ok r) then all_ok := false;
+        rounds := r.Runner.rounds_per_request :: !rounds;
+        execs :=
+          Stats.ratio r.Runner.totals.Service.executions n_requests :: !execs;
+        cleanups :=
+          Stats.ratio r.Runner.totals.Service.cleanups n_requests :: !cleanups;
+        takeovers :=
+          Stats.ratio r.Runner.totals.Service.takeovers n_requests
+          :: !takeovers
+      done;
+      row "%-12.2f %-12.2f %-12.2f %-14.2f %-12.2f %-10b@." prob
+        (Stats.mean !rounds) (Stats.mean !execs) (Stats.mean !cleanups)
+        (Stats.mean !takeovers) !all_ok)
+    [ 0.0; 0.02; 0.05; 0.08; 0.12; 0.16; 0.20 ];
+  row
+    "expected shape: rounds/req ~1 at zero noise (primary-backup-like); \
+     rounds/cleanups grow with noise (active-like); x-able stays true@."
+
+(* ------------------------------------------------------------------ *)
+(* E3: baseline comparison *)
+
+let mail_req i =
+  Xsm.Request.make ~rid:i ~action:"send_raw" ~kind:Action.Idempotent
+    ~input:(Value.str (Printf.sprintf "m%d" i))
+
+let run_pb ~seed ~crash ~n =
+  let eng = Xsim.Engine.create ~seed ~trace_enabled:false () in
+  let env = Xsm.Environment.create eng () in
+  let mailer = Xsm.Services.Mailer.register env () in
+  let pb =
+    Xbaselines.Primary_backup.create eng env
+      Xbaselines.Primary_backup.default_config
+  in
+  let done_iv = Xsim.Ivar.create () in
+  Xsim.Engine.spawn eng
+    ~proc:(Xbaselines.Primary_backup.client_proc pb)
+    ~name:"client"
+    (fun () ->
+      for i = 1 to n do
+        ignore (Xbaselines.Primary_backup.submit_until_success pb (mail_req i))
+      done;
+      Xsim.Ivar.fill done_iv ());
+  (match crash with
+  | Some at ->
+      Xsim.Engine.schedule eng ~delay:at (fun () ->
+          Xbaselines.Primary_backup.kill_replica pb 0)
+  | None -> ());
+  Xsim.Ivar.watch done_iv (fun () ->
+      Xsim.Engine.request_stop eng;
+      true);
+  Xsim.Engine.run ~limit:3_000_000 eng;
+  Xsim.Engine.run ~limit:(Xsim.Engine.now eng + 10_000) eng;
+  let distinct =
+    Xsm.Services.Mailer.delivery_count mailer
+    - Xsm.Services.Mailer.duplicate_count mailer
+  in
+  ( Xsim.Ivar.is_full done_iv,
+    Xsm.Services.Mailer.duplicate_count mailer,
+    max 0 (n - distinct) )
+
+let run_active ~seed ~crash ~n =
+  let eng = Xsim.Engine.create ~seed ~trace_enabled:false () in
+  let env = Xsm.Environment.create eng () in
+  let mailer = Xsm.Services.Mailer.register env () in
+  let active =
+    Xbaselines.Active.create eng env Xbaselines.Active.default_config
+  in
+  let done_iv = Xsim.Ivar.create () in
+  Xsim.Engine.spawn eng
+    ~proc:(Xbaselines.Active.client_proc active)
+    ~name:"client"
+    (fun () ->
+      for i = 1 to n do
+        ignore (Xbaselines.Active.submit_until_success active (mail_req i))
+      done;
+      Xsim.Ivar.fill done_iv ());
+  (match crash with
+  | Some at ->
+      Xsim.Engine.schedule eng ~delay:at (fun () ->
+          Xbaselines.Active.kill_replica active 0)
+  | None -> ());
+  Xsim.Ivar.watch done_iv (fun () ->
+      Xsim.Engine.request_stop eng;
+      true);
+  Xsim.Engine.run ~limit:3_000_000 eng;
+  Xsim.Engine.run ~limit:(Xsim.Engine.now eng + 10_000) eng;
+  let distinct =
+    Xsm.Services.Mailer.delivery_count mailer
+    - Xsm.Services.Mailer.duplicate_count mailer
+  in
+  ( Xsim.Ivar.is_full done_iv,
+    Xsm.Services.Mailer.duplicate_count mailer,
+    max 0 (n - distinct) )
+
+
+let run_sp ~seed ~crash ~n =
+  let eng = Xsim.Engine.create ~seed ~trace_enabled:false () in
+  let env = Xsm.Environment.create eng () in
+  let mailer = Xsm.Services.Mailer.register env () in
+  let sp =
+    Xbaselines.Semi_passive.create eng env
+      Xbaselines.Semi_passive.default_config
+  in
+  let done_iv = Xsim.Ivar.create () in
+  Xsim.Engine.spawn eng
+    ~proc:(Xbaselines.Semi_passive.client_proc sp)
+    ~name:"client"
+    (fun () ->
+      for i = 1 to n do
+        ignore (Xbaselines.Semi_passive.submit_until_success sp (mail_req i))
+      done;
+      Xsim.Ivar.fill done_iv ());
+  (match crash with
+  | Some at ->
+      Xsim.Engine.schedule eng ~delay:at (fun () ->
+          Xbaselines.Semi_passive.kill_replica sp 0)
+  | None -> ());
+  Xsim.Ivar.watch done_iv (fun () ->
+      Xsim.Engine.request_stop eng;
+      true);
+  Xsim.Engine.run ~limit:3_000_000 eng;
+  Xsim.Engine.run ~limit:(Xsim.Engine.now eng + 10_000) eng;
+  let distinct =
+    Xsm.Services.Mailer.delivery_count mailer
+    - Xsm.Services.Mailer.duplicate_count mailer
+  in
+  ( Xsim.Ivar.is_full done_iv,
+    Xsm.Services.Mailer.duplicate_count mailer,
+    max 0 (n - distinct) )
+
+let run_xrepl_mail ~seed ~crash ~n =
+  let crashes = match crash with Some at -> [ (at, 0) ] | None -> [] in
+  let r, srv =
+    protocol_run ~n_requests:n ~mix:Workloads.Idempotent_only ~crashes ~seed ()
+  in
+  let distinct =
+    Xsm.Services.Mailer.delivery_count srv.Workloads.mailer
+    - Xsm.Services.Mailer.duplicate_count srv.Workloads.mailer
+  in
+  ( r.Runner.completed && r.Runner.report.Checker.ok,
+    Xsm.Services.Mailer.duplicate_count srv.Workloads.mailer,
+    max 0 (n - distinct) )
+
+let e3 () =
+  header
+    "E3  Exactly-once violations per scheme  [paper: section 1 motivation, \
+     section 6]";
+  row "%-18s %-18s %-10s %-16s %-10s@." "scheme" "fault" "completed"
+    "dup-deliveries" "lost";
+  let n = seeds 15 and n_requests = 5 in
+  let faults =
+    [
+      ("none", fun _ -> None);
+      ("primary crash", fun seed -> Some (80 + (seed * 17 mod 200)));
+    ]
+  in
+  List.iter
+    (fun (name, runner) ->
+      List.iter
+        (fun (fault_name, crash_of_seed) ->
+          let dups = ref 0 and lost = ref 0 and completed = ref 0 in
+          for seed = 1 to n do
+            let ok, d, l = runner ~seed ~crash:(crash_of_seed seed) in
+            if ok then incr completed;
+            dups := !dups + d;
+            lost := !lost + l
+          done;
+          row "%-18s %-18s %-10s %-16d %-10d@." name fault_name
+            (Printf.sprintf "%d/%d" !completed n)
+            !dups !lost)
+        faults)
+    [
+      ( "primary-backup",
+        fun ~seed ~crash -> run_pb ~seed ~crash ~n:n_requests );
+      ("active", fun ~seed ~crash -> run_active ~seed ~crash ~n:n_requests);
+      ( "semi-passive",
+        fun ~seed ~crash -> run_sp ~seed ~crash ~n:n_requests );
+      ( "x-ability",
+        fun ~seed ~crash -> run_xrepl_mail ~seed ~crash ~n:n_requests );
+    ];
+  row
+    "expected shape: active duplicates (n_replicas-1) per request even \
+     fault-free; primary-backup duplicates on some failovers; x-ability: 0 \
+     duplicates, 0 lost@."
+
+(* ------------------------------------------------------------------ *)
+(* E4: failure-free latency vs replica count *)
+
+let e4 () =
+  header
+    "E4  Failure-free request latency vs replica count  [cost of the \
+     exactly-once machinery]";
+  row "%-24s %-6s %-10s %-10s %-12s@." "scheme" "n" "mean" "p95" "msgs/req";
+  let n_runs = seeds 10 and n_requests = 5 in
+  let protocol_row name backend n_replicas =
+    let lats = ref [] and msgs = ref [] in
+    for seed = 1 to n_runs do
+      let r, _ =
+        protocol_run ~n_requests ~n_replicas ~backend ~seed:(seed * 31) ()
+      in
+      List.iter
+        (fun s -> lats := float_of_int s.Runner.latency :: !lats)
+        r.Runner.submissions;
+      msgs :=
+        Stats.ratio
+          (r.Runner.totals.Service.service_messages
+          + r.Runner.totals.Service.consensus_messages)
+          n_requests
+        :: !msgs
+    done;
+    row "%-24s %-6d %-10.0f %-10.0f %-12.1f@." name n_replicas
+      (Stats.mean !lats)
+      (Stats.percentile 0.95 !lats)
+      (Stats.mean !msgs)
+  in
+  List.iter (protocol_row "x-ability (register)" (`Register 25)) [ 1; 3; 5; 7 ];
+  List.iter
+    (protocol_row "x-ability (paxos)" (`Paxos (Xnet.Latency.Uniform (10, 40))))
+    [ 1; 3; 5; 7 ];
+  (* Baselines, same workload size. *)
+  let baseline_row name submit_loop =
+    let lats = ref [] in
+    for seed = 1 to n_runs do
+      submit_loop ~seed ~n:n_requests ~record:(fun l ->
+          lats := float_of_int l :: !lats)
+    done;
+    row "%-24s %-6d %-10.0f %-10.0f %-12s@." name 3 (Stats.mean !lats)
+      (Stats.percentile 0.95 !lats)
+      "-"
+  in
+  baseline_row "primary-backup" (fun ~seed ~n ~record ->
+      let eng = Xsim.Engine.create ~seed ~trace_enabled:false () in
+      let env = Xsm.Environment.create eng () in
+      ignore (Xsm.Services.Mailer.register env ());
+      let pb =
+        Xbaselines.Primary_backup.create eng env
+          Xbaselines.Primary_backup.default_config
+      in
+      Xsim.Engine.spawn eng
+        ~proc:(Xbaselines.Primary_backup.client_proc pb)
+        ~name:"client"
+        (fun () ->
+          for i = 1 to n do
+            let t0 = Xsim.Engine.now eng in
+            ignore
+              (Xbaselines.Primary_backup.submit_until_success pb (mail_req i));
+            record (Xsim.Engine.now eng - t0)
+          done;
+          Xsim.Engine.request_stop eng);
+      Xsim.Engine.run ~limit:3_000_000 eng);
+  baseline_row "semi-passive" (fun ~seed ~n ~record ->
+      let eng = Xsim.Engine.create ~seed ~trace_enabled:false () in
+      let env = Xsm.Environment.create eng () in
+      ignore (Xsm.Services.Mailer.register env ());
+      let sp =
+        Xbaselines.Semi_passive.create eng env
+          Xbaselines.Semi_passive.default_config
+      in
+      Xsim.Engine.spawn eng
+        ~proc:(Xbaselines.Semi_passive.client_proc sp)
+        ~name:"client"
+        (fun () ->
+          for i = 1 to n do
+            let t0 = Xsim.Engine.now eng in
+            ignore
+              (Xbaselines.Semi_passive.submit_until_success sp (mail_req i));
+            record (Xsim.Engine.now eng - t0)
+          done;
+          Xsim.Engine.request_stop eng);
+      Xsim.Engine.run ~limit:3_000_000 eng);
+  baseline_row "active" (fun ~seed ~n ~record ->
+      let eng = Xsim.Engine.create ~seed ~trace_enabled:false () in
+      let env = Xsm.Environment.create eng () in
+      ignore (Xsm.Services.Mailer.register env ());
+      let active =
+        Xbaselines.Active.create eng env Xbaselines.Active.default_config
+      in
+      Xsim.Engine.spawn eng
+        ~proc:(Xbaselines.Active.client_proc active)
+        ~name:"client"
+        (fun () ->
+          for i = 1 to n do
+            let t0 = Xsim.Engine.now eng in
+            ignore (Xbaselines.Active.submit_until_success active (mail_req i));
+            record (Xsim.Engine.now eng - t0)
+          done;
+          Xsim.Engine.request_stop eng);
+      Xsim.Engine.run ~limit:3_000_000 eng);
+  row
+    "expected shape: x-ability costs one consensus round over \
+     primary-backup; paxos backend costs more than the register and grows \
+     with n; active is fastest per-request but duplicates effects (E3)@."
+
+(* ------------------------------------------------------------------ *)
+(* E5: liveness *)
+
+let e5 () =
+  header "E5  Liveness (R2): adversarial schedules  [paper: section 4, R2]";
+  row "%-44s %-12s %-14s@." "scenario" "completed" "rounds/req";
+  let scenarios =
+    [
+      ("owner crash mid-execution", [ (90, 0) ], None, 0.0);
+      ("successive crashes (0 then 1)", [ (90, 0); (600, 1) ], None, 0.0);
+      ("suspicion storm, then quiet", [], Some (0.25, 200, 4_000), 0.0);
+      ( "storm + crash + action failures",
+        [ (300, 1) ],
+        Some (0.15, 150, 5_000),
+        0.3 );
+      ("crash during undoable retry loop", [ (120, 0) ], None, 0.5);
+    ]
+  in
+  List.iter
+    (fun (name, crashes, noise, fail_prob) ->
+      let n = seeds 10 in
+      let completed = ref 0 and rounds = ref [] in
+      for seed = 1 to n do
+        let r, _ =
+          protocol_run ~n_requests:4 ~mix:Workloads.Undoable_only ~crashes
+            ?noise ~fail_prob ~seed:(seed * 131) ()
+        in
+        if r.Runner.completed && Runner.ok r then incr completed;
+        rounds := r.Runner.rounds_per_request :: !rounds
+      done;
+      row "%-44s %-12s %-14.2f@." name
+        (Printf.sprintf "%d/%d" !completed n)
+        (Stats.mean !rounds))
+    scenarios;
+  row "expected shape: completed = runs everywhere@."
+
+(* ------------------------------------------------------------------ *)
+(* E6: three-tier composition *)
+
+let run_three_tier ~seed ~middle_crash ~backend_crash ~orders =
+  let eng = Xsim.Engine.create ~seed ~trace_enabled:false () in
+  let backend_env = Xsm.Environment.create eng () in
+  let bank =
+    Xsm.Services.Bank.register backend_env
+      ~accounts:[ ("store", 0); ("alice", 1_000_000) ]
+      ()
+  in
+  let backend = Service.create eng backend_env Service.default_config in
+  let gateway = Service.client backend 0 in
+  let middle_env = Xsm.Environment.create eng () in
+  let backend_requests = Hashtbl.create 16 in
+  Xsm.Environment.register_raw middle_env "place_order"
+    (fun ~rid ~payload ~rng:_ ->
+      let amount = Option.value ~default:1 (Value.as_int payload) in
+      let backend_req =
+        Xsm.Request.make ~rid:(1_000_000 + rid) ~action:"transfer"
+          ~kind:Action.Undoable
+          ~input:
+            (Value.pair
+               (Value.pair (Value.str "alice") (Value.str "store"))
+               (Value.int amount))
+      in
+      if not (Hashtbl.mem backend_requests backend_req.Xsm.Request.rid) then
+        Hashtbl.replace backend_requests backend_req.Xsm.Request.rid
+          backend_req;
+      Xreplication.Client.submit_until_success gateway backend_req);
+  let middle = Service.create eng middle_env Service.default_config in
+  let client = Service.client middle 0 in
+  let completed = ref 0 in
+  Xsim.Engine.spawn eng
+    ~proc:(Xreplication.Client.proc client)
+    ~name:"shopper"
+    (fun () ->
+      for i = 1 to orders do
+        let req =
+          Xreplication.Client.request client ~action:"place_order"
+            ~kind:Action.Idempotent ~input:(Value.int (10 * i))
+        in
+        ignore (Xreplication.Client.submit_until_success client req);
+        incr completed
+      done;
+      Xsim.Engine.request_stop eng);
+  (match middle_crash with
+  | Some at ->
+      Xsim.Engine.schedule eng ~delay:at (fun () ->
+          Service.kill_replica middle 0)
+  | None -> ());
+  (match backend_crash with
+  | Some at ->
+      Xsim.Engine.schedule eng ~delay:at (fun () ->
+          Service.kill_replica backend 0)
+  | None -> ());
+  Xsim.Engine.run ~limit:5_000_000 eng;
+  Xsim.Engine.run ~limit:(Xsim.Engine.now eng + 20_000) eng;
+  let expected =
+    Hashtbl.fold
+      (fun _ req acc -> Xsm.Environment.checker_expected backend_env req :: acc)
+      backend_requests []
+  in
+  let report =
+    Checker.check
+      ~kinds:(Xsm.Environment.kind_of backend_env)
+      ~logical_of:Xsm.Request.logical_of_env_iv ~check_order:false ~expected
+      (Xsm.Environment.history backend_env)
+  in
+  let middle_execs =
+    List.fold_left
+      (fun acc (s : Xsm.Environment.key_stats) -> acc + s.applied)
+      0
+      (Xsm.Environment.stats middle_env)
+  in
+  ( !completed = orders && report.Checker.ok
+    && Xsm.Services.Bank.posted_transfers bank = orders,
+    middle_execs - orders )
+
+let e6 () =
+  header
+    "E6  Three-tier composition: locality of x-ability  [paper: sections 1 \
+     and 4, composition]";
+  row "%-34s %-8s %-16s %-22s@." "fault schedule" "runs" "end-to-end ok"
+    "extra mid-tier execs";
+  let n = seeds 8 and orders = 3 in
+  List.iter
+    (fun (name, middle_crash, backend_crash) ->
+      let ok = ref 0 and extra = ref 0 in
+      for seed = 1 to n do
+        let good, surplus =
+          run_three_tier ~seed:(seed * 977) ~middle_crash ~backend_crash
+            ~orders
+        in
+        if good then incr ok;
+        extra := !extra + surplus
+      done;
+      row "%-34s %-8d %-16s %-22d@." name n
+        (Printf.sprintf "%d/%d" !ok n)
+        !extra)
+    [
+      ("none", None, None);
+      ("middle-tier crash", Some 150, None);
+      ("back-end crash", None, Some 150);
+      ("both tiers crash", Some 150, Some 400);
+    ];
+  row
+    "expected shape: end-to-end ok = runs; extra mid-tier executions appear \
+     under middle crashes and are absorbed by the back end@."
+
+(* ------------------------------------------------------------------ *)
+(* E7: reduction engine *)
+
+let e7_kinds = function
+  | "a" -> Some Action.Idempotent
+  | "u" -> Some Action.Undoable
+  | _ -> None
+
+let idem_history ~attempts =
+  let iv = Value.int 1 and ov = Value.int 9 in
+  List.concat (List.init attempts (fun _ -> [ Event.S ("a", iv) ]))
+  @ [ Event.S ("a", iv); Event.C ("a", iv, ov) ]
+
+let undo_history ~rounds =
+  let ov = Value.int 9 in
+  let riv r =
+    Value.pair (Value.str "round") (Value.pair (Value.int r) (Value.int 1))
+  in
+  let cn = Action.cancel_name "u" and cm = Action.commit_name "u" in
+  List.concat
+    (List.init rounds (fun r ->
+         [
+           Event.S ("u", riv (r + 1));
+           Event.C ("u", riv (r + 1), ov);
+           Event.S (cn, riv (r + 1));
+           Event.C (cn, riv (r + 1), Value.nil);
+         ]))
+  @ [
+      Event.S ("u", riv (rounds + 1));
+      Event.C ("u", riv (rounds + 1), ov);
+      Event.S (cm, riv (rounds + 1));
+      Event.C (cm, riv (rounds + 1), Value.nil);
+    ]
+
+let e7 () =
+  header
+    "E7  Reduction engine: verdicts and cost vs history length  [paper: \
+     Figure 4]";
+  row "%-32s %-8s %-10s %-14s@." "history shape" "events" "x-able"
+    "cpu time (us)";
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, (Sys.time () -. t0) *. 1e6)
+  in
+  List.iter
+    (fun attempts ->
+      let h = idem_history ~attempts in
+      let ok, us =
+        time (fun () ->
+            Xable.x_able ~kinds:e7_kinds ~kind:Action.Idempotent ~action:"a"
+              ~iv:(Value.int 1) h)
+      in
+      row "%-32s %-8d %-10b %-14.1f@."
+        (Printf.sprintf "idempotent, %d retries" attempts)
+        (History.length h) ok us)
+    [ 0; 2; 4; 6; 8 ];
+  List.iter
+    (fun rounds ->
+      let h = undo_history ~rounds in
+      let riv =
+        Value.pair (Value.str "round")
+          (Value.pair (Value.int (rounds + 1)) (Value.int 1))
+      in
+      let ok, us =
+        time (fun () ->
+            Xable.x_able ~kinds:e7_kinds ~kind:Action.Undoable ~action:"u"
+              ~iv:riv h)
+      in
+      row "%-32s %-8d %-10b %-14.1f@."
+        (Printf.sprintf "undoable, %d aborted rounds" rounds)
+        (History.length h) ok us)
+    [ 0; 1; 2; 3 ];
+  (* Fast engine on the same histories. *)
+  row "-- linear analyzer on the same histories --@.";
+  row "%-32s %-8s %-10s %-14s@." "history shape" "events" "x-able"
+    "cpu time (us)";
+  let logical_of = Xsm.Request.logical_of_env_iv in
+  let round_of = Xsm.Request.round_of_env_iv in
+  List.iter
+    (fun attempts ->
+      let h = idem_history ~attempts in
+      let ok, us =
+        time (fun () ->
+            match Analyzer.analyze_idempotent ~action:"a" ~iv:(Value.int 1) h with
+            | Analyzer.Xable _ -> true
+            | Analyzer.Not_xable _ -> false)
+      in
+      row "%-32s %-8d %-10b %-14.1f@."
+        (Printf.sprintf "idempotent, %d retries (fast)" attempts)
+        (History.length h) ok us)
+    [ 0; 4; 8; 16; 32 ];
+  List.iter
+    (fun rounds ->
+      let h = undo_history ~rounds in
+      let ok, us =
+        time (fun () ->
+            match
+              Analyzer.analyze_undoable ~action:"u" ~logical_of ~round_of
+                ~logical:(Value.int 1) h
+            with
+            | Analyzer.Xable _ -> true
+            | Analyzer.Not_xable _ -> false)
+      in
+      row "%-32s %-8d %-10b %-14.1f@."
+        (Printf.sprintf "undoable, %d aborted rounds (fast)" rounds)
+        (History.length h) ok us)
+    [ 0; 2; 4; 8 ];
+  row "(fast verdicts are cross-validated against the search by qcheck)@.";
+  (* Negative control: truncated histories must be rejected. *)
+  let truncate h = List.filteri (fun i _ -> i <> List.length h - 1) h in
+  let rejected = ref 0 and total = ref 0 in
+  List.iter
+    (fun attempts ->
+      incr total;
+      let h = truncate (idem_history ~attempts) in
+      if
+        not
+          (Xable.x_able ~kinds:e7_kinds ~kind:Action.Idempotent ~action:"a"
+             ~iv:(Value.int 1) h)
+      then incr rejected)
+    [ 0; 2; 4 ];
+  row "truncated histories rejected: %d/%d (expected all)@." !rejected !total;
+  row
+    "expected shape: all well-formed histories x-able; verdict cost grows \
+     with history length but stays interactive@."
+
+(* ------------------------------------------------------------------ *)
+(* E8: consensus substrate *)
+
+let e8 () =
+  header "E8  Consensus substrate (Paxos)  [paper: section 5.2 assumption]";
+  row "%-6s %-11s %-10s %-11s %-13s %-14s@." "n" "proposers" "decided"
+    "agreement" "ticks (mean)" "msgs/decision";
+  let n_runs = seeds 20 in
+  List.iter
+    (fun (n, n_proposers) ->
+      let decided = ref 0 and agreed = ref 0 in
+      let ticks = ref [] and msgs = ref [] in
+      for seed = 1 to n_runs do
+        let eng =
+          Xsim.Engine.create ~seed:(seed * 53) ~trace_enabled:false ()
+        in
+        let members =
+          List.init n (fun i ->
+              let a = Xnet.Address.make ~role:"px" ~index:i in
+              (a, Xsim.Proc.create ~name:(Xnet.Address.to_string a)))
+        in
+        let g =
+          Xconsensus.Paxos.create_group eng
+            ~latency:(Xnet.Latency.Uniform (5, 40))
+            ~members ()
+        in
+        let results = Array.make n_proposers (-1) in
+        List.iteri
+          (fun i (m, p) ->
+            if i < n_proposers then
+              Xsim.Engine.spawn eng ~proc:p ~name:(Printf.sprintf "p%d" i)
+                (fun () ->
+                  results.(i) <-
+                    Xconsensus.Paxos.propose
+                      (Xconsensus.Paxos.handle g ~member:m ~inst:"i")
+                      i))
+          members;
+        Xsim.Engine.run ~limit:1_000_000 eng;
+        if Array.for_all (fun v -> v >= 0) results then begin
+          incr decided;
+          let v0 = results.(0) in
+          if Array.for_all (fun v -> v = v0) results then incr agreed;
+          ticks := float_of_int (Xsim.Engine.now eng) :: !ticks;
+          msgs :=
+            float_of_int
+              (Xconsensus.Paxos.stats g).Xconsensus.Paxos.messages_sent
+            :: !msgs
+        end
+      done;
+      row "%-6d %-11d %-10s %-11s %-13.0f %-14.0f@." n n_proposers
+        (Printf.sprintf "%d/%d" !decided n_runs)
+        (Printf.sprintf "%d/%d" !agreed !decided)
+        (Stats.mean !ticks) (Stats.mean !msgs))
+    [ (3, 1); (3, 3); (5, 1); (5, 5); (7, 3) ];
+  row
+    "expected shape: decided = runs, agreement = decided; ticks/messages \
+     grow with n and with proposer contention@."
+
+
+(* ------------------------------------------------------------------ *)
+(* E9: ablations of the design choices DESIGN.md calls out *)
+
+let e9 () =
+  header
+    "E9  Ablations: protocol completions and detector tuning  [DESIGN.md \
+     design choices]";
+  (* (a) veto_check: abandoning vetoed rounds vs the pseudo-code's pure
+     execute-until-success.  Both must stay x-able; veto_check reduces
+     wasted executions under suspicion storms. *)
+  row "-- (a) veto_check (abandon vetoed rounds) --@.";
+  row "%-14s %-10s %-12s %-12s@." "veto_check" "x-able" "execs/req"
+    "rounds/req";
+  List.iter
+    (fun veto ->
+      let n = seeds 10 in
+      let ok = ref 0 and execs = ref [] and rounds = ref [] in
+      for seed = 1 to n do
+        let spec =
+          {
+            Runner.default_spec with
+            seed = 100 + seed;
+            noise = Some (0.12, 180, 8_000);
+            env_config =
+              { Xsm.Environment.default_config with fail_prob = 0.2 };
+            service_config =
+              {
+                Service.default_config with
+                replica = { Xreplication.Replica.default_config with veto_check = veto };
+              };
+            time_limit = 5_000_000;
+            quiesce_grace = 20_000;
+          }
+        in
+        let r, _ =
+          Runner.run ~spec ~setup:Workloads.setup_all
+            ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:5 c s)
+            ()
+        in
+        if Runner.ok r then incr ok;
+        execs := Stats.ratio r.Runner.totals.Service.executions 5 :: !execs;
+        rounds := r.Runner.rounds_per_request :: !rounds
+      done;
+      row "%-14b %-10s %-12.2f %-12.2f@." veto
+        (Printf.sprintf "%d/%d" !ok n)
+        (Stats.mean !execs) (Stats.mean !rounds))
+    [ true; false ];
+  (* (b) cleaner poll period: takeover latency vs background cost. *)
+  row "-- (b) cleaner poll period (owner crash takeover) --@.";
+  row "%-14s %-10s %-16s@." "poll (ticks)" "x-able" "completion time";
+  List.iter
+    (fun poll ->
+      let n = seeds 8 in
+      let ok = ref 0 and times = ref [] in
+      for seed = 1 to n do
+        let spec =
+          {
+            Runner.default_spec with
+            seed = 200 + seed;
+            crashes = [ (120, 0) ];
+            service_config =
+              {
+                Service.default_config with
+                replica =
+                  { Xreplication.Replica.default_config with cleaner_poll = poll };
+              };
+            time_limit = 5_000_000;
+          }
+        in
+        let r, _ =
+          Runner.run ~spec ~setup:Workloads.setup_all
+            ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:4 c s)
+            ()
+        in
+        if Runner.ok r then incr ok;
+        let lat =
+          List.map (fun s -> float_of_int s.Runner.latency) r.Runner.submissions
+        in
+        times := Stats.mean lat :: !times
+      done;
+      row "%-14d %-10s %-16.0f@." poll
+        (Printf.sprintf "%d/%d" !ok n)
+        (Stats.mean !times))
+    [ 100; 400; 1600 ];
+  (* (c) detector aggressiveness: detection delay trades takeover speed
+     against false-suspicion churn (here with injected noise fixed). *)
+  row "-- (c) oracle detection delay (crash at t=120) --@.";
+  row "%-18s %-10s %-16s@." "delay (ticks)" "x-able" "mean latency";
+  List.iter
+    (fun delay ->
+      let n = seeds 8 in
+      let ok = ref 0 and times = ref [] in
+      for seed = 1 to n do
+        let spec =
+          {
+            Runner.default_spec with
+            seed = 300 + seed;
+            crashes = [ (120, 0) ];
+            service_config =
+              {
+                Service.default_config with
+                detector =
+                  Service.Oracle { detection_delay = delay; poll_interval = 25 };
+              };
+            time_limit = 5_000_000;
+          }
+        in
+        let r, _ =
+          Runner.run ~spec ~setup:Workloads.setup_all
+            ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:4 c s)
+            ()
+        in
+        if Runner.ok r then incr ok;
+        let lat =
+          List.map (fun s -> float_of_int s.Runner.latency) r.Runner.submissions
+        in
+        times := Stats.mean lat :: !times
+      done;
+      row "%-18d %-10s %-16.0f@." delay
+        (Printf.sprintf "%d/%d" !ok n)
+        (Stats.mean !times))
+    [ 25; 100; 400; 1600 ];
+  row
+    "expected shape: x-able everywhere; veto_check=false costs extra \
+     executions; larger cleaner polls and detection delays slow \
+     crash-path latency only@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks *)
+
+let microbench () =
+  header "Microbenchmarks (Bechamel, monotonic clock, ns/run)";
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let engine_events () =
+    let eng = Xsim.Engine.create ~trace_enabled:false () in
+    for _ = 1 to 1000 do
+      Xsim.Engine.schedule eng ~delay:1 ignore
+    done;
+    Xsim.Engine.run eng
+  in
+  let env_execute () =
+    let eng = Xsim.Engine.create ~trace_enabled:false () in
+    let env =
+      Xsm.Environment.create eng
+        ~config:
+          { Xsm.Environment.default_config with exec_min = 1; exec_mean = 1.0 }
+        ()
+    in
+    Xsm.Environment.register_idempotent env "a"
+      (fun ~rid:_ ~payload:_ ~rng:_ -> Value.unit);
+    Xsim.Engine.spawn eng ~name:"f" (fun () ->
+        for i = 1 to 50 do
+          ignore
+            (Xsm.Environment.execute env
+               (Xsm.Request.make ~rid:i ~action:"a" ~kind:Action.Idempotent
+                  ~input:Value.unit))
+        done);
+    Xsim.Engine.run eng
+  in
+  let paxos_round () =
+    let eng = Xsim.Engine.create ~trace_enabled:false () in
+    let members =
+      List.init 3 (fun i ->
+          let a = Xnet.Address.make ~role:"px" ~index:i in
+          (a, Xsim.Proc.create ~name:(Xnet.Address.to_string a)))
+    in
+    let g =
+      Xconsensus.Paxos.create_group eng ~latency:(Xnet.Latency.Constant 10)
+        ~members ()
+    in
+    let m0 = fst (List.hd members) in
+    Xsim.Engine.spawn eng ~name:"p" (fun () ->
+        ignore
+          (Xconsensus.Paxos.propose
+             (Xconsensus.Paxos.handle g ~member:m0 ~inst:"i")
+             1));
+    Xsim.Engine.run ~limit:1_000_000 eng
+  in
+  let e2e_request () =
+    let r, _ = protocol_run ~n_requests:1 ~seed:7 () in
+    ignore r
+  in
+  let h2 = idem_history ~attempts:2 in
+  let h6 = idem_history ~attempts:6 in
+  let hu = undo_history ~rounds:2 in
+  let tests =
+    Test.make_grouped ~name:"xability"
+      [
+        Test.make ~name:"reduce: idem 2 retries"
+          (Staged.stage (fun () ->
+               ignore (Reduction.reduce_greedy ~kinds:e7_kinds h2)));
+        Test.make ~name:"reduce: idem 6 retries"
+          (Staged.stage (fun () ->
+               ignore (Reduction.reduce_greedy ~kinds:e7_kinds h6)));
+        Test.make ~name:"reduce: undo 2 rounds"
+          (Staged.stage (fun () ->
+               ignore (Reduction.reduce_greedy ~kinds:e7_kinds hu)));
+        Test.make ~name:"sim: 1000 events" (Staged.stage engine_events);
+        Test.make ~name:"env: 50 executions" (Staged.stage env_execute);
+        Test.make ~name:"paxos: 1 decision (n=3)" (Staged.stage paxos_round);
+        Test.make ~name:"protocol: 1 request e2e" (Staged.stage e2e_request);
+      ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000
+        ~quota:(Time.second (if quick then 0.25 else 1.0))
+        ~kde:(Some 1000) ()
+    in
+    let raw_results = Benchmark.all cfg instances tests in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    Analyze.merge ols instances results
+  in
+  let results = benchmark () in
+  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | Some tbl ->
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> (name, est) :: acc
+            | _ -> acc)
+          tbl []
+      in
+      List.iter
+        (fun (name, est) -> row "%-40s %14.0f ns/run@." name est)
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+  | None -> row "no results?!@.")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Format.printf "X-Ability reproduction benchmark harness%s@."
+    (if quick then " (QUICK mode)" else "");
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  microbench ();
+  Format.printf "@.done.@."

@@ -1,0 +1,310 @@
+(* xrepl: command-line driver for the x-ability replication simulator.
+
+   Subcommands:
+     run    — run one scenario and print the verdict (R1-R4 checks)
+     sweep  — sweep false-suspicion rates and print the behaviour spectrum
+     trace  — run a small scenario and dump the environment history
+
+   Examples:
+     xrepl run --requests 6 --mix mixed --crash 150:0 --noise 0.08:150:6000
+     xrepl run --backend paxos --detector heartbeat --seed 9
+     xrepl sweep --points 6 --seeds 5
+     xrepl trace --mix undoable --crash 200:0 *)
+
+open Cmdliner
+module Runner = Xworkload.Runner
+module Workloads = Xworkload.Workloads
+module Service = Xreplication.Service
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let replicas_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "replicas"; "n" ] ~docv:"N" ~doc:"Number of replicas.")
+
+let requests_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "requests"; "r" ] ~docv:"N" ~doc:"Number of client requests.")
+
+let mix_conv =
+  let parse = function
+    | "idempotent" | "idem" -> Ok Workloads.Idempotent_only
+    | "undoable" | "undo" -> Ok Workloads.Undoable_only
+    | "mixed" -> Ok Workloads.Mixed
+    | s -> Error (`Msg (Printf.sprintf "unknown mix %S" s))
+  in
+  let print ppf = function
+    | Workloads.Idempotent_only -> Format.fprintf ppf "idempotent"
+    | Workloads.Undoable_only -> Format.fprintf ppf "undoable"
+    | Workloads.Mixed -> Format.fprintf ppf "mixed"
+  in
+  Arg.conv (parse, print)
+
+let mix_arg =
+  Arg.(
+    value
+    & opt mix_conv Workloads.Mixed
+    & info [ "mix" ] ~docv:"MIX"
+        ~doc:"Workload mix: $(b,idempotent), $(b,undoable), or $(b,mixed).")
+
+let crash_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ t; i ] -> (
+        match (int_of_string_opt t, int_of_string_opt i) with
+        | Some t, Some i -> Ok (t, i)
+        | _ -> Error (`Msg "expected TIME:REPLICA"))
+    | _ -> Error (`Msg "expected TIME:REPLICA")
+  in
+  let print ppf (t, i) = Format.fprintf ppf "%d:%d" t i in
+  Arg.conv (parse, print)
+
+let crashes_arg =
+  Arg.(
+    value & opt_all crash_conv []
+    & info [ "crash" ] ~docv:"TIME:REPLICA"
+        ~doc:"Crash a replica at a virtual time (repeatable).")
+
+let noise_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ p; d; u ] -> (
+        match (float_of_string_opt p, int_of_string_opt d, int_of_string_opt u)
+        with
+        | Some p, Some d, Some u -> Ok (p, d, u)
+        | _ -> Error (`Msg "expected PROB:DURATION:UNTIL"))
+    | _ -> Error (`Msg "expected PROB:DURATION:UNTIL")
+  in
+  let print ppf (p, d, u) = Format.fprintf ppf "%g:%d:%d" p d u in
+  Arg.conv (parse, print)
+
+let noise_arg =
+  Arg.(
+    value
+    & opt (some noise_conv) None
+    & info [ "noise" ] ~docv:"PROB:DURATION:UNTIL"
+        ~doc:"Inject false suspicions with the given per-poll probability.")
+
+let fail_prob_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fail-prob" ] ~docv:"P"
+        ~doc:"Probability that an environment action execution fails.")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("register", `Register); ("paxos", `Paxos) ]) `Register
+    & info [ "backend" ] ~docv:"B"
+        ~doc:"Consensus backend: $(b,register) or $(b,paxos).")
+
+let detector_arg =
+  Arg.(
+    value
+    & opt (enum [ ("oracle", `Oracle); ("heartbeat", `Heartbeat) ]) `Oracle
+    & info [ "detector" ] ~docv:"D"
+        ~doc:"Failure detector: $(b,oracle) or $(b,heartbeat).")
+
+let client_crash_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "client-crash" ] ~docv:"TIME"
+        ~doc:"Crash the client at a virtual time (at-most-once semantics).")
+
+let make_spec seed n_replicas crashes noise fail_prob backend detector
+    client_crash =
+  let service_config =
+    {
+      Service.default_config with
+      n_replicas;
+      backend =
+        (match backend with
+        | `Register -> `Register 25
+        | `Paxos -> `Paxos (Xnet.Latency.Uniform (10, 40)));
+      detector =
+        (match detector with
+        | `Oracle -> Service.default_config.Service.detector
+        | `Heartbeat ->
+            Service.Heartbeat
+              {
+                latency = Xnet.Latency.Constant 10;
+                period = 40;
+                initial_timeout = 160;
+                timeout_increment = 120;
+              });
+    }
+  in
+  {
+    Runner.seed;
+    crashes;
+    noise;
+    client_crash_at = client_crash;
+    env_config = { Xsm.Environment.default_config with fail_prob };
+    service_config;
+    time_limit = 5_000_000;
+    quiesce_grace = 20_000;
+  }
+
+let print_result (r : Runner.result) =
+  Format.printf "workload completed : %b@." r.Runner.completed;
+  Format.printf "R3 x-able          : %b@." r.Runner.report.Xability.Checker.ok;
+  Format.printf "R4 possible replies: %b@." r.Runner.r4_ok;
+  Format.printf "duplicate effects  : %d@." r.Runner.duplicate_effects;
+  Format.printf "env violations     : %d@."
+    (List.length r.Runner.env_violations);
+  Format.printf "history events     : %d@." r.Runner.history_length;
+  Format.printf "rounds per request : %.2f@." r.Runner.rounds_per_request;
+  Format.printf "false suspicions   : %d@." r.Runner.false_suspicions;
+  Format.printf "end time           : %d ticks@." r.Runner.end_time;
+  let lat =
+    List.map
+      (fun s -> float_of_int s.Runner.latency)
+      r.Runner.submissions
+  in
+  if lat <> [] then
+    Format.printf "latency mean/p95   : %.0f / %.0f ticks@."
+      (Xworkload.Stats.mean lat)
+      (Xworkload.Stats.percentile 0.95 lat);
+  List.iter (Format.printf "!! %s@.") (Runner.failures r);
+  if Runner.ok r then begin
+    Format.printf "verdict            : OK (exactly-once illusion holds)@.";
+    0
+  end
+  else if
+    (not r.Runner.completed)
+    && r.Runner.report.Xability.Checker.ok && r.Runner.r4_ok
+    && r.Runner.env_violations = []
+    && r.Runner.engine_errors = []
+    && r.Runner.duplicate_effects = 0
+  then begin
+    Format.printf
+      "verdict            : OK (client crashed; at-most-once holds)@.";
+    0
+  end
+  else begin
+    Format.printf "verdict            : FAILED@.";
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd =
+  let doc = "Run one replication scenario and verify R1-R4." in
+  let run seed n crashes noise fail_prob backend detector requests mix
+      client_crash =
+    let spec =
+      make_spec seed n crashes noise fail_prob backend detector client_crash
+    in
+    let r, _ =
+      Runner.run ~spec ~setup:Workloads.setup_all
+        ~workload:(fun _ c s -> Workloads.sequence mix ~n:requests c s)
+        ()
+    in
+    print_result r
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
+      $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
+      $ client_crash_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let sweep_cmd =
+  let doc =
+    "Sweep false-suspicion rates: the behaviour spectrum from \
+     primary-backup-like to active-replication-like."
+  in
+  let points_arg =
+    Arg.(value & opt int 6 & info [ "points" ] ~docv:"N" ~doc:"Sweep points.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per point.")
+  in
+  let sweep points seeds =
+    Format.printf "%-12s %-10s %-14s %-12s %-8s@." "noise-prob" "rounds/req"
+      "execs/req" "cleanups/req" "x-able";
+    for p = 0 to points - 1 do
+      let prob = 0.04 *. float_of_int p in
+      let rounds = ref [] and execs = ref [] and cleans = ref [] in
+      let all_ok = ref true in
+      for seed = 1 to seeds do
+        let spec =
+          {
+            Runner.default_spec with
+            seed = (p * 1000) + seed;
+            noise = (if prob > 0.0 then Some (prob, 150, 8_000) else None);
+            time_limit = 5_000_000;
+          }
+        in
+        let r, _ =
+          Runner.run ~spec ~setup:Workloads.setup_all
+            ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:6 c s)
+            ()
+        in
+        if not (Runner.ok r) then all_ok := false;
+        rounds := r.Runner.rounds_per_request :: !rounds;
+        execs :=
+          Xworkload.Stats.ratio r.Runner.totals.Service.executions 6 :: !execs;
+        cleans :=
+          Xworkload.Stats.ratio r.Runner.totals.Service.cleanups 6 :: !cleans
+      done;
+      Format.printf "%-12.2f %-10.2f %-14.2f %-12.2f %-8b@." prob
+        (Xworkload.Stats.mean !rounds)
+        (Xworkload.Stats.mean !execs)
+        (Xworkload.Stats.mean !cleans)
+        !all_ok
+    done;
+    0
+  in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const sweep $ points_arg $ seeds_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let doc = "Run a small scenario and dump the environment event history." in
+  let trace seed n crashes noise fail_prob backend detector requests mix
+      client_crash =
+    let spec =
+      make_spec seed n crashes noise fail_prob backend detector client_crash
+    in
+    let env_ref = ref None in
+    let r, _ =
+      Runner.run ~spec
+        ~setup:(fun env ->
+          env_ref := Some env;
+          Workloads.setup_all env)
+        ~workload:(fun _ c s -> Workloads.sequence mix ~n:requests c s)
+        ()
+    in
+    Format.printf "=== environment history (%d events) ===@."
+      r.Runner.history_length;
+    (match !env_ref with
+    | Some env ->
+        List.iter
+          (fun e -> Format.printf "  %a@." Xability.Event.pp_compact e)
+          (Xsm.Environment.history env)
+    | None -> ());
+    print_result r
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const trace $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
+      $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
+      $ client_crash_arg)
+
+let () =
+  let doc = "x-ability replication simulator (Frolund & Guerraoui, 2000)" in
+  let info = Cmd.info "xrepl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; sweep_cmd; trace_cmd ]))

@@ -1,0 +1,86 @@
+(* A tour of the x-ability theory itself: histories, patterns, the
+   reduction rules of Figure 4, and history signatures — on handcrafted
+   histories, with no simulator involved.
+
+   Run with: dune exec examples/reduction_demo.exe *)
+
+open Xability
+
+let kinds = function
+  | "charge" -> Some Action.Idempotent
+  | "book" -> Some Action.Undoable
+  | _ -> None
+
+let iv = Value.pair (Value.int 1) (Value.str "req")
+let s a = Event.S (a, iv)
+let c a ov = Event.C (a, iv, ov)
+let cancel = Action.cancel_name "book"
+let commit = Action.commit_name "book"
+
+let show title h =
+  Format.printf "@.== %s ==@.history:  %a@." title History.pp_compact h
+
+let reduce_and_print h =
+  let nf = Reduction.reduce_greedy ~kinds h in
+  Format.printf "reduced:  %a@." History.pp_compact nf;
+  List.iter
+    (fun (a, _, ov) ->
+      Format.printf "signature: (%s, %s)@." a (Value.to_string ov))
+    (Signature.signatures ~kinds h)
+
+let () =
+  (* Rule 18: an idempotent action, retried after a failure. *)
+  let h1 = [ s "charge"; s "charge"; c "charge" (Value.int 99) ] in
+  show "idempotent retry (rule 18)" h1;
+  reduce_and_print h1;
+  Format.printf "x-able: %b@."
+    (Xable.x_able ~kinds ~kind:Action.Idempotent ~action:"charge" ~iv h1);
+
+  (* Rule 19: an undoable action, cancelled and re-executed. *)
+  let h2 =
+    [
+      s "book"; c "book" (Value.int 12);
+      s cancel; c cancel Value.nil;
+      s "book"; c "book" (Value.int 12);
+      s commit; c commit Value.nil;
+    ]
+  in
+  show "undoable cancel + retry (rule 19)" h2;
+  reduce_and_print h2;
+
+  (* Rule 20: a duplicated commit (two processes finalized the round). *)
+  let h3 =
+    [
+      s "book"; c "book" (Value.int 12);
+      s commit; c commit Value.nil;
+      s commit; c commit Value.nil;
+    ]
+  in
+  show "duplicate commit (rule 20)" h3;
+  reduce_and_print h3;
+
+  (* A history that is NOT x-able: two completions of a non-deterministic
+     idempotent action with different outputs — no rule can reconcile
+     them, which is exactly why the protocol agrees on results. *)
+  let h4 =
+    [ s "charge"; c "charge" (Value.int 1); s "charge"; c "charge" (Value.int 2) ]
+  in
+  show "conflicting outputs (irreducible)" h4;
+  reduce_and_print h4;
+  Format.printf "x-able: %b (expected: false)@."
+    (Xable.x_able ~kinds ~kind:Action.Idempotent ~action:"charge" ~iv h4);
+
+  (* Pattern matching, straight from Figure 2. *)
+  Format.printf "@.== pattern matching (Figure 2) ==@.";
+  let attempt = Pattern.Maybe ("charge", iv, Value.int 99) in
+  let success = Pattern.Complete ("charge", iv, Value.int 99) in
+  Format.printf "Λ ⊨ ?[charge]:            %b@."
+    (Pattern.matches_simple [] attempt);
+  Format.printf "S ⊨ ?[charge]:            %b@."
+    (Pattern.matches_simple [ s "charge" ] attempt);
+  Format.printf "S C ⊨ [charge]:           %b@."
+    (Pattern.matches_simple [ s "charge"; c "charge" (Value.int 99) ] success);
+  Format.printf "S S C ⊨ ?[charge]‖[charge]: %b@."
+    (Pattern.matches
+       [ s "charge"; s "charge"; c "charge" (Value.int 99) ]
+       (Pattern.Interleaved (attempt, [], success)))

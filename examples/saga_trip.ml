@@ -1,0 +1,113 @@
+(* Saga: one request whose execution is a sequence of undoable actions.
+
+   A "book trip" request reserves a seat AND pays for it — two undoable
+   actions on two different external services, executed as one composite
+   action.  If the protocol aborts a round (crash, false suspicion), the
+   rollback cascades: the payment hold is released and the seat freed, in
+   reverse order.  The committed round leaves exactly one seat and one
+   payment.
+
+   Run with: dune exec examples/saga_trip.exe *)
+
+open Xability
+
+let () =
+  let eng = Xsim.Engine.create ~seed:4242 () in
+  let env =
+    Xsm.Environment.create eng
+      ~config:{ Xsm.Environment.default_config with fail_prob = 0.25 }
+      ()
+  in
+  let bank =
+    Xsm.Services.Bank.register env
+      ~accounts:[ ("traveller", 500); ("airline", 0) ]
+      ()
+  in
+  let booking = Xsm.Services.Booking.register env ~seats:12 () in
+  let trip =
+    Xsm.Composite.register env "book_trip"
+      ~steps:(fun ~rid:_ ~payload ~rng:_ ->
+        let fare = Option.value ~default:100 (Value.as_int payload) in
+        [
+          {
+            Xsm.Composite.step_action = "reserve";
+            step_kind = Action.Undoable;
+            step_input = Value.str "traveller";
+          };
+          {
+            Xsm.Composite.step_action = "transfer";
+            step_kind = Action.Undoable;
+            step_input =
+              Value.pair
+                (Value.pair (Value.str "traveller") (Value.str "airline"))
+                (Value.int fare);
+          };
+        ])
+  in
+  let svc =
+    Xreplication.Service.create eng env Xreplication.Service.default_config
+  in
+  let client = Xreplication.Service.client svc 0 in
+  let issued = ref [] in
+  Xsim.Engine.spawn eng
+    ~proc:(Xreplication.Client.proc client)
+    ~name:"traveller"
+    (fun () ->
+      List.iter
+        (fun fare ->
+          let req =
+            Xreplication.Client.request client ~action:"book_trip"
+              ~kind:Action.Undoable ~input:(Value.int fare)
+          in
+          issued := req :: !issued;
+          let outputs = Xreplication.Client.submit_until_success client req in
+          Format.printf "t=%6d  trip booked (fare %d) -> %s@."
+            (Xsim.Engine.now eng) fare (Value.to_string outputs))
+        [ 120; 90 ]);
+  Xsim.Engine.schedule eng ~delay:250 (fun () ->
+      Format.printf "t=%6d  *** crash replica.0 ***@." (Xsim.Engine.now eng);
+      Xreplication.Service.kill_replica svc 0);
+  (match Xreplication.Service.oracle svc with
+  | Some o ->
+      Xdetect.Oracle.enable_noise o ~probability:0.06 ~duration:150
+        ~until:6_000 ()
+  | None -> ());
+  Xsim.Engine.run ~limit:500_000 eng;
+  Xsim.Engine.run ~limit:(Xsim.Engine.now eng + 15_000) eng;
+
+  Format.printf "@.confirmed seats: %d   outstanding holds: %d@."
+    (List.length (Xsm.Services.Booking.confirmed booking))
+    (Xsm.Services.Booking.held_seats booking);
+  Format.printf "traveller: %d   airline: %d   (conserved: %b)@."
+    (Xsm.Services.Bank.posted_balance bank "traveller")
+    (Xsm.Services.Bank.posted_balance bank "airline")
+    (Xsm.Services.Bank.total_money bank = 500);
+  (* Verify the composite AND all its steps are exactly-once. *)
+  let expected =
+    List.concat_map
+      (fun (req : Xsm.Request.t) ->
+        Xsm.Environment.checker_expected env req
+        :: List.map
+             (Xsm.Environment.checker_expected env)
+             (Xsm.Composite.sub_requests trip ~rid:req.Xsm.Request.rid))
+      (List.rev !issued)
+  in
+  let report =
+    Checker.check
+      ~kinds:(Xsm.Environment.kind_of env)
+      ~logical_of:Xsm.Request.logical_of_env_iv ~check_order:false ~expected
+      (Xsm.Environment.history env)
+  in
+  Format.printf "saga + steps x-able: %b  (history: %d events)@."
+    report.Checker.ok
+    (History.length (Xsm.Environment.history env));
+  List.iter (Format.printf "  violation: %s@.") report.Checker.violations;
+  let ok =
+    report.Checker.ok
+    && List.length (Xsm.Services.Booking.confirmed booking) = 2
+    && Xsm.Services.Bank.posted_balance bank "airline" = 210
+    && Xsm.Services.Booking.held_seats booking = 0
+    && Xsm.Environment.violations env = []
+  in
+  Format.printf "exactly-once saga: %b@." ok;
+  if not ok then exit 1

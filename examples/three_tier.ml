@@ -1,0 +1,141 @@
+(* Three-tier composition: the scenario that motivates the paper's
+   introduction.  A client invokes a replicated middle-tier order service,
+   which itself invokes a replicated back-end bank.
+
+   X-ability is local (paper section 1): the back-end service is x-able,
+   so the middle tier may treat [backend.submit] as an idempotent action —
+   it re-invokes it freely on retry, keyed by a stable request id, and the
+   back end deduplicates.  We register the middle-tier action as *raw*
+   (every middle-tier execution really does call the back end again), so
+   any duplicate invocations are visible — and the back end absorbs them.
+
+   We crash one replica in each tier and inject false suspicions; the run
+   must end with exactly one posted transfer per order and an x-able
+   back-end history.
+
+   Run with: dune exec examples/three_tier.exe *)
+
+open Xability
+
+let () =
+  let eng = Xsim.Engine.create ~seed:777 () in
+
+  (* ---------- Back end: a replicated bank ---------- *)
+  let backend_env = Xsm.Environment.create eng () in
+  let bank =
+    Xsm.Services.Bank.register backend_env
+      ~accounts:[ ("store", 0); ("alice", 1_000) ]
+      ()
+  in
+  let backend =
+    Xreplication.Service.create eng backend_env
+      Xreplication.Service.default_config
+  in
+  (* The gateway stub the middle tier uses to call the back end. *)
+  let gateway = Xreplication.Service.client backend 0 in
+
+  (* ---------- Middle tier: a replicated order service ---------- *)
+  let middle_env = Xsm.Environment.create eng () in
+  let backend_requests = Hashtbl.create 16 in
+  (* Raw on purpose: every execution really invokes the back end.  The
+     composition is exactly-once because the back-end submit is
+     idempotent when keyed by a stable request id. *)
+  Xsm.Environment.register_raw middle_env "place_order"
+    (fun ~rid ~payload ~rng:_ ->
+      let amount =
+        match Value.as_int payload with Some a -> a | None -> 0
+      in
+      let backend_req =
+        (* Stable id: retries of the same order hit the same back-end
+           logical request. *)
+        Xsm.Request.make ~rid:(1_000_000 + rid) ~action:"transfer"
+          ~kind:Action.Undoable
+          ~input:
+            (Value.pair
+               (Value.pair (Value.str "alice") (Value.str "store"))
+               (Value.int amount))
+      in
+      if not (Hashtbl.mem backend_requests backend_req.Xsm.Request.rid) then
+        Hashtbl.replace backend_requests backend_req.Xsm.Request.rid
+          backend_req;
+      Xreplication.Client.submit_until_success gateway backend_req);
+  let middle =
+    Xreplication.Service.create eng middle_env
+      Xreplication.Service.default_config
+  in
+  let client = Xreplication.Service.client middle 0 in
+
+  (* ---------- Workload: three orders ---------- *)
+  let completed = ref 0 in
+  Xsim.Engine.spawn eng
+    ~proc:(Xreplication.Client.proc client)
+    ~name:"shopper"
+    (fun () ->
+      List.iter
+        (fun amount ->
+          let req =
+            Xreplication.Client.request client ~action:"place_order"
+              ~kind:Action.Idempotent (* declared kind; env treats it raw *)
+              ~input:(Value.int amount)
+          in
+          let v = Xreplication.Client.submit_until_success client req in
+          incr completed;
+          Format.printf "t=%6d  order of %4d placed -> charged %s@."
+            (Xsim.Engine.now eng) amount (Value.to_string v))
+        [ 120; 75; 250 ]);
+
+  (* ---------- Faults in both tiers ---------- *)
+  Xsim.Engine.schedule eng ~delay:200 (fun () ->
+      Format.printf "t=%6d  *** crash middle replica.0 ***@."
+        (Xsim.Engine.now eng);
+      Xreplication.Service.kill_replica middle 0);
+  Xsim.Engine.schedule eng ~delay:900 (fun () ->
+      Format.printf "t=%6d  *** crash backend replica.1 ***@."
+        (Xsim.Engine.now eng);
+      Xreplication.Service.kill_replica backend 1);
+  (match Xreplication.Service.oracle middle with
+  | Some o ->
+      Xdetect.Oracle.enable_noise o ~probability:0.05 ~duration:150
+        ~until:5_000 ()
+  | None -> ());
+
+  Xsim.Engine.run ~limit:500_000 eng;
+
+  (* ---------- End-to-end verification at the BACK END ---------- *)
+  Format.printf "@.orders completed: %d/3@." !completed;
+  let backend_expected =
+    Hashtbl.fold
+      (fun _ req acc -> Xsm.Environment.checker_expected backend_env req :: acc)
+      backend_requests []
+  in
+  let report =
+    Checker.check
+      ~kinds:(Xsm.Environment.kind_of backend_env)
+      ~logical_of:Xsm.Request.logical_of_env_iv
+      ~check_order:false (* orders are independent; only dedup matters *)
+      ~expected:backend_expected
+      (Xsm.Environment.history backend_env)
+  in
+  Format.printf "back-end history x-able: %b@." report.Checker.ok;
+  List.iter (Format.printf "  violation: %s@.") report.Checker.violations;
+  Format.printf "posted transfers: %d (expected 3)@."
+    (Xsm.Services.Bank.posted_transfers bank);
+  Format.printf "alice: %d   store: %d   (money conserved: %b)@."
+    (Xsm.Services.Bank.posted_balance bank "alice")
+    (Xsm.Services.Bank.posted_balance bank "store")
+    (Xsm.Services.Bank.total_money bank = 1_000);
+  let middle_execs =
+    List.fold_left
+      (fun acc (s : Xsm.Environment.key_stats) -> acc + s.applied)
+      0
+      (Xsm.Environment.stats middle_env)
+  in
+  Format.printf
+    "middle-tier executions of place_order: %d (>3 means retries happened, \
+     absorbed by the back end)@."
+    middle_execs;
+  if
+    not
+      (report.Checker.ok && !completed = 3
+      && Xsm.Services.Bank.posted_transfers bank = 3)
+  then exit 1

@@ -1,0 +1,93 @@
+(* Travel agency: undoable actions under heavy weather.
+
+   Seat reservations are undoable (a hold that is committed or released),
+   with non-deterministic seat assignment.  We inject action failures,
+   false suspicions, and an owner crash; the protocol must cancel every
+   abandoned hold, commit exactly one reservation per passenger, and the
+   environment history must reduce to a failure-free booking sequence.
+
+   Run with: dune exec examples/travel_agency.exe *)
+
+open Xability
+
+let () =
+  let eng = Xsim.Engine.create ~seed:31337 () in
+  let env =
+    Xsm.Environment.create eng
+      ~config:
+        {
+          Xsm.Environment.default_config with
+          fail_prob = 0.3;
+          fail_after_prob = 0.5;
+          finalize_fail_prob = 0.15;
+        }
+      ()
+  in
+  let booking = Xsm.Services.Booking.register env ~seats:16 () in
+  let svc =
+    Xreplication.Service.create eng env Xreplication.Service.default_config
+  in
+  let client = Xreplication.Service.client svc 0 in
+
+  let passengers = [ "ada"; "grace"; "barbara"; "frances"; "hedy" ] in
+  let issued = ref [] in
+  Xsim.Engine.spawn eng
+    ~proc:(Xreplication.Client.proc client)
+    ~name:"agency"
+    (fun () ->
+      List.iter
+        (fun passenger ->
+          let req =
+            Xreplication.Client.request client ~action:"reserve"
+              ~kind:Action.Undoable ~input:(Value.str passenger)
+          in
+          issued := req :: !issued;
+          let seat = Xreplication.Client.submit_until_success client req in
+          Format.printf "t=%6d  %-10s -> seat %s@." (Xsim.Engine.now eng)
+            passenger (Value.to_string seat))
+        passengers);
+
+  Xsim.Engine.schedule eng ~delay:300 (fun () ->
+      Format.printf "t=%6d  *** crash replica.0 ***@." (Xsim.Engine.now eng);
+      Xreplication.Service.kill_replica svc 0);
+  (match Xreplication.Service.oracle svc with
+  | Some o ->
+      Xdetect.Oracle.enable_noise o ~probability:0.08 ~duration:150
+        ~until:8_000 ()
+  | None -> ());
+
+  Xsim.Engine.run ~limit:500_000 eng;
+  (* Let cleaners finish any trailing cancellations/commits. *)
+  Xsim.Engine.run ~limit:(Xsim.Engine.now eng + 10_000) eng;
+
+  Format.printf "@.confirmed seats:@.";
+  List.iter
+    (fun (seat, passenger) -> Format.printf "  seat %2d: %s@." seat passenger)
+    (Xsm.Services.Booking.confirmed booking);
+  Format.printf "held (leaked) seats: %d   free: %d@."
+    (Xsm.Services.Booking.held_seats booking)
+    (Xsm.Services.Booking.free_seats booking);
+
+  let expected =
+    List.rev_map (Xsm.Environment.checker_expected env) !issued
+  in
+  let report =
+    Checker.check
+      ~kinds:(Xsm.Environment.kind_of env)
+      ~logical_of:Xsm.Request.logical_of_env_iv ~expected
+      (Xsm.Environment.history env)
+  in
+  Format.printf "history x-able: %b  (%d events reduced away)@."
+    report.Checker.ok
+    (History.length (Xsm.Environment.history env)
+    - (4 * List.length passengers));
+  List.iter (Format.printf "  violation: %s@.") report.Checker.violations;
+  let ok =
+    report.Checker.ok
+    && List.length (Xsm.Services.Booking.confirmed booking)
+       = List.length passengers
+    && Xsm.Services.Booking.held_seats booking = 0
+    && Xsm.Environment.violations env = []
+  in
+  Format.printf "exactly-once bookings: %b@." ok;
+  if not ok then exit 1

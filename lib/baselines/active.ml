@@ -1,0 +1,120 @@
+open Xability
+
+type config = { n_replicas : int; net_latency : Xnet.Latency.t }
+
+let default_config =
+  { n_replicas = 3; net_latency = Xnet.Latency.Uniform (20, 60) }
+
+type msg =
+  | Req of { req : Xsm.Request.t; client : Xnet.Address.t }
+  | Reply of { rid : int; value : Value.t }
+
+type replica = {
+  addr : Xnet.Address.t;
+  proc : Xsim.Proc.t;
+  mutable executions : int;
+}
+
+type t = {
+  eng : Xsim.Engine.t;
+  env : Xsm.Environment.t;
+  transport : msg Xnet.Transport.t;
+  replicas : replica array;
+  c_addr : Xnet.Address.t;
+  c_proc : Xsim.Proc.t;
+  c_mbox : msg Xnet.Transport.envelope Xsim.Mailbox.t;
+  replies_seen : (int, Value.t list ref) Hashtbl.t;
+}
+
+let replica_loop t (r : replica) mbox =
+  let rec loop () =
+    let envelope = Xsim.Mailbox.take t.eng mbox in
+    (match envelope.Xnet.Transport.payload with
+    | Req { req; client } ->
+        let rec execute () =
+          r.executions <- r.executions + 1;
+          match Xsm.Environment.execute t.env req with
+          | Ok v -> v
+          | Error _ -> execute ()
+        in
+        let value = execute () in
+        Xnet.Transport.send t.transport ~src:r.addr ~dst:client
+          (Reply { rid = req.rid; value })
+    | Reply _ -> ());
+    loop ()
+  in
+  loop ()
+
+let create eng env (cfg : config) =
+  let transport = Xnet.Transport.create eng ~latency:cfg.net_latency () in
+  let members =
+    List.init cfg.n_replicas (fun i ->
+        let addr = Xnet.Address.make ~role:"active" ~index:i in
+        (addr, Xsim.Proc.create ~name:(Xnet.Address.to_string addr)))
+  in
+  let c_addr = Xnet.Address.make ~role:"active-client" ~index:0 in
+  let c_proc = Xsim.Proc.create ~name:"active-client" in
+  let t =
+    {
+      eng;
+      env;
+      transport;
+      replicas =
+        Array.of_list
+          (List.map
+             (fun (addr, proc) -> { addr; proc; executions = 0 })
+             members);
+      c_addr;
+      c_proc;
+      c_mbox = Xnet.Transport.register transport c_addr ~proc:c_proc;
+      replies_seen = Hashtbl.create 32;
+    }
+  in
+  Array.iter
+    (fun (r : replica) ->
+      let mbox = Xnet.Transport.register transport r.addr ~proc:r.proc in
+      Xsim.Engine.spawn eng ~proc:r.proc
+        ~name:("active:" ^ Xnet.Address.to_string r.addr)
+        (fun () -> replica_loop t r mbox))
+    t.replicas;
+  t
+
+let kill_replica t i = Xsim.Proc.kill t.replicas.(i).proc
+let client_proc t = t.c_proc
+
+let record_reply t rid value =
+  let cell =
+    match Hashtbl.find_opt t.replies_seen rid with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.replace t.replies_seen rid c;
+        c
+  in
+  if not (List.exists (Value.equal value) !cell) then cell := value :: !cell
+
+let submit_until_success t (req : Xsm.Request.t) =
+  Array.iter
+    (fun (r : replica) ->
+      Xnet.Transport.send t.transport ~src:t.c_addr ~dst:r.addr
+        (Req { req; client = t.c_addr }))
+    t.replicas;
+  (* Adopt the first reply for this request; keep listening is not needed,
+     but record any already-queued replies to measure divergence. *)
+  let rec wait () =
+    let envelope = Xsim.Mailbox.take t.eng t.c_mbox in
+    match envelope.Xnet.Transport.payload with
+    | Reply { rid; value } ->
+        record_reply t rid value;
+        if rid = req.rid then value else wait ()
+    | Req _ -> wait ()
+  in
+  wait ()
+
+let executions t =
+  Array.fold_left (fun acc (r : replica) -> acc + r.executions) 0 t.replicas
+
+let divergent_replies t =
+  Hashtbl.fold
+    (fun _ cell acc -> if List.length !cell > 1 then acc + 1 else acc)
+    t.replies_seen 0

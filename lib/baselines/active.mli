@@ -1,0 +1,32 @@
+(** Active (state-machine) replication [Sch93], applied — as the paper's
+    introduction warns against — to actions that are non-deterministic or
+    have external side-effects.
+
+    The client broadcasts each request to all replicas; every replica
+    executes it against the environment and replies; the client adopts the
+    first reply.  With deterministic, side-effect-free actions this is the
+    classical scheme and it masks crashes with no takeover delay.  With
+    external side-effects each request's effect is applied once {e per
+    replica}; with non-deterministic actions replicas can disagree on the
+    result.  The E3 experiment counts both pathologies. *)
+
+type config = { n_replicas : int; net_latency : Xnet.Latency.t }
+
+val default_config : config
+
+type t
+
+val create : Xsim.Engine.t -> Xsm.Environment.t -> config -> t
+
+val kill_replica : t -> int -> unit
+
+val submit_until_success : t -> Xsm.Request.t -> Xability.Value.t
+(** Client call (fiber context): broadcast and adopt the first reply. *)
+
+val client_proc : t -> Xsim.Proc.t
+
+val executions : t -> int
+
+val divergent_replies : t -> int
+(** Requests for which replicas returned at least two distinct results —
+    the non-determinism pathology. *)

@@ -1,0 +1,185 @@
+open Xability
+
+type config = {
+  n_replicas : int;
+  net_latency : Xnet.Latency.t;
+  detection_delay : int;
+  propagate_before_reply : bool;
+}
+
+let default_config =
+  {
+    n_replicas = 3;
+    net_latency = Xnet.Latency.Uniform (20, 60);
+    detection_delay = 50;
+    propagate_before_reply = false;
+  }
+
+type msg =
+  | Req of { req : Xsm.Request.t; client : Xnet.Address.t }
+  | Update of { rid : int; value : Value.t; from_index : int }
+  | Reply of { rid : int; value : Value.t }
+
+type replica = {
+  addr : Xnet.Address.t;
+  proc : Xsim.Proc.t;
+  index : int;
+  completed : (int, Value.t) Hashtbl.t;
+  mutable executions : int;
+}
+
+type t = {
+  eng : Xsim.Engine.t;
+  env : Xsm.Environment.t;
+  cfg : config;
+  transport : msg Xnet.Transport.t;
+  detector : Xdetect.Detector.t;
+  orc : Xdetect.Oracle.t;
+  replicas : replica array;
+  c_addr : Xnet.Address.t;
+  c_proc : Xsim.Proc.t;
+  c_mbox : msg Xnet.Transport.envelope Xsim.Mailbox.t;
+}
+
+(* The primary in [observer]'s view: the lowest-indexed unsuspected
+   replica. *)
+let primary_view t ~observer =
+  let n = Array.length t.replicas in
+  let rec go i =
+    if i >= n then 0
+    else if
+      Xdetect.Detector.suspects t.detector ~observer
+        ~target:t.replicas.(i).addr
+    then go (i + 1)
+    else i
+  in
+  go 0
+
+let replica_loop t (r : replica) mbox =
+  let rec loop () =
+    let envelope = Xsim.Mailbox.take t.eng mbox in
+    (match envelope.Xnet.Transport.payload with
+    | Req { req; client } -> (
+        match Hashtbl.find_opt r.completed req.rid with
+        | Some value ->
+            Xnet.Transport.send t.transport ~src:r.addr ~dst:client
+              (Reply { rid = req.rid; value })
+        | None ->
+            if primary_view t ~observer:r.addr = r.index then begin
+              (* Execute (raw, no retry coordination), record, propagate. *)
+              r.executions <- r.executions + 1;
+              let value =
+                match Xsm.Environment.execute t.env req with
+                | Ok v -> v
+                | Error _ -> (
+                    (* naive retry until success *)
+                    let rec retry () =
+                      r.executions <- r.executions + 1;
+                      match Xsm.Environment.execute t.env req with
+                      | Ok v -> v
+                      | Error _ -> retry ()
+                    in
+                    retry ())
+              in
+              Hashtbl.replace r.completed req.rid value;
+              Array.iter
+                (fun (peer : replica) ->
+                  if peer.index <> r.index then
+                    Xnet.Transport.send t.transport ~src:r.addr ~dst:peer.addr
+                      (Update { rid = req.rid; value; from_index = r.index }))
+                t.replicas;
+              if t.cfg.propagate_before_reply then
+                (* Wait for one round-trip's worth of time for acks; a
+                   naive implementation without proper quorum logic. *)
+                Xsim.Engine.sleep t.eng
+                  (2 * Xnet.Latency.lower_bound t.cfg.net_latency
+                         ~now:(Xsim.Engine.now t.eng));
+              Xnet.Transport.send t.transport ~src:r.addr ~dst:client
+                (Reply { rid = req.rid; value })
+            end
+            (* Not primary in our view: drop; the client will retry. *))
+    | Update { rid; value; _ } ->
+        Hashtbl.replace r.completed rid value;
+        ()
+    | Reply _ -> ());
+    loop ()
+  in
+  loop ()
+
+let create eng env cfg =
+  let transport = Xnet.Transport.create eng ~latency:cfg.net_latency () in
+  let members =
+    List.init cfg.n_replicas (fun i ->
+        let addr = Xnet.Address.make ~role:"pb" ~index:i in
+        (addr, Xsim.Proc.create ~name:(Xnet.Address.to_string addr)))
+  in
+  let c_addr = Xnet.Address.make ~role:"pb-client" ~index:0 in
+  let c_proc = Xsim.Proc.create ~name:"pb-client" in
+  let orc =
+    Xdetect.Oracle.create eng
+      ~observers:(c_addr :: List.map fst members)
+      ~targets:members ~detection_delay:cfg.detection_delay ()
+  in
+  let t =
+    {
+      eng;
+      env;
+      cfg;
+      transport;
+      detector = Xdetect.Oracle.detector orc;
+      orc;
+      replicas =
+        Array.of_list
+          (List.mapi
+             (fun index (addr, proc) ->
+               { addr; proc; index; completed = Hashtbl.create 32; executions = 0 })
+             members);
+      c_addr;
+      c_proc;
+      c_mbox = Xnet.Transport.register transport c_addr ~proc:c_proc;
+    }
+  in
+  Array.iter
+    (fun (r : replica) ->
+      let mbox = Xnet.Transport.register transport r.addr ~proc:r.proc in
+      Xsim.Engine.spawn eng ~proc:r.proc
+        ~name:("pb:" ^ Xnet.Address.to_string r.addr)
+        (fun () -> replica_loop t r mbox))
+    t.replicas;
+  t
+
+let oracle t = t.orc
+let kill_replica t i = Xsim.Proc.kill t.replicas.(i).proc
+let client_proc t = t.c_proc
+
+let submit_until_success t (req : Xsm.Request.t) =
+  let rec attempt () =
+    let p = primary_view t ~observer:t.c_addr in
+    let target = t.replicas.(p).addr in
+    Xnet.Transport.send t.transport ~src:t.c_addr ~dst:target
+      (Req { req; client = t.c_addr });
+    (* Wait for a reply or a suspicion of the contacted primary. *)
+    let rec wait () =
+      let cell = Xsim.Ivar.create () in
+      Xsim.Mailbox.take_into t.c_mbox (fun envelope ->
+          Xsim.Ivar.try_fill cell (`Msg envelope));
+      Xdetect.Detector.watch t.detector ~observer:t.c_addr ~target (fun () ->
+          Xsim.Ivar.try_fill cell `Suspect);
+      Xsim.Timer.after_into t.eng 2_000 (fun () ->
+          Xsim.Ivar.try_fill cell `Timeout);
+      match Xsim.Ivar.read t.eng cell with
+      | `Msg { Xnet.Transport.payload = Reply { rid; value }; _ } ->
+          if rid = req.rid then Some value else wait ()
+      | `Msg _ -> wait ()
+      | `Suspect | `Timeout -> None
+    in
+    match wait () with
+    | Some v -> v
+    | None ->
+        Xsim.Engine.sleep t.eng 20;
+        attempt ()
+  in
+  attempt ()
+
+let executions t =
+  Array.fold_left (fun acc (r : replica) -> acc + r.executions) 0 t.replicas

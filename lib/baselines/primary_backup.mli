@@ -1,0 +1,43 @@
+(** Naive primary-backup replication [BMST93], applied — as the paper's
+    introduction warns against — to actions with external side-effects.
+
+    The primary (the lowest-indexed replica a process does not suspect)
+    executes the action against the environment, records the result,
+    propagates it to the backups, and replies.  On failover the new
+    primary re-executes any request it has no record of.
+
+    This scheme is the paper's foil: it is correct for crash-free runs and
+    for state fully encapsulated in the service, but with external
+    side-effects it duplicates work in two windows — (a) the old primary
+    executed but crashed before propagating, and (b) a false suspicion
+    makes two replicas simultaneously believe they are primary.  The E3
+    experiment counts those duplicates. *)
+
+type config = {
+  n_replicas : int;
+  net_latency : Xnet.Latency.t;
+  detection_delay : int;
+  propagate_before_reply : bool;
+      (** wait for backup acks before replying (shrinks window (a) to the
+          execute-to-propagate gap but does not close it) *)
+}
+
+val default_config : config
+
+type t
+
+val create : Xsim.Engine.t -> Xsm.Environment.t -> config -> t
+
+val oracle : t -> Xdetect.Oracle.t
+
+val kill_replica : t -> int -> unit
+
+val submit_until_success : t -> Xsm.Request.t -> Xability.Value.t
+(** Client call (fiber context): retry against the current primary view
+    until a reply arrives.  Requests should use {e raw} environment
+    actions; this scheme has no cancel/commit machinery. *)
+
+val client_proc : t -> Xsim.Proc.t
+
+val executions : t -> int
+(** Environment executions issued by all replicas. *)

@@ -1,0 +1,212 @@
+open Xability
+
+type config = {
+  n_replicas : int;
+  net_latency : Xnet.Latency.t;
+  detection_delay : int;
+  consensus_latency : int;
+}
+
+let default_config =
+  {
+    n_replicas = 3;
+    net_latency = Xnet.Latency.Uniform (20, 60);
+    detection_delay = 50;
+    consensus_latency = 25;
+  }
+
+type msg =
+  | Req of { req : Xsm.Request.t; client : Xnet.Address.t }
+  | Reply of { rid : int; value : Value.t }
+
+type replica = {
+  addr : Xnet.Address.t;
+  proc : Xsim.Proc.t;
+  index : int;
+  decided : (int, Value.t) Hashtbl.t;
+  handling : (int, unit) Hashtbl.t;
+  mutable executions : int;
+}
+
+type t = {
+  eng : Xsim.Engine.t;
+  env : Xsm.Environment.t;
+  cfg : config;
+  transport : msg Xnet.Transport.t;
+  detector : Xdetect.Detector.t;
+  orc : Xdetect.Oracle.t;
+  replicas : replica array;
+  consensus : (int, Value.t Xconsensus.Register.t) Hashtbl.t;
+  c_addr : Xnet.Address.t;
+  c_proc : Xsim.Proc.t;
+  c_mbox : msg Xnet.Transport.envelope Xsim.Mailbox.t;
+}
+
+let consensus_for t rid =
+  match Hashtbl.find_opt t.consensus rid with
+  | Some obj -> obj
+  | None ->
+      let obj =
+        Xconsensus.Register.create t.eng ~latency:t.cfg.consensus_latency
+          ~name:(Printf.sprintf "sp/%d" rid)
+          ()
+      in
+      Hashtbl.replace t.consensus rid obj;
+      obj
+
+(* Rank of [r] among the replicas [observer] does not suspect; the
+   coordinator is the unsuspected replica of rank 0. *)
+let coordinator_view t ~observer =
+  let n = Array.length t.replicas in
+  let rec go i =
+    if i >= n then 0
+    else if
+      Xdetect.Detector.suspects t.detector ~observer
+        ~target:t.replicas.(i).addr
+    then go (i + 1)
+    else i
+  in
+  go 0
+
+let handle_request t (r : replica) (req : Xsm.Request.t) client =
+  match Hashtbl.find_opt r.decided req.rid with
+  | Some value ->
+      Xnet.Transport.send t.transport ~src:r.addr ~dst:client
+        (Reply { rid = req.rid; value })
+  | None ->
+      if not (Hashtbl.mem r.handling req.rid) then begin
+        Hashtbl.replace r.handling req.rid ();
+        (* Lazy consensus: wait until we are the coordinator in our own
+           view (or a decision appears), then execute and propose. *)
+        let obj = consensus_for t req.rid in
+        let rec drive () =
+          match Xconsensus.Register.peek obj with
+          | Some value ->
+              Hashtbl.replace r.decided req.rid value;
+              Xnet.Transport.send t.transport ~src:r.addr ~dst:client
+                (Reply { rid = req.rid; value })
+          | None ->
+              if coordinator_view t ~observer:r.addr = r.index then begin
+                let rec execute () =
+                  r.executions <- r.executions + 1;
+                  match Xsm.Environment.execute t.env req with
+                  | Ok v -> v
+                  | Error _ -> execute ()
+                in
+                let mine = execute () in
+                let value = Xconsensus.Register.propose obj mine in
+                Hashtbl.replace r.decided req.rid value;
+                Xnet.Transport.send t.transport ~src:r.addr ~dst:client
+                  (Reply { rid = req.rid; value })
+              end
+              else begin
+                Xsim.Engine.sleep t.eng 40;
+                drive ()
+              end
+        in
+        drive ()
+      end
+
+let create eng env cfg =
+  let transport = Xnet.Transport.create eng ~latency:cfg.net_latency () in
+  let members =
+    List.init cfg.n_replicas (fun i ->
+        let addr = Xnet.Address.make ~role:"sp" ~index:i in
+        (addr, Xsim.Proc.create ~name:(Xnet.Address.to_string addr)))
+  in
+  let c_addr = Xnet.Address.make ~role:"sp-client" ~index:0 in
+  let c_proc = Xsim.Proc.create ~name:"sp-client" in
+  let orc =
+    Xdetect.Oracle.create eng
+      ~observers:(c_addr :: List.map fst members)
+      ~targets:members ~detection_delay:cfg.detection_delay ()
+  in
+  let t =
+    {
+      eng;
+      env;
+      cfg;
+      transport;
+      detector = Xdetect.Oracle.detector orc;
+      orc;
+      replicas =
+        Array.of_list
+          (List.mapi
+             (fun index (addr, proc) ->
+               {
+                 addr;
+                 proc;
+                 index;
+                 decided = Hashtbl.create 32;
+                 handling = Hashtbl.create 32;
+                 executions = 0;
+               })
+             members);
+      consensus = Hashtbl.create 32;
+      c_addr;
+      c_proc;
+      c_mbox = Xnet.Transport.register transport c_addr ~proc:c_proc;
+    }
+  in
+  Array.iter
+    (fun (r : replica) ->
+      let mbox = Xnet.Transport.register transport r.addr ~proc:r.proc in
+      Xsim.Engine.spawn eng ~proc:r.proc
+        ~name:("sp:" ^ Xnet.Address.to_string r.addr)
+        (fun () ->
+          let counter = ref 0 in
+          let rec loop () =
+            let envelope = Xsim.Mailbox.take eng mbox in
+            (match envelope.Xnet.Transport.payload with
+            | Req { req; client } ->
+                incr counter;
+                (* One fiber per request so a slow coordination does not
+                   block the replica's inbox. *)
+                Xsim.Engine.spawn eng ~proc:r.proc
+                  ~name:
+                    (Printf.sprintf "sp:%s#%d"
+                       (Xnet.Address.to_string r.addr)
+                       !counter)
+                  (fun () -> handle_request t r req client)
+            | Reply _ -> ());
+            loop ()
+          in
+          loop ()))
+    t.replicas;
+  t
+
+let oracle t = t.orc
+let kill_replica t i = Xsim.Proc.kill t.replicas.(i).proc
+let client_proc t = t.c_proc
+
+let submit_until_success t (req : Xsm.Request.t) =
+  let rec attempt () =
+    (* Broadcast: every replica participates (passive ones wait on the
+       consensus object). *)
+    Array.iter
+      (fun (r : replica) ->
+        Xnet.Transport.send t.transport ~src:t.c_addr ~dst:r.addr
+          (Req { req; client = t.c_addr }))
+      t.replicas;
+    let rec wait deadline =
+      let cell = Xsim.Ivar.create () in
+      Xsim.Mailbox.take_into t.c_mbox (fun envelope ->
+          Xsim.Ivar.try_fill cell (`Msg envelope));
+      Xsim.Timer.after_into t.eng deadline (fun () ->
+          Xsim.Ivar.try_fill cell `Timeout);
+      match Xsim.Ivar.read t.eng cell with
+      | `Msg { Xnet.Transport.payload = Reply { rid; value }; _ } ->
+          if rid = req.rid then Some value else wait deadline
+      | `Msg _ -> wait deadline
+      | `Timeout -> None
+    in
+    match wait 3_000 with
+    | Some v -> v
+    | None ->
+        Xsim.Engine.sleep t.eng 20;
+        attempt ()
+  in
+  attempt ()
+
+let executions t =
+  Array.fold_left (fun acc (r : replica) -> acc + r.executions) 0 t.replicas

@@ -1,0 +1,41 @@
+(** Semi-passive replication [DSS98], the closest scheme the paper cites.
+
+    One coordinator (the lowest-ranked unsuspected replica) executes the
+    request and proposes the result through a consensus object ("lazy
+    consensus"); every replica adopts the decided result without
+    re-executing.  A replica that suspects the coordinator executes and
+    proposes itself.
+
+    Compared to the naive schemes: consensus on the result means replies
+    are never inconsistent and updates are never lost, and — unlike active
+    replication — only coordinators execute.  But external side-effects
+    still duplicate whenever two coordinators execute (false suspicion, or
+    crash after execution before decision), because there is no
+    cancellation or environment-level deduplication: that residual window
+    is precisely what x-ability closes with undoable/idempotent action
+    semantics. *)
+
+type config = {
+  n_replicas : int;
+  net_latency : Xnet.Latency.t;
+  detection_delay : int;
+  consensus_latency : int;  (** one-way latency of the consensus objects *)
+}
+
+val default_config : config
+
+type t
+
+val create : Xsim.Engine.t -> Xsm.Environment.t -> config -> t
+
+val oracle : t -> Xdetect.Oracle.t
+
+val kill_replica : t -> int -> unit
+
+val submit_until_success : t -> Xsm.Request.t -> Xability.Value.t
+
+val client_proc : t -> Xsim.Proc.t
+
+val executions : t -> int
+(** Environment executions issued across replicas (duplicates show up as
+    executions beyond one per request). *)

@@ -1,0 +1,23 @@
+(** The consensus-object abstraction assumed by the paper (section 5.2):
+
+    "a [propose()] primitive which takes as input a value proposed for
+    consensus, and returns the value decided, and a [read()] primitive that
+    returns the value decided, if any, or ⊥ if no such value has been
+    decided."
+
+    Both primitives are fiber-blocking ([read] may still return [None]: it
+    reports the caller's current knowledge once its query completes, which
+    an asynchronous implementation cannot strengthen).  Implementations:
+    {!Register} models the abstraction directly; {!Paxos} discharges it
+    with a real message-passing protocol among the replicas. *)
+
+module type S = sig
+  type 'v t
+
+  val propose : 'v t -> 'v -> 'v
+  (** Blocks until a decision is known; returns the decided value (the
+      caller's own proposal iff it won). *)
+
+  val read : 'v t -> 'v option
+  (** The decided value if known to this participant, [⊥] otherwise. *)
+end

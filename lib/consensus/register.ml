@@ -1,0 +1,36 @@
+type 'v t = {
+  eng : Xsim.Engine.t;
+  rname : string;
+  latency : int;
+  mutable decided : 'v option;
+  mutable proposals : int;
+}
+
+let create eng ?(latency = 20) ~name () =
+  { eng; rname = name; latency; decided = None; proposals = 0 }
+
+let name t = t.rname
+
+let propose t v =
+  t.proposals <- t.proposals + 1;
+  (* Request travels to the register... *)
+  Xsim.Engine.sleep t.eng t.latency;
+  (* ...the decision point is atomic at the register... *)
+  let decided = match t.decided with
+    | Some d -> d
+    | None ->
+        t.decided <- Some v;
+        v
+  in
+  (* ...and the reply travels back. *)
+  Xsim.Engine.sleep t.eng t.latency;
+  decided
+
+let read t =
+  Xsim.Engine.sleep t.eng t.latency;
+  let d = t.decided in
+  Xsim.Engine.sleep t.eng t.latency;
+  d
+
+let peek t = t.decided
+let propose_count t = t.proposals

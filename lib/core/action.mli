@@ -1,0 +1,32 @@
+(** Action names and kinds (paper sections 2.1 and 3.1).
+
+    The paper distinguishes two subsets of [Action]: [Idempotent] and
+    [Undoable].  An undoable action [au] has two derived idempotent
+    actions: its cancellation [a{^-1}] and its commit [a{^c}].  We encode
+    the derivation in the name: ["a"] gives ["a!cancel"] and ["a!commit"].
+    The [!] separator is reserved; base action names must not contain it. *)
+
+type kind = Idempotent | Undoable [@@deriving show, eq, ord]
+
+type name = string [@@deriving show, eq, ord]
+
+type variant = Exec | Cancel | Commit [@@deriving show, eq, ord]
+
+val cancel_name : name -> name
+(** [cancel_name "book"] = ["book!cancel"].  Raises [Invalid_argument] if
+    the name already carries a variant suffix. *)
+
+val commit_name : name -> name
+
+val split : name -> name * variant
+(** [split "book!cancel"] = [("book", Cancel)]; [split "get"] =
+    [("get", Exec)]. *)
+
+val base : name -> name
+val variant_of : name -> variant
+
+val is_base : name -> bool
+(** True when the name carries no variant suffix. *)
+
+val valid_base : name -> bool
+(** A base name is valid when non-empty and free of the reserved ['!']. *)

@@ -1,0 +1,194 @@
+type verdict = Xable of Value.t | Not_xable of string
+
+let fail fmt = Format.kasprintf (fun s -> Not_xable s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Idempotent instance: the events parse as a sequence of attempts,
+   [S] optionally followed by its completion. *)
+
+let analyze_idempotent ~action ~iv h =
+  let rec walk pending last completions = function
+    | [] ->
+        if pending then fail "trailing unresolved attempt"
+        else if completions = 0 then fail "no successful execution"
+        else Xable (Option.get last)
+    | Event.S (a, iv') :: rest ->
+        if not (Action.equal_name a action && Value.equal iv iv') then
+          fail "foreign event %s in instance history" a
+        else
+          (* A pending start here is a failed attempt; absorbed later by a
+             subsequent success (rule 18). *)
+          walk true last completions rest
+    | Event.C (a, iv', ov) :: rest ->
+        if not (Action.equal_name a action && Value.equal iv iv') then
+          fail "foreign completion %s" a
+        else if not pending then fail "completion without a start"
+        else (
+          match last with
+          | Some prev when not (Value.equal prev ov) ->
+              fail "conflicting outputs %s vs %s (irreducible under rule 18)"
+                (Value.to_string prev) (Value.to_string ov)
+          | _ -> walk false (Some ov) (completions + 1) rest)
+  in
+  walk false None 0 h
+
+(* ------------------------------------------------------------------ *)
+(* Undoable logical request: split the stream per round; each round is an
+   independent instance (round-tagged input).  A round must end either
+   fully cancelled or committed; exactly one round commits. *)
+
+type round_acc = {
+  mutable exec_pending : bool;  (** S without C yet *)
+  mutable tentative : bool;  (** completed, neither cancelled nor committed *)
+  mutable cancel_pending : bool;
+  mutable commit_pending : bool;
+  mutable committed : bool;
+  mutable completions : int;
+  mutable last_value : Value.t option;
+  mutable rejected : string option;
+}
+
+let new_round () =
+  {
+    exec_pending = false;
+    tentative = false;
+    cancel_pending = false;
+    commit_pending = false;
+    committed = false;
+    completions = 0;
+    last_value = None;
+    rejected = None;
+  }
+
+let reject r fmt = Format.kasprintf (fun s -> if r.rejected = None then r.rejected <- Some s) fmt
+
+let feed r variant event =
+  match (variant, event) with
+  | Action.Exec, `S ->
+      if r.committed then reject r "execution after commit"
+      else if r.tentative then reject r "re-execution of an uncancelled attempt"
+      else if r.exec_pending then
+        reject r "retry without cancelling the failed attempt"
+      else r.exec_pending <- true
+  | Action.Exec, `C ov ->
+      if not r.exec_pending then reject r "completion without a start"
+      else begin
+        r.exec_pending <- false;
+        r.tentative <- true;
+        r.completions <- r.completions + 1;
+        r.last_value <- Some ov
+      end
+  | Action.Cancel, `S ->
+      if r.committed then reject r "cancellation after commit"
+      else if r.commit_pending then
+        reject r "cancellation overlapping a commit attempt"
+      else r.cancel_pending <- true
+  | Action.Cancel, `C _ ->
+      if not r.cancel_pending then
+        reject r "cancellation completion without start"
+      else begin
+        (* Completes the pending cancel; resolves any failed or tentative
+           execution of this round (rules 18-on-cancels + 19). *)
+        r.cancel_pending <- false;
+        r.exec_pending <- false;
+        r.tentative <- false
+      end
+  | Action.Commit, `S ->
+      if r.exec_pending then
+        reject r "commit overlapping an execution (rule 20 side-condition)"
+      else if r.cancel_pending then
+        reject r "commit overlapping a cancellation"
+      else r.commit_pending <- true
+  | Action.Commit, `C _ ->
+      if not r.commit_pending then reject r "commit completion without start"
+      else begin
+        r.commit_pending <- false;
+        if r.tentative then begin
+          r.tentative <- false;
+          r.committed <- true
+        end
+        else if not r.committed then reject r "commit of nothing"
+        (* duplicate commit completions are fine (rule 20) *)
+      end
+
+let finish_round round r =
+  match r.rejected with
+  | Some reason -> Error (Printf.sprintf "round %d: %s" round reason)
+  | None ->
+      if r.exec_pending then
+        Error (Printf.sprintf "round %d: trailing unresolved attempt" round)
+      else if r.cancel_pending then
+        Error (Printf.sprintf "round %d: trailing unresolved cancellation" round)
+      else if r.commit_pending then
+        Error (Printf.sprintf "round %d: trailing unresolved commit" round)
+      else if r.tentative then
+        Error (Printf.sprintf "round %d: tentative effect never finalized" round)
+      else Ok r
+
+let analyze_undoable ~action ~logical_of ~round_of ~logical h =
+  let rounds : (int, round_acc) Hashtbl.t = Hashtbl.create 4 in
+  let order = ref [] in
+  let acc_of round =
+    match Hashtbl.find_opt rounds round with
+    | Some r -> r
+    | None ->
+        let r = new_round () in
+        Hashtbl.replace rounds round r;
+        order := round :: !order;
+        r
+  in
+  let error = ref None in
+  List.iter
+    (fun e ->
+      if !error = None then begin
+        let name = Event.action e in
+        let base, variant = Action.split name in
+        let iv = Event.input e in
+        if not (Action.equal_name base action) then
+          error := Some (Printf.sprintf "foreign event %s" name)
+        else if not (Value.equal (logical_of base iv) logical) then
+          error := Some "foreign logical instance"
+        else
+          match round_of iv with
+          | None -> error := Some "undoable event without a round tag"
+          | Some round ->
+              let r = acc_of round in
+              let token =
+                match e with
+                | Event.S _ -> `S
+                | Event.C (_, _, ov) -> `C ov
+              in
+              feed r variant token
+      end)
+    h;
+  match !error with
+  | Some e -> Not_xable e
+  | None -> (
+      let results =
+        List.map
+          (fun round -> finish_round round (Hashtbl.find rounds round))
+          (List.rev !order)
+      in
+      match List.find_opt Result.is_error results with
+      | Some (Error e) -> Not_xable e
+      | Some (Ok _) -> assert false
+      | None -> (
+          let committed =
+            List.filter_map
+              (fun res ->
+                match res with
+                | Ok r when r.committed -> Some r
+                | _ -> None)
+              results
+          in
+          match committed with
+          | [ r ] -> Xable (Option.get r.last_value)
+          | [] -> fail "no committed round"
+          | _ -> fail "%d committed rounds (not exactly-once)" (List.length committed)))
+
+let analyze ~kind ~action ~logical_of ~round_of ~logical h =
+  match kind with
+  | Action.Idempotent ->
+      ignore round_of;
+      analyze_idempotent ~action ~iv:logical h
+  | Action.Undoable -> analyze_undoable ~action ~logical_of ~round_of ~logical h

@@ -1,0 +1,53 @@
+(** Fast x-ability analyzer for serialized single-instance histories.
+
+    The faithful reduction engine ({!Reduction}) decides x-ability by
+    searching the rewriting graph — exponential in the number of events of
+    an action instance, which a suspicion storm can push into the dozens.
+    This module decides the same question in linear time for the histories
+    the protocol actually produces: executions of one {e logical} action
+    whose events do not overlap (the environment serializes per logical
+    action, so attempts, cancellations, and commits form a token stream).
+
+    Soundness: whenever the analyzer accepts, the history is x-able under
+    the paper's rules (property-tested against {!Reduction} on generated
+    streams and random event soups).  Completeness holds on the serialized
+    protocol domain; histories with overlapping events of one instance are
+    conservatively rejected — callers that need the rules' full generality
+    (e.g. crossing overlaps, rule 11) fall back to the search, which is
+    what {!Checker} does in its hybrid mode. *)
+
+open Action
+
+type verdict =
+  | Xable of Value.t  (** reduces to exactly-once; surviving output *)
+  | Not_xable of string  (** reason, for diagnostics *)
+
+val analyze_idempotent :
+  action:name -> iv:Value.t -> History.t -> verdict
+(** Decide x-ability of a history containing only events of the idempotent
+    instance [(action, iv)].  Accepts iff the events parse as a sequence
+    of attempts ([S] optionally followed by its [C]), at least one and the
+    last attempt complete, and all completions carry the same output. *)
+
+val analyze_undoable :
+  action:name ->
+  logical_of:(name -> Value.t -> Value.t) ->
+  round_of:(Value.t -> int option) ->
+  logical:Value.t ->
+  History.t ->
+  verdict
+(** Decide x-ability of a history containing only events of one logical
+    undoable request (all rounds, cancellations, commits).  Accepts iff
+    the per-round token streams are well-formed, exactly one round ends
+    committed (complete execution then a complete commit, with duplicate
+    finalizations allowed), and every other round is fully cancelled. *)
+
+val analyze :
+  kind:Action.kind ->
+  action:name ->
+  logical_of:(name -> Value.t -> Value.t) ->
+  round_of:(Value.t -> int option) ->
+  logical:Value.t ->
+  History.t ->
+  verdict
+(** Dispatch on the kind. *)

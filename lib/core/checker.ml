@@ -1,0 +1,218 @@
+type expected = {
+  action : Action.name;
+  kind : Action.kind;
+  logical : Value.t;
+}
+
+type group_result = {
+  expected : expected;
+  events : int;
+  ok : bool;
+  reduced : History.t option;
+  output : Value.t option;
+  first_completion : int option;
+  detail : string;
+}
+
+type report = {
+  ok : bool;
+  groups : group_result list;
+  unexpected : (Action.name * Value.t) list;
+  order_ok : bool;
+  violations : string list;
+}
+
+let group_key action logical =
+  action ^ "|" ^ Value.to_string logical
+
+(* Is [h] a failure-free history for the expected logical action?  For
+   undoable actions the surviving instance may carry any round-tagged
+   input that projects to the expected logical identity. *)
+let group_goal ~logical_of exp h =
+  match exp.kind with
+  | Action.Idempotent -> (
+      match h with
+      | [ Event.S (a, iv); Event.C (a', iv', _ov) ] ->
+          Action.equal_name a exp.action && Action.equal_name a' exp.action
+          && Value.equal iv iv' && Value.equal (logical_of a iv) exp.logical
+      | _ -> false)
+  | Action.Undoable -> (
+      match h with
+      | [
+       Event.S (a, iv);
+       Event.C (a', iv', _ov);
+       Event.S (c, civ);
+       Event.C (c', civ', nil);
+      ] ->
+          let ac = Action.commit_name exp.action in
+          Action.equal_name a exp.action && Action.equal_name a' exp.action
+          && Action.equal_name c ac && Action.equal_name c' ac
+          && Value.equal iv iv' && Value.equal civ iv && Value.equal civ' iv
+          && Value.equal nil Value.nil
+          && Value.equal (logical_of a iv) exp.logical
+      | _ -> false)
+
+type engine = [ `Search | `Fast | `Hybrid ]
+
+let check ~kinds ~logical_of ?(round_of = fun _ -> None)
+    ?(engine = (`Hybrid : engine)) ?(check_order = true) ~expected h =
+  let indexed = List.mapi (fun i e -> (i, e)) h in
+  (* Partition events into logical groups. *)
+  let groups_tbl : (string, (int * Event.t) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let group_id : (string, Action.name * Value.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (i, e) ->
+      let base = Action.base (Event.action e) in
+      let logical = logical_of base (Event.input e) in
+      let key = group_key base logical in
+      if not (Hashtbl.mem group_id key) then
+        Hashtbl.replace group_id key (base, logical);
+      (match Hashtbl.find_opt groups_tbl key with
+      | Some cell -> cell := (i, e) :: !cell
+      | None -> Hashtbl.replace groups_tbl key (ref [ (i, e) ])))
+    indexed;
+  let take_group key =
+    match Hashtbl.find_opt groups_tbl key with
+    | Some cell ->
+        Hashtbl.remove groups_tbl key;
+        List.rev !cell
+    | None -> []
+  in
+  let groups =
+    List.map
+      (fun exp ->
+        let key = group_key exp.action exp.logical in
+        let pairs = take_group key in
+        let events = List.map snd pairs in
+        if events = [] then
+          {
+            expected = exp;
+            events = 0;
+            ok = false;
+            reduced = None;
+            output = None;
+            first_completion = None;
+            detail = "no events for this request";
+          }
+        else
+          let search () =
+            Reduction.reduces_to ~kinds events
+              ~goal:(group_goal ~logical_of exp)
+          in
+          let fast () =
+            match
+              Analyzer.analyze ~kind:exp.kind ~action:exp.action ~logical_of
+                ~round_of ~logical:exp.logical events
+            with
+            | Analyzer.Xable ov ->
+                Some (Xable.eventsof exp.kind exp.action ~iv:exp.logical ~ov)
+            | Analyzer.Not_xable _ -> None
+          in
+          let witness =
+            match engine with
+            | `Search -> search ()
+            | `Fast -> fast ()
+            | `Hybrid -> ( match fast () with Some w -> Some w | None -> search ())
+          in
+          match witness with
+          | Some witness ->
+              let output = List.find_map Event.output witness in
+              (* First completion of a base-action execution in this group:
+                 the earliest moment the request's effect was settled. *)
+              let first_completion =
+                List.find_map
+                  (fun (i, e) ->
+                    match e with
+                    | Event.C (a, _, _) when Action.is_base a -> Some i
+                    | _ -> None)
+                  pairs
+              in
+              {
+                expected = exp;
+                events = List.length events;
+                ok = true;
+                reduced = Some witness;
+                output;
+                first_completion;
+                detail = "x-able";
+              }
+          | None ->
+              {
+                expected = exp;
+                events = List.length events;
+                ok = false;
+                reduced = None;
+                output = None;
+                first_completion = None;
+                detail =
+                  Printf.sprintf "irreducible: %s" (History.to_string events);
+              })
+      expected
+  in
+  (* Remaining groups were not expected at all. *)
+  let unexpected =
+    Hashtbl.fold (fun key _ acc -> Hashtbl.find group_id key :: acc) groups_tbl []
+  in
+  (* Order discipline: request i's first completion precedes request i+1's
+     first start. *)
+  let first_start exp =
+    List.find_map
+      (fun (i, e) ->
+        let base = Action.base (Event.action e) in
+        if
+          Action.equal_name base exp.action
+          && Value.equal (logical_of base (Event.input e)) exp.logical
+          && Event.is_start e
+        then Some i
+        else None)
+      indexed
+  in
+  let rec order_violations = function
+    | g1 :: (g2 :: _ as rest) ->
+        let v =
+          match (g1.first_completion, first_start g2.expected) with
+          | Some c1, Some s2 when c1 >= s2 ->
+              [
+                Printf.sprintf
+                  "request %s settled at %d, after request %s started at %d"
+                  g1.expected.action c1 g2.expected.action s2;
+              ]
+          | _ -> []
+        in
+        v @ order_violations rest
+    | _ -> []
+  in
+  let order_viols = if check_order then order_violations groups else [] in
+  let violations =
+    List.filter_map
+      (fun (g : group_result) ->
+        if g.ok then None
+        else Some (Printf.sprintf "%s: %s" g.expected.action g.detail))
+      groups
+    @ List.map
+        (fun (a, v) ->
+          Printf.sprintf "unexpected action group %s on %s" a
+            (Value.to_string v))
+        unexpected
+    @ order_viols
+  in
+  {
+    ok = violations = [];
+    groups;
+    unexpected;
+    order_ok = order_viols = [];
+    violations;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "x-able: %b@," r.ok;
+  List.iter
+    (fun g ->
+      Format.fprintf ppf "  %-16s events=%-3d ok=%b %s@," g.expected.action
+        g.events g.ok g.detail)
+    r.groups;
+  List.iter (fun v -> Format.fprintf ppf "  violation: %s@," v) r.violations

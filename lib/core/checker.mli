@@ -1,0 +1,72 @@
+(** Service-level x-ability checker for multi-request histories.
+
+    Requirement R3 (paper section 4) demands that the server-side history
+    produced for a request sequence [R1 ... Rn] be reducible to a
+    failure-free execution of the sequence.  Reduction rules never relate
+    events of different action instances, so the check decomposes: group
+    the history's events by {e logical action} (one group per request),
+    reduce each group with the faithful engine, and verify that each group
+    reaches its failure-free form and that the groups' effects settle in
+    request order.
+
+    Grouping uses a caller-supplied [logical_of] projection because
+    retry rounds are encoded inside input values (a cancellation issued
+    for round [n] must not cancel round [n+1]'s execution — paper
+    section 5.4); for undoable actions the per-round instances of one
+    request belong to one logical group.
+
+    The per-group goal for an undoable action accepts a failure-free
+    history of {e some} round's instance — exactly one round must survive
+    reduction, executed and committed exactly once. *)
+
+type expected = {
+  action : Action.name;  (** base action name *)
+  kind : Action.kind;
+  logical : Value.t;  (** logical identity of the request *)
+}
+
+type group_result = {
+  expected : expected;
+  events : int;  (** number of history events in this group *)
+  ok : bool;
+  reduced : History.t option;  (** witness failure-free history *)
+  output : Value.t option;  (** output of the surviving execution *)
+  first_completion : int option;  (** history index where the effect settled *)
+  detail : string;
+}
+
+type report = {
+  ok : bool;
+  groups : group_result list;
+  unexpected : (Action.name * Value.t) list;
+      (** logical groups in the history that match no expected request *)
+  order_ok : bool;
+  violations : string list;
+}
+
+type engine =
+  [ `Search  (** the faithful reduction search only (exponential) *)
+  | `Fast  (** the linear {!Analyzer} only (protocol-shaped histories) *)
+  | `Hybrid  (** fast path first, search on rejection (default) *) ]
+
+val check :
+  kinds:Reduction.kinds ->
+  logical_of:(Action.name -> Value.t -> Value.t) ->
+  ?round_of:(Value.t -> int option) ->
+  ?engine:engine ->
+  ?check_order:bool ->
+  expected:expected list ->
+  History.t ->
+  report
+(** [check_order] (default true) additionally verifies that request [i]'s
+    first successful completion precedes request [i+1]'s first start —
+    the order a sequential client must induce.
+
+    [round_of] extracts the retry round from an undoable event's input
+    value (e.g. {!Xsm.Request.round_of_env_iv}); without it the fast
+    engine cannot handle undoable groups and the hybrid falls back to the
+    search.  When a group is accepted by the fast engine, the witness in
+    [reduced] is the synthesized failure-free history (same shape, the
+    logical input standing in for the round-tagged one). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,17 @@
+type t = S of Action.name * Value.t | C of Action.name * Value.t * Value.t
+[@@deriving show, eq, ord]
+
+let s a iv = S (a, iv)
+let c a ~iv ~ov = C (a, iv, ov)
+
+let action = function S (a, _) -> a | C (a, _, _) -> a
+let input = function S (_, iv) -> iv | C (_, iv, _) -> iv
+let output = function S _ -> None | C (_, _, ov) -> Some ov
+let is_start = function S _ -> true | C _ -> false
+let is_completion = function S _ -> false | C _ -> true
+
+let pp_compact ppf = function
+  | S (a, iv) -> Format.fprintf ppf "S(%s,%a)" a Value.pp_compact iv
+  | C (a, iv, ov) ->
+      Format.fprintf ppf "C(%s,%a)=%a" a Value.pp_compact iv Value.pp_compact
+        ov

@@ -1,0 +1,31 @@
+(** Events (paper section 2.2).
+
+    [S (a, iv)] marks the start of executing action [a] on input [iv]: the
+    side-effect {e may} have happened.  [C (a, ov)] marks successful
+    completion with output [ov]: the side-effect {e has} happened.
+
+    Event histories in this code base additionally need to pair each
+    completion with the start it belongs to (the paper leaves this implicit
+    because it reasons about one attempt at a time); completions therefore
+    carry the input value of their attempt as well. *)
+
+type t =
+  | S of Action.name * Value.t  (** start: action name, input value *)
+  | C of Action.name * Value.t * Value.t
+      (** completion: action name, input value of the attempt, output *)
+[@@deriving show, eq, ord]
+
+val s : Action.name -> Value.t -> t
+val c : Action.name -> iv:Value.t -> ov:Value.t -> t
+
+val action : t -> Action.name
+val input : t -> Value.t
+
+val output : t -> Value.t option
+(** [Some ov] for completions, [None] for starts. *)
+
+val is_start : t -> bool
+val is_completion : t -> bool
+
+val pp_compact : Format.formatter -> t -> unit
+(** e.g. [S(book,(1,"NYC"))] or [C(book,(1,"NYC"))=42]. *)

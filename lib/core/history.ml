@@ -1,0 +1,53 @@
+type t = Event.t list [@@deriving show, eq, ord]
+
+let empty = []
+let concat = ( @ )
+let concat_all = List.concat
+
+let mem a iv h =
+  List.exists
+    (function
+      | Event.S (a', iv') -> Action.equal_name a a' && Value.equal iv iv'
+      | Event.C _ -> false)
+    h
+
+let length = List.length
+let events_of h ~f = List.filter f h
+
+let project h ~action ~input =
+  List.filter
+    (fun e ->
+      Action.equal_name (Event.action e) action
+      && Value.equal (Event.input e) input)
+    h
+
+let actions h =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (function
+      | Event.S (a, iv) ->
+          let key = (a, Value.to_string iv) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.replace seen key ();
+            Some (a, iv)
+          end
+      | Event.C _ -> None)
+    h
+
+let split_at h n =
+  let rec go acc i = function
+    | rest when i = n -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | e :: rest -> go (e :: acc) (i + 1) rest
+  in
+  go [] 0 h
+
+let pp_compact ppf h =
+  Format.fprintf ppf "@[<hov 1>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+       Event.pp_compact)
+    h
+
+let to_string h = Format.asprintf "%a" pp_compact h

@@ -1,0 +1,34 @@
+(** Histories: totally ordered event sequences (paper section 2.3). *)
+
+type t = Event.t list [@@deriving show, eq, ord]
+
+val empty : t
+(** The paper's Λ. *)
+
+val concat : t -> t -> t
+(** The paper's [h1 • h2]. *)
+
+val concat_all : t list -> t
+
+val mem : Action.name -> Value.t -> t -> bool
+(** The paper's [(a, iv) ∈ h]: does [h] contain a start event of [a] on
+    input [iv]?  (Definition in section 2.3 considers start events only.) *)
+
+val length : t -> int
+
+val events_of : t -> f:(Event.t -> bool) -> t
+(** Subsequence of events satisfying [f], order preserved. *)
+
+val project : t -> action:Action.name -> input:Value.t -> t
+(** Events of the given action-instance (both starts and completions whose
+    attempt input matches). *)
+
+val actions : t -> (Action.name * Value.t) list
+(** Distinct (action, input) instances, in first-occurrence order, from
+    start events. *)
+
+val split_at : t -> int -> t * t
+
+val pp_compact : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,106 @@
+type simple =
+  | Complete of Action.name * Value.t * Value.t
+  | Maybe of Action.name * Value.t * Value.t
+[@@deriving show, eq]
+
+type t = Simple of simple | Interleaved of simple * History.t * simple
+[@@deriving show, eq]
+
+let first = function [] -> [] | e :: _ -> [ e ]
+
+let second = function
+  | [] -> []
+  | [ e ] -> [ e ]
+  | [ _; e2 ] -> [ e2 ]
+  | _ -> []
+
+let start_matches a iv = function
+  | Event.S (a', iv') -> Action.equal_name a a' && Value.equal iv iv'
+  | Event.C _ -> false
+
+let completion_matches a iv ov = function
+  | Event.C (a', iv', ov') ->
+      Action.equal_name a a' && Value.equal iv iv' && Value.equal ov ov'
+  | Event.S _ -> false
+
+let matches_simple h sp =
+  match (h, sp) with
+  | [ s; c ], Complete (a, iv, ov) ->
+      start_matches a iv s && completion_matches a iv ov c
+  | _, Complete _ -> false
+  | [], Maybe _ -> true
+  | [ s ], Maybe (a, iv, _) -> start_matches a iv s
+  | [ s; c ], Maybe (a, iv, ov) ->
+      start_matches a iv s && completion_matches a iv ov c
+  | _, Maybe _ -> false
+
+(* All index tuples of [arr] whose event subsequence matches [sp]. *)
+let candidates arr sp =
+  let n = Array.length arr in
+  let starts a iv =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if start_matches a iv arr.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  let completions a iv ov =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if completion_matches a iv ov arr.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  let pairs a iv ov =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j -> if j > i then Some [ i; j ] else None)
+          (completions a iv ov))
+      (starts a iv)
+  in
+  match sp with
+  | Complete (a, iv, ov) -> pairs a iv ov
+  | Maybe (a, iv, ov) ->
+      ([] :: List.map (fun i -> [ i ]) (starts a iv)) @ pairs a iv ov
+
+type decomposition = { part1 : int list; part2 : int list; leftover : int list }
+
+let disjoint xs ys = not (List.exists (fun x -> List.mem x ys) xs)
+
+let decompositions h sp1 sp2 =
+  let arr = Array.of_list h in
+  let n = Array.length arr in
+  let boundary_first = function [] -> true | i :: _ -> i = 0 in
+  let boundary_last ixs =
+    match List.rev ixs with [] -> true | j :: _ -> j = n - 1
+  in
+  let all_indices = List.init n Fun.id in
+  List.concat_map
+    (fun part1 ->
+      List.filter_map
+        (fun part2 ->
+          if
+            disjoint part1 part2
+            && boundary_first part1
+            && boundary_last part2
+          then
+            let leftover =
+              List.filter
+                (fun i -> not (List.mem i part1 || List.mem i part2))
+                all_indices
+            in
+            Some { part1; part2; leftover }
+          else None)
+        (candidates arr sp2))
+    (candidates arr sp1)
+
+let matches h p =
+  match p with
+  | Simple sp -> matches_simple h sp
+  | Interleaved (sp1, h', sp2) ->
+      let arr = Array.of_list h in
+      List.exists
+        (fun d ->
+          History.equal (List.map (fun i -> arr.(i)) d.leftover) h')
+        (decompositions h sp1 sp2)

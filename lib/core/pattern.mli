@@ -1,0 +1,56 @@
+(** History patterns and the matching relation [⊨] (paper section 2.4,
+    Figures 1–3).
+
+    A {e simple} pattern matches single-action histories:
+    - [Complete (a, iv, ov)] is the paper's [[a,iv,ov]]: a failure-free
+      execution, i.e. exactly the history [S(a,iv) C(a,ov)];
+    - [Maybe (a, iv, ov)] is the paper's [?[a,iv,ov]]: an execution that may
+      have failed — the empty history, a start event alone, or a complete
+      pair.
+
+    The composite pattern [sp1 ‖h sp2] matches a history that interleaves a
+    history matching [sp1], a history matching [sp2], and an arbitrary
+    leftover [h], subject to the boundary constraints of rules (9)–(11):
+    the first event of the [sp1]-part is the first event of the whole
+    history, and the last event of the [sp2]-part is the last event of the
+    whole history.
+
+    Interpretation note: rules (10) and (11) are stated for two-event
+    sub-histories; for zero- and one-event sub-histories we take the
+    natural generalisation — the boundary constraints apply whenever the
+    corresponding part is non-empty, and the leftover may interleave freely
+    in between.  This coincides with rules (9)–(11) on all cases the rules
+    define and is what the reduction rules of Figure 4 rely on. *)
+
+type simple =
+  | Complete of Action.name * Value.t * Value.t
+  | Maybe of Action.name * Value.t * Value.t
+[@@deriving show, eq]
+
+type t = Simple of simple | Interleaved of simple * History.t * simple
+[@@deriving show, eq]
+
+val first : History.t -> History.t
+(** Figure 3: first element as a (≤1-event) history; Λ for Λ. *)
+
+val second : History.t -> History.t
+(** Figure 3: second element of a 2-event history, the sole element of a
+    1-event history, Λ otherwise. *)
+
+val matches_simple : History.t -> simple -> bool
+(** Rules (5)–(8). *)
+
+val matches : History.t -> t -> bool
+(** The full relation [⊨].  For [Interleaved (sp1, h, sp2)] the given [h]
+    must be realisable as the leftover (events equal, order preserved). *)
+
+type decomposition = {
+  part1 : int list;  (** indices of the events matching [sp1] *)
+  part2 : int list;  (** indices of the events matching [sp2] *)
+  leftover : int list;  (** everything else, in order — the [h] *)
+}
+
+val decompositions : History.t -> simple -> simple -> decomposition list
+(** All ways to realise [h ⊨ sp1 ‖h' sp2] on the given history, reported as
+    index sets.  Used by the reduction engine, which applies additional
+    side-conditions per rule. *)

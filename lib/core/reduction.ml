@@ -1,0 +1,331 @@
+type kinds = Action.name -> Action.kind option
+
+type rule = R_idempotent | R_cancel | R_commit [@@deriving show, eq]
+
+(* ------------------------------------------------------------------ *)
+(* Index utilities over the history viewed as an array.               *)
+
+let starts_of arr name iv =
+  let acc = ref [] in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Event.S (a, iv') when Action.equal_name a name && Value.equal iv iv' ->
+          acc := i :: !acc
+      | _ -> ())
+    arr;
+  List.rev !acc
+
+let completions_of arr name iv =
+  let acc = ref [] in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Event.C (a, iv', ov)
+        when Action.equal_name a name && Value.equal iv iv' ->
+          acc := (i, ov) :: !acc
+      | _ -> ())
+    arr;
+  List.rev !acc
+
+(* Distinct (name, iv) instances appearing in start events. *)
+let instances arr =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  Array.iter
+    (fun e ->
+      match e with
+      | Event.S (a, iv) ->
+          let key = (a, Value.to_string iv) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            acc := (a, iv) :: !acc
+          end
+      | Event.C _ -> ())
+    arr;
+  List.rev !acc
+
+let any_start_before arr name iv bound =
+  let found = ref false in
+  for i = 0 to bound - 1 do
+    (match arr.(i) with
+    | Event.S (a, iv') when Action.equal_name a name && Value.equal iv iv' ->
+        found := true
+    | _ -> ())
+  done;
+  !found
+
+let any_start_in_leftover arr name iv ~lo ~hi removed =
+  let found = ref false in
+  for i = lo to hi do
+    if not (List.mem i removed) then
+      match arr.(i) with
+      | Event.S (a, iv') when Action.equal_name a name && Value.equal iv iv' ->
+          found := true
+      | _ -> ()
+  done;
+  !found
+
+(* Rebuild a history: drop indices in [removed]; if [insert_pair] is
+   [Some (pos, events)], splice [events] immediately after index [pos]
+   (this realises the canonical placement of the kept pair at the end of
+   the matched region, as in the right-hand sides of rules 18 and 20). *)
+let rebuild arr removed insert_pair =
+  let n = Array.length arr in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    (match insert_pair with
+    | Some (pos, events) when pos = i -> out := events @ !out
+    | _ -> ());
+    if not (List.mem i removed) then out := arr.(i) :: !out
+  done;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Rule 18: idempotent absorption.  Applies to idempotent base actions
+   and to cancellation actions.  The earlier possibly-failed attempt E1
+   (start alone, or start+completion with the same output) is removed; the
+   surviving success pair is re-emitted at the end of the region. *)
+
+let rule18_for arr name iv =
+  let starts = starts_of arr name iv in
+  let comps = completions_of arr name iv in
+  let results = ref [] in
+  List.iter
+    (fun is2 ->
+      List.iter
+        (fun (jc2, ov) ->
+          if jc2 > is2 then
+            (* E2 = success pair (is2, jc2).  Enumerate E1. *)
+            List.iter
+              (fun i1 ->
+                if i1 <> is2 && i1 < is2 && i1 < jc2 then begin
+                  (* E1 as a lone start: i1 must be region-min, jc2 max. *)
+                  let removed = [ i1 ] in
+                  results :=
+                    rebuild arr (is2 :: jc2 :: removed)
+                      (Some (jc2, [ Event.S (name, iv); Event.C (name, iv, ov) ]))
+                    :: !results;
+                  (* E1 as a completed attempt with equal output. *)
+                  List.iter
+                    (fun (ic1, ov1) ->
+                      if
+                        ic1 > i1 && ic1 <> is2 && ic1 <> jc2 && ic1 < jc2
+                        && Value.equal ov1 ov
+                      then
+                        results :=
+                          rebuild arr [ i1; ic1; is2; jc2 ]
+                            (Some
+                               ( jc2,
+                                 [ Event.S (name, iv); Event.C (name, iv, ov) ]
+                               ))
+                          :: !results)
+                    comps
+                end)
+              starts)
+        comps)
+    starts;
+  !results
+
+(* ------------------------------------------------------------------ *)
+(* Rule 19: cancellation erasure for an undoable action [name] on [iv].
+   E1 ranges over attempts of the action, E2 is a complete cancellation
+   pair whose completion closes the region. *)
+
+let rule19_for arr name iv =
+  let cancel = Action.cancel_name name in
+  let commit = Action.commit_name name in
+  let a_starts = starts_of arr name iv in
+  let a_comps = completions_of arr name iv in
+  let c_starts = starts_of arr cancel iv in
+  let c_comps = completions_of arr cancel iv in
+  let results = ref [] in
+  let leftover_ok ~lo ~hi removed =
+    not (any_start_in_leftover arr commit iv ~lo ~hi removed)
+  in
+  List.iter
+    (fun is2 ->
+      List.iter
+        (fun (jc2, ov) ->
+          if jc2 > is2 && Value.equal ov Value.nil then begin
+            (* E1 = Λ: the pair cancelled nothing — only legal when no
+               events of the action occur to its left. *)
+            if not (any_start_before arr name iv jc2) then begin
+              let removed = [ is2; jc2 ] in
+              if leftover_ok ~lo:is2 ~hi:jc2 removed then
+                results := rebuild arr removed None :: !results
+            end;
+            (* E1 = lone start i1. *)
+            List.iter
+              (fun i1 ->
+                if i1 < is2 && not (any_start_before arr name iv i1) then begin
+                  let removed = [ i1; is2; jc2 ] in
+                  if leftover_ok ~lo:i1 ~hi:jc2 removed then
+                    results := rebuild arr removed None :: !results
+                end)
+              a_starts;
+            (* E1 = completed attempt (i1, ic1), any output. *)
+            List.iter
+              (fun i1 ->
+                List.iter
+                  (fun (ic1, _ov1) ->
+                    if
+                      i1 < is2 && ic1 > i1 && ic1 < jc2 && ic1 <> is2
+                      && not (any_start_before arr name iv i1)
+                    then begin
+                      let removed = [ i1; ic1; is2; jc2 ] in
+                      if leftover_ok ~lo:i1 ~hi:jc2 removed then
+                        results := rebuild arr removed None :: !results
+                    end)
+                  a_comps)
+              a_starts
+          end)
+        c_comps)
+    c_starts;
+  !results
+
+(* ------------------------------------------------------------------ *)
+(* Rule 20: commit deduplication.  Like rule 18 for the commit action,
+   with the side-condition that the committed action does not overlap the
+   region's leftover. *)
+
+let rule20_for arr name iv =
+  let commit = Action.commit_name name in
+  let m_starts = starts_of arr commit iv in
+  let m_comps = completions_of arr commit iv in
+  let results = ref [] in
+  List.iter
+    (fun is2 ->
+      List.iter
+        (fun (jc2, ov) ->
+          if jc2 > is2 && Value.equal ov Value.nil then
+            List.iter
+              (fun i1 ->
+                if i1 < is2 then begin
+                  (* E1 = lone start. *)
+                  let removed = [ i1; is2; jc2 ] in
+                  if
+                    not
+                      (any_start_in_leftover arr name iv ~lo:i1 ~hi:jc2 removed)
+                  then
+                    results :=
+                      rebuild arr removed
+                        (Some
+                           ( jc2,
+                             [
+                               Event.S (commit, iv);
+                               Event.C (commit, iv, Value.nil);
+                             ] ))
+                      :: !results;
+                  (* E1 = completed commit pair. *)
+                  List.iter
+                    (fun (ic1, ov1) ->
+                      if
+                        ic1 > i1 && ic1 < jc2 && ic1 <> is2
+                        && Value.equal ov1 Value.nil
+                      then begin
+                        let removed = [ i1; ic1; is2; jc2 ] in
+                        if
+                          not
+                            (any_start_in_leftover arr name iv ~lo:i1 ~hi:jc2
+                               removed)
+                        then
+                          results :=
+                            rebuild arr removed
+                              (Some
+                                 ( jc2,
+                                   [
+                                     Event.S (commit, iv);
+                                     Event.C (commit, iv, Value.nil);
+                                   ] ))
+                            :: !results
+                      end)
+                    m_comps
+                end)
+              m_starts)
+        m_comps)
+    m_starts;
+  !results
+
+(* ------------------------------------------------------------------ *)
+
+let step ~kinds h =
+  let arr = Array.of_list h in
+  let out = ref [] in
+  let add rule hs = List.iter (fun h' -> out := (rule, h') :: !out) hs in
+  List.iter
+    (fun (name, iv) ->
+      let base, variant = Action.split name in
+      match (variant, kinds base) with
+      | Action.Exec, Some Action.Idempotent ->
+          add R_idempotent (rule18_for arr name iv)
+      | Action.Exec, Some Action.Undoable ->
+          add R_cancel (rule19_for arr base iv);
+          add R_commit (rule20_for arr base iv)
+      | Action.Cancel, Some Action.Undoable ->
+          (* Cancellations are idempotent (rule 18) and also close rule-19
+             regions; the latter is generated from the base instance above
+             when the base action appears.  When only cancel events exist
+             (the Λ case of rule 19), generate from here as well. *)
+          add R_idempotent (rule18_for arr name iv);
+          add R_cancel (rule19_for arr base iv)
+      | Action.Commit, Some Action.Undoable ->
+          add R_commit (rule20_for arr base iv)
+      | _ -> ())
+    (instances arr);
+  (* Deduplicate successors. *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (_, h') ->
+      let key = History.to_string h' in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    (List.rev !out)
+
+let reduces_to ~kinds ?(max_visited = 200_000) h ~goal =
+  let visited = Hashtbl.create 256 in
+  let budget = ref max_visited in
+  let exception Found of History.t in
+  let rec dfs h =
+    if !budget <= 0 then ()
+    else begin
+      let key = History.to_string h in
+      if not (Hashtbl.mem visited key) then begin
+        Hashtbl.replace visited key ();
+        decr budget;
+        if goal h then raise (Found h);
+        List.iter (fun (_, h') -> dfs h') (step ~kinds h)
+      end
+    end
+  in
+  try
+    dfs h;
+    None
+  with Found w -> Some w
+
+let normal_forms ~kinds ?(max_visited = 200_000) h =
+  let visited = Hashtbl.create 256 in
+  let normals = Hashtbl.create 16 in
+  let budget = ref max_visited in
+  let rec dfs h =
+    if !budget > 0 then begin
+      let key = History.to_string h in
+      if not (Hashtbl.mem visited key) then begin
+        Hashtbl.replace visited key ();
+        decr budget;
+        match step ~kinds h with
+        | [] -> Hashtbl.replace normals key h
+        | succs -> List.iter (fun (_, h') -> dfs h') succs
+      end
+    end
+  in
+  dfs h;
+  Hashtbl.fold (fun _ h acc -> h :: acc) normals []
+
+let rec reduce_greedy ~kinds h =
+  match step ~kinds h with
+  | [] -> h
+  | (_, h') :: _ -> reduce_greedy ~kinds h'

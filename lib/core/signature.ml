@@ -1,0 +1,33 @@
+let admits ~kinds ~action ~iv ~ov h =
+  match kinds (Action.base action) with
+  | None -> false
+  | Some kind ->
+      let target = Xable.eventsof kind action ~iv ~ov in
+      Option.is_some
+        (Reduction.reduces_to ~kinds h ~goal:(fun h' -> History.equal h' target))
+
+let signatures ~kinds h =
+  (* Candidates: base-action instances from start events; outputs from the
+     completions of the same instance. *)
+  let candidates =
+    List.filter (fun (a, _) -> Action.is_base a) (History.actions h)
+  in
+  List.concat_map
+    (fun (a, iv) ->
+      let ovs =
+        List.filter_map
+          (fun e ->
+            match e with
+            | Event.C (a', iv', ov)
+              when Action.equal_name a a' && Value.equal iv iv' ->
+                Some ov
+            | _ -> None)
+          h
+      in
+      let ovs =
+        List.sort_uniq Value.compare ovs
+      in
+      List.filter_map
+        (fun ov -> if admits ~kinds ~action:a ~iv ~ov h then Some (a, iv, ov) else None)
+        ovs)
+    candidates

@@ -1,0 +1,23 @@
+(** History signatures (paper section 3.3, rules 24–25).
+
+    A signature [(a, iv, ov)] of a server-side history [h] records a
+    request/result pair that is legal relative to [h]: the history reduces
+    to a failure-free execution of [a] on [iv] producing [ov].  Because of
+    non-determinism and retries, a history can admit several signatures
+    (though with environments that fix an action's output on first
+    completion, the output component is unique). *)
+
+val signatures :
+  kinds:Reduction.kinds -> History.t -> (Action.name * Value.t * Value.t) list
+(** All [(a, iv, ov)] in [signature h].  Candidate actions and outputs are
+    drawn from the events of [h] itself. *)
+
+val admits :
+  kinds:Reduction.kinds ->
+  action:Action.name ->
+  iv:Value.t ->
+  ov:Value.t ->
+  History.t ->
+  bool
+(** Is [(action, iv, ov)] a signature of the history?  The action's kind is
+    taken from [kinds] on the base name. *)

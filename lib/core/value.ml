@@ -1,0 +1,39 @@
+type t =
+  | Nil
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+[@@deriving show, eq, ord]
+
+let nil = Nil
+let unit = Unit
+let bool b = Bool b
+let int i = Int i
+let str s = Str s
+let pair a b = Pair (a, b)
+let list xs = List xs
+
+let rec pp_compact ppf = function
+  | Nil -> Format.pp_print_string ppf "nil"
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Str s -> Format.fprintf ppf "%S" s
+  | Pair (a, b) -> Format.fprintf ppf "(%a,%a)" pp_compact a pp_compact b
+  | List xs ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+           pp_compact)
+        xs
+
+let to_string t = Format.asprintf "%a" pp_compact t
+
+let as_int = function Int i -> Some i | _ -> None
+let as_str = function Str s -> Some s | _ -> None
+let as_pair = function Pair (a, b) -> Some (a, b) | _ -> None
+let as_bool = function Bool b -> Some b | _ -> None
+let as_list = function List xs -> Some xs | _ -> None

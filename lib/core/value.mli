@@ -1,0 +1,39 @@
+(** The universal value domain [Value] of the paper (section 2.1).
+
+    Requests carry input values, actions produce output values, and
+    cancellation/commit actions return the distinguished value {!nil}.
+    The domain is a small structured universe, rich enough to encode the
+    request identifiers, round numbers, and application payloads the
+    protocol needs, while staying comparable and printable so values can
+    key consensus instances and appear in histories. *)
+
+type t =
+  | Nil  (** the paper's [nil], returned by cancel/commit actions *)
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+[@@deriving show, eq, ord]
+
+val nil : t
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val str : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+
+val to_string : t -> string
+(** Compact human-readable rendering (also used as a stable map key). *)
+
+val pp_compact : Format.formatter -> t -> unit
+
+(** Partial projections; [None] on shape mismatch. *)
+
+val as_int : t -> int option
+val as_str : t -> string option
+val as_pair : t -> (t * t) option
+val as_bool : t -> bool option
+val as_list : t -> t list option

@@ -1,0 +1,44 @@
+let eventsof_idempotent a ~iv ~ov = [ Event.S (a, iv); Event.C (a, iv, ov) ]
+
+let eventsof_undoable a ~iv ~ov =
+  let ac = Action.commit_name a in
+  [
+    Event.S (a, iv);
+    Event.C (a, iv, ov);
+    Event.S (ac, iv);
+    Event.C (ac, iv, Value.nil);
+  ]
+
+let eventsof kind a ~iv ~ov =
+  match kind with
+  | Action.Idempotent -> eventsof_idempotent a ~iv ~ov
+  | Action.Undoable -> eventsof_undoable a ~iv ~ov
+
+let failure_free kind a ~iv h =
+  match (kind, h) with
+  | Action.Idempotent, [ Event.S (a1, iv1); Event.C (a2, iv2, _ov) ] ->
+      Action.equal_name a1 a && Action.equal_name a2 a && Value.equal iv1 iv
+      && Value.equal iv2 iv
+  | ( Action.Undoable,
+      [
+        Event.S (a1, iv1);
+        Event.C (a2, iv2, _ov);
+        Event.S (c1, iv3);
+        Event.C (c2, iv4, nil);
+      ] ) ->
+      let ac = Action.commit_name a in
+      Action.equal_name a1 a && Action.equal_name a2 a
+      && Action.equal_name c1 ac && Action.equal_name c2 ac
+      && Value.equal iv1 iv && Value.equal iv2 iv && Value.equal iv3 iv
+      && Value.equal iv4 iv && Value.equal nil Value.nil
+  | _ -> false
+
+let output_of_failure_free h =
+  List.find_map (fun e -> Event.output e) h
+
+let x_able_witness ~kinds ~kind ~action ~iv h =
+  Reduction.reduces_to ~kinds h ~goal:(fun h' ->
+      failure_free kind action ~iv h')
+
+let x_able ~kinds ~kind ~action ~iv h =
+  Option.is_some (x_able_witness ~kinds ~kind ~action ~iv h)

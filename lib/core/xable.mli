@@ -1,0 +1,43 @@
+(** Failure-free histories and the x-able predicate (paper section 3.2).
+
+    A failure-free history for an action is what one successful execution
+    would produce: for an idempotent action, [S C]; for an undoable action,
+    the execution pair followed by the commit pair (rules 21–22).  A
+    history is x-able for [(a, iv)] when it reduces, under {!Reduction},
+    to some failure-free history of [(a, iv)]. *)
+
+val eventsof_idempotent : Action.name -> iv:Value.t -> ov:Value.t -> History.t
+(** Rule 22: [S(ai,iv) C(ai,ov)]. *)
+
+val eventsof_undoable : Action.name -> iv:Value.t -> ov:Value.t -> History.t
+(** Rule 21: [S(au,iv) C(au,ov) S(ac,iv) C(ac,nil)]. *)
+
+val eventsof :
+  Action.kind -> Action.name -> iv:Value.t -> ov:Value.t -> History.t
+
+val failure_free :
+  Action.kind -> Action.name -> iv:Value.t -> History.t -> bool
+(** Membership in [FailureFree(a,iv)] — i.e. the history equals
+    [eventsof kind a ~iv ~ov] for some output value [ov]. *)
+
+val output_of_failure_free : History.t -> Value.t option
+(** The output value carried by a failure-free history (its first
+    completion event). *)
+
+val x_able :
+  kinds:Reduction.kinds ->
+  kind:Action.kind ->
+  action:Action.name ->
+  iv:Value.t ->
+  History.t ->
+  bool
+(** The predicate x-able{_(a,iv)} of rule 23. *)
+
+val x_able_witness :
+  kinds:Reduction.kinds ->
+  kind:Action.kind ->
+  action:Action.name ->
+  iv:Value.t ->
+  History.t ->
+  History.t option
+(** Like {!x_able} but returns the failure-free history reached. *)

@@ -1,0 +1,61 @@
+module Tbl = Hashtbl.Make (struct
+  type t = Xnet.Address.t * Xnet.Address.t
+
+  let equal (a1, b1) (a2, b2) =
+    Xnet.Address.equal a1 a2 && Xnet.Address.equal b1 b2
+
+  let hash (a, b) = Hashtbl.hash (Xnet.Address.hash a, Xnet.Address.hash b)
+end)
+
+module Obs_tbl = Hashtbl.Make (struct
+  type t = Xnet.Address.t
+
+  let equal = Xnet.Address.equal
+  let hash = Xnet.Address.hash
+end)
+
+type t = {
+  cells : bool Tbl.t;
+  subscribers : (Xnet.Address.t -> unit) list ref Obs_tbl.t;
+  watchers : (unit -> bool) list ref Tbl.t;
+}
+
+let create () =
+  {
+    cells = Tbl.create 32;
+    subscribers = Obs_tbl.create 8;
+    watchers = Tbl.create 32;
+  }
+
+let get t ~observer ~target =
+  match Tbl.find_opt t.cells (observer, target) with
+  | Some b -> b
+  | None -> false
+
+let fire_onset t ~observer ~target =
+  (match Obs_tbl.find_opt t.subscribers observer with
+  | Some subs -> List.iter (fun f -> f target) (List.rev !subs)
+  | None -> ());
+  match Tbl.find_opt t.watchers (observer, target) with
+  | Some ws ->
+      let pending = List.rev !ws in
+      ws := [];
+      List.iter (fun w -> ignore (w ())) pending
+  | None -> ()
+
+let set t ~observer ~target value =
+  let before = get t ~observer ~target in
+  Tbl.replace t.cells (observer, target) value;
+  if value && not before then fire_onset t ~observer ~target
+
+let subscribe t ~observer f =
+  match Obs_tbl.find_opt t.subscribers observer with
+  | Some subs -> subs := f :: !subs
+  | None -> Obs_tbl.replace t.subscribers observer (ref [ f ])
+
+let watch t ~observer ~target sink =
+  if get t ~observer ~target then ignore (sink ())
+  else
+    match Tbl.find_opt t.watchers (observer, target) with
+    | Some ws -> ws := sink :: !ws
+    | None -> Tbl.replace t.watchers (observer, target) (ref [ sink ])

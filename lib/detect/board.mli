@@ -1,0 +1,25 @@
+(** Suspicion board: the mutable state shared by detector implementations.
+
+    Cell [(observer, target)] holds whether [observer] currently suspects
+    [target].  Implementations ([Oracle], [Heartbeat]) write cells; the
+    {!Detector} facade reads them.  Subscribers are notified on suspicion
+    onset (false -> true transitions) only — that is the event the paper's
+    protocol reacts to. *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> observer:Xnet.Address.t -> target:Xnet.Address.t -> bool
+
+val set : t -> observer:Xnet.Address.t -> target:Xnet.Address.t -> bool -> unit
+(** Fires onset subscribers and watchers when flipping false -> true. *)
+
+val subscribe : t -> observer:Xnet.Address.t -> (Xnet.Address.t -> unit) -> unit
+(** Persistent subscription: called with the target on every onset observed
+    by [observer]. *)
+
+val watch :
+  t -> observer:Xnet.Address.t -> target:Xnet.Address.t -> (unit -> bool) -> unit
+(** One-shot sink: fired once when (or immediately if) [observer] suspects
+    [target].  The sink's result is ignored (resumer-compatible type). *)

@@ -1,0 +1,7 @@
+type t = Board.t
+
+let of_board b = b
+let suspects t ~observer ~target = Board.get t ~observer ~target
+let on_suspicion t ~observer f = Board.subscribe t ~observer f
+let watch t ~observer ~target sink = Board.watch t ~observer ~target sink
+let never = Board.create ()

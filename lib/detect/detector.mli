@@ -1,0 +1,26 @@
+(** Failure-detector facade used by clients and replicas.
+
+    This is the [suspect()] predicate of the paper (sections 5.2-5.3),
+    extended with event subscription so fibers can block on suspicion
+    instead of polling.  A detector instance is produced either by the
+    test {!Oracle} or by the heartbeat-based eventually-perfect
+    implementation {!Heartbeat}. *)
+
+type t
+
+val of_board : Board.t -> t
+
+val suspects : t -> observer:Xnet.Address.t -> target:Xnet.Address.t -> bool
+(** The paper's [suspect(target)] as evaluated at [observer], now. *)
+
+val on_suspicion : t -> observer:Xnet.Address.t -> (Xnet.Address.t -> unit) -> unit
+(** Persistent: the callback fires on every suspicion onset at [observer]. *)
+
+val watch :
+  t -> observer:Xnet.Address.t -> target:Xnet.Address.t -> (unit -> bool) -> unit
+(** One-shot racing sink, fired when (or immediately if) [observer]
+    suspects [target].  Compose with [Ivar.try_fill] to implement the
+    paper's "await (receive ... or suspect(...))". *)
+
+val never : t
+(** A detector that never suspects anyone (for failure-free scenarios). *)

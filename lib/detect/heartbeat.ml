@@ -1,0 +1,119 @@
+module Pair_tbl = Hashtbl.Make (struct
+  type t = Xnet.Address.t * Xnet.Address.t
+
+  let equal (a1, b1) (a2, b2) =
+    Xnet.Address.equal a1 a2 && Xnet.Address.equal b1 b2
+
+  let hash (a, b) = Hashtbl.hash (Xnet.Address.hash a, Xnet.Address.hash b)
+end)
+
+type link_state = { mutable last_heard : int; mutable timeout : int }
+
+type t = {
+  eng : Xsim.Engine.t;
+  board : Board.t;
+  transport : unit Xnet.Transport.t;
+  links : link_state Pair_tbl.t;  (* (observer, target) *)
+  period : int;
+  initial_timeout : int;
+  timeout_increment : int;
+  mutable false_count : int;
+  mutable suspicion_count : int;
+}
+
+let link t ~observer ~target =
+  match Pair_tbl.find_opt t.links (observer, target) with
+  | Some l -> l
+  | None ->
+      let l = { last_heard = 0; timeout = t.initial_timeout } in
+      Pair_tbl.replace t.links (observer, target) l;
+      l
+
+let sender t addr proc =
+  Xsim.Engine.spawn t.eng ~proc ~name:("hb-send:" ^ Xnet.Address.to_string addr)
+    (fun () ->
+      let rec loop () =
+        Xnet.Transport.broadcast t.transport ~src:addr ();
+        Xsim.Engine.sleep t.eng t.period;
+        loop ()
+      in
+      loop ())
+
+let monitor t addr proc targets =
+  (* Receiving fiber: refresh last-heard times, refute suspicions. *)
+  let mbox = Xnet.Transport.mailbox t.transport addr in
+  Xsim.Engine.spawn t.eng ~proc ~name:("hb-recv:" ^ Xnet.Address.to_string addr)
+    (fun () ->
+      let rec loop () =
+        let envelope = Xsim.Mailbox.take t.eng mbox in
+        let target = envelope.Xnet.Transport.src in
+        let l = link t ~observer:addr ~target in
+        l.last_heard <- Xsim.Engine.now t.eng;
+        if Board.get t.board ~observer:addr ~target then begin
+          (* False suspicion refuted: retract and adapt. *)
+          t.false_count <- t.false_count + 1;
+          l.timeout <- l.timeout + t.timeout_increment;
+          Board.set t.board ~observer:addr ~target false
+        end;
+        loop ()
+      in
+      loop ());
+  (* Checking fiber: raise suspicions on silence. *)
+  Xsim.Engine.spawn t.eng ~proc
+    ~name:("hb-check:" ^ Xnet.Address.to_string addr) (fun () ->
+      let rec loop () =
+        Xsim.Engine.sleep t.eng t.period;
+        let now = Xsim.Engine.now t.eng in
+        List.iter
+          (fun target ->
+            if not (Xnet.Address.equal target addr) then begin
+              let l = link t ~observer:addr ~target in
+              if
+                now - l.last_heard > l.timeout
+                && not (Board.get t.board ~observer:addr ~target)
+              then begin
+                t.suspicion_count <- t.suspicion_count + 1;
+                Board.set t.board ~observer:addr ~target true
+              end
+            end)
+          targets;
+        loop ()
+      in
+      loop ())
+
+let create eng ~latency ~members ?(extra_observers = []) ?(period = 50)
+    ?(initial_timeout = 150) ?(timeout_increment = 100) () =
+  let transport = Xnet.Transport.create eng ~latency () in
+  let t =
+    {
+      eng;
+      board = Board.create ();
+      transport;
+      links = Pair_tbl.create 32;
+      period;
+      initial_timeout;
+      timeout_increment;
+      false_count = 0;
+      suspicion_count = 0;
+    }
+  in
+  let member_addrs = List.map fst members in
+  List.iter
+    (fun (addr, proc) ->
+      ignore (Xnet.Transport.register transport addr ~proc))
+    (members @ extra_observers);
+  List.iter
+    (fun (addr, proc) ->
+      sender t addr proc;
+      monitor t addr proc member_addrs)
+    members;
+  List.iter
+    (fun (addr, proc) -> monitor t addr proc member_addrs)
+    extra_observers;
+  t
+
+let detector t = Detector.of_board t.board
+
+let timeout_of t ~observer ~target = (link t ~observer ~target).timeout
+let false_suspicions t = t.false_count
+let suspicions t = t.suspicion_count

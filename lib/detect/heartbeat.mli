@@ -1,0 +1,45 @@
+(** Heartbeat-based eventually-perfect failure detector (◇P).
+
+    Every monitored member periodically sends heartbeats on a dedicated
+    transport.  Every observer tracks, per target, the time it last heard a
+    heartbeat; silence beyond the target's current timeout raises a
+    suspicion.  When a heartbeat later arrives from a suspected target, the
+    suspicion is retracted and the timeout for that target is increased
+    (the classical adaptive scheme of Chandra & Toueg).
+
+    Properties under the simulator's latency models:
+    - {e strong completeness}: a crashed member stops sending, so every
+      observer's timeout eventually expires and, with no further
+      heartbeats, the suspicion is permanent;
+    - {e eventual strong accuracy}: once the latency model settles into a
+      bounded regime (see {!Xnet.Latency.Phases}), each false suspicion
+      bumps the timeout, so after finitely many mistakes the timeout
+      exceeds the delay bound and accuracy holds forever. *)
+
+type t
+
+val create :
+  Xsim.Engine.t ->
+  latency:Xnet.Latency.t ->
+  members:(Xnet.Address.t * Xsim.Proc.t) list ->
+  ?extra_observers:(Xnet.Address.t * Xsim.Proc.t) list ->
+  ?period:int ->
+  ?initial_timeout:int ->
+  ?timeout_increment:int ->
+  unit ->
+  t
+(** [members] both send and observe heartbeats; [extra_observers] (e.g. the
+    client) only observe.  [period] is the heartbeat interval;
+    [initial_timeout] the starting silence threshold; [timeout_increment]
+    the additive bump applied on each refuted suspicion. *)
+
+val detector : t -> Detector.t
+
+val timeout_of : t -> observer:Xnet.Address.t -> target:Xnet.Address.t -> int
+(** Current adaptive timeout (for experiments). *)
+
+val false_suspicions : t -> int
+(** Suspicions that were later refuted by a heartbeat. *)
+
+val suspicions : t -> int
+(** Total suspicion onsets raised so far. *)

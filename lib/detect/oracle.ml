@@ -1,0 +1,99 @@
+type noise = { probability : float; duration : int; until : int }
+
+type t = {
+  eng : Xsim.Engine.t;
+  board : Board.t;
+  observers : Xnet.Address.t list;
+  targets : (Xnet.Address.t * Xsim.Proc.t) list;
+  detection_delay : int;
+  rng : Xsim.Rng.t;
+  mutable noise : noise option;
+  mutable false_count : int;
+}
+
+let target_proc t addr =
+  List.find_opt (fun (a, _) -> Xnet.Address.equal a addr) t.targets
+  |> Option.map snd
+
+let target_alive t addr =
+  match target_proc t addr with
+  | Some p -> Xsim.Proc.alive p
+  | None -> true
+
+let apply_noise t =
+  match t.noise with
+  | None -> ()
+  | Some { probability; duration; until } ->
+      if Xsim.Engine.now t.eng > until then t.noise <- None
+      else
+        List.iter
+          (fun observer ->
+            List.iter
+              (fun (target, proc) ->
+                if
+                  Xsim.Proc.alive proc
+                  && (not (Board.get t.board ~observer ~target))
+                  && Xsim.Rng.chance t.rng probability
+                then begin
+                  t.false_count <- t.false_count + 1;
+                  Board.set t.board ~observer ~target true;
+                  Xsim.Engine.schedule t.eng ~delay:duration (fun () ->
+                      if target_alive t target then
+                        Board.set t.board ~observer ~target false)
+                end)
+              t.targets)
+          t.observers
+
+let create eng ~observers ~targets ?(detection_delay = 0) ?(poll_interval = 50)
+    () =
+  let t =
+    {
+      eng;
+      board = Board.create ();
+      observers;
+      targets;
+      detection_delay;
+      rng = Xsim.Rng.split (Xsim.Engine.rng eng);
+      noise = None;
+      false_count = 0;
+    }
+  in
+  (* Poll liveness forever; crashed targets become (and stay) suspected.
+     The poller is a raw scheduled loop, not a fiber, so it can never be
+     killed and costs one event per interval. *)
+  let already_reported = Hashtbl.create 8 in
+  let rec poll () =
+    List.iter
+      (fun (target, proc) ->
+        if (not (Xsim.Proc.alive proc)) && not (Hashtbl.mem already_reported target)
+        then begin
+          Hashtbl.replace already_reported target ();
+          Xsim.Engine.schedule eng ~delay:detection_delay (fun () ->
+              List.iter
+                (fun observer -> Board.set t.board ~observer ~target true)
+                observers)
+        end)
+      targets;
+    apply_noise t;
+    if not (Xsim.Engine.stop_requested eng) then
+      Xsim.Engine.schedule eng ~delay:poll_interval poll
+  in
+  Xsim.Engine.schedule eng ~delay:0 poll;
+  t
+
+let detector t = Detector.of_board t.board
+
+let inject_false t ~at ~observer ~target ~duration =
+  let now = Xsim.Engine.now t.eng in
+  let delay = max 0 (at - now) in
+  Xsim.Engine.schedule t.eng ~delay (fun () ->
+      t.false_count <- t.false_count + 1;
+      Board.set t.board ~observer ~target true;
+      Xsim.Engine.schedule t.eng ~delay:duration (fun () ->
+          if target_alive t target then
+            Board.set t.board ~observer ~target false))
+
+let enable_noise t ~probability ~duration ?(until = max_int) () =
+  t.noise <- Some { probability; duration; until }
+
+let false_suspicions t = t.false_count

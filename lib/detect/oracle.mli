@@ -1,0 +1,42 @@
+(** Oracle failure detector for tests and controlled experiments.
+
+    The oracle watches process liveness directly: a crashed target becomes
+    suspected by every observer after [detection_delay] ticks (strong
+    completeness by construction).  False suspicions never occur unless
+    explicitly injected — either one-off with {!inject_false}, or
+    stochastically with {!enable_noise}, which makes each observer falsely
+    suspect a random live target with a given probability per check period
+    (suspicion retracted after [duration]).  Injected noise makes the
+    detector only {e eventually} accurate, which is exactly the regime that
+    drives the paper's protocol toward active-replication behaviour. *)
+
+type t
+
+val create :
+  Xsim.Engine.t ->
+  observers:Xnet.Address.t list ->
+  targets:(Xnet.Address.t * Xsim.Proc.t) list ->
+  ?detection_delay:int ->
+  ?poll_interval:int ->
+  unit ->
+  t
+
+val detector : t -> Detector.t
+
+val inject_false :
+  t ->
+  at:int ->
+  observer:Xnet.Address.t ->
+  target:Xnet.Address.t ->
+  duration:int ->
+  unit
+(** Schedule a false suspicion window.  If the target really is dead when
+    the window closes, the suspicion persists (completeness wins). *)
+
+val enable_noise :
+  t -> probability:float -> duration:int -> ?until:int -> unit -> unit
+(** From now until [until] (default: forever), at every poll each observer
+    falsely suspects each live target with the given probability. *)
+
+val false_suspicions : t -> int
+(** Number of false-suspicion windows opened so far (for experiments). *)

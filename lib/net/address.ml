@@ -1,0 +1,20 @@
+type t = { role : string; index : int }
+
+let make ~role ~index = { role; index }
+let of_string s = { role = s; index = 0 }
+let role t = t.role
+let index t = t.index
+
+let to_string t =
+  if t.index = 0 && not (String.contains t.role '.') then
+    if String.equal t.role "" then "?" else t.role
+  else Printf.sprintf "%s.%d" t.role t.index
+
+let equal a b = a.index = b.index && String.equal a.role b.role
+
+let compare a b =
+  let c = String.compare a.role b.role in
+  if c <> 0 then c else Int.compare a.index b.index
+
+let hash t = Hashtbl.hash (t.role, t.index)
+let pp ppf t = Format.pp_print_string ppf (to_string t)

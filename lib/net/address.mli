@@ -1,0 +1,22 @@
+(** Node addresses.
+
+    An address names a simulated node (replica, client, service).  Addresses
+    are plain structured names; the transport enforces that each registered
+    address is unique. *)
+
+type t
+
+val make : role:string -> index:int -> t
+(** e.g. [make ~role:"replica" ~index:2] prints as ["replica.2"]. *)
+
+val of_string : string -> t
+(** An address with the given opaque name and index 0. *)
+
+val role : t -> string
+val index : t -> int
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type t =
+  | Constant of int
+  | Uniform of int * int
+  | Exponential of { min : int; mean : float }
+  | Phases of (int * t) list * t
+
+let rec active model ~now =
+  match model with
+  | Phases (regimes, final) ->
+      let rec pick = function
+        | [] -> active final ~now
+        | (until, m) :: rest -> if now < until then active m ~now else pick rest
+      in
+      pick regimes
+  | m -> m
+
+let rec sample model rng ~now =
+  match active model ~now with
+  | Constant d -> max 0 d
+  | Uniform (lo, hi) ->
+      let lo = max 0 lo and hi = max 0 hi in
+      if hi <= lo then lo else lo + Xsim.Rng.int rng (hi - lo + 1)
+  | Exponential { min; mean } ->
+      max 0 min + int_of_float (Xsim.Rng.exponential rng ~mean)
+  | Phases _ as p -> sample (active p ~now) rng ~now
+
+let rec lower_bound model ~now =
+  match active model ~now with
+  | Constant d -> max 0 d
+  | Uniform (lo, _) -> max 0 lo
+  | Exponential { min; _ } -> max 0 min
+  | Phases _ as p -> lower_bound (active p ~now) ~now
+
+let rec pp ppf = function
+  | Constant d -> Format.fprintf ppf "constant(%d)" d
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%d,%d)" lo hi
+  | Exponential { min; mean } -> Format.fprintf ppf "exp(min=%d,mean=%.1f)" min mean
+  | Phases (regimes, final) ->
+      Format.fprintf ppf "phases(%a; then %a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           (fun ppf (until, m) -> Format.fprintf ppf "<%d:%a" until pp m))
+        regimes pp final

@@ -1,0 +1,23 @@
+(** Message-delay models.
+
+    The model determines, per message, how long delivery takes.  The
+    [Phases] constructor builds {e eventually-synchronous} regimes: chaotic
+    delays up to some virtual time, then stable ones — exactly the setting
+    in which an eventually-perfect failure detector earns its name. *)
+
+type t =
+  | Constant of int  (** every message takes exactly this many ticks *)
+  | Uniform of int * int  (** uniform in [lo, hi] *)
+  | Exponential of { min : int; mean : float }
+      (** [min] plus an exponential tail with the given mean *)
+  | Phases of (int * t) list * t
+      (** [Phases (regimes, final)]: the first regime whose end time
+          (exclusive) is after "now" applies; after all regimes, [final]. *)
+
+val sample : t -> Xsim.Rng.t -> now:int -> int
+(** Draw a delay (always >= 0). *)
+
+val lower_bound : t -> now:int -> int
+(** Smallest delay the model can produce at the given time. *)
+
+val pp : Format.formatter -> t -> unit

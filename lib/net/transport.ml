@@ -1,0 +1,113 @@
+module Addr_tbl = Hashtbl.Make (struct
+  type t = Address.t
+
+  let equal = Address.equal
+  let hash = Address.hash
+end)
+
+module Link_tbl = Hashtbl.Make (struct
+  type t = Address.t * Address.t
+
+  let equal (a1, b1) (a2, b2) = Address.equal a1 a2 && Address.equal b1 b2
+  let hash (a, b) = Hashtbl.hash (Address.hash a, Address.hash b)
+end)
+
+type 'm envelope = { src : Address.t; dst : Address.t; payload : 'm }
+
+type node = {
+  proc : Xsim.Proc.t;
+  (* Existentially hidden mailbox is avoided by keeping nodes in a
+     per-transport table with the transport's message type. *)
+  mutable last_delivery : int;  (* for FIFO clamping *)
+}
+
+type stats = { sent : int; delivered : int; total_delay : int }
+
+type 'm t = {
+  eng : Xsim.Engine.t;
+  fifo : bool;
+  default_latency : Latency.t;
+  rng : Xsim.Rng.t;
+  nodes : node Addr_tbl.t;
+  mailboxes : 'm envelope Xsim.Mailbox.t Addr_tbl.t;
+  mutable order : Address.t list;  (* reverse registration order *)
+  link_latency : Latency.t Link_tbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable total_delay : int;
+}
+
+let create eng ?(fifo = false) ~latency () =
+  {
+    eng;
+    fifo;
+    default_latency = latency;
+    rng = Xsim.Rng.split (Xsim.Engine.rng eng);
+    nodes = Addr_tbl.create 16;
+    mailboxes = Addr_tbl.create 16;
+    order = [];
+    link_latency = Link_tbl.create 16;
+    sent = 0;
+    delivered = 0;
+    total_delay = 0;
+  }
+
+let engine t = t.eng
+
+let register t addr ~proc =
+  if Addr_tbl.mem t.nodes addr then
+    invalid_arg
+      (Printf.sprintf "Transport.register: %s already registered"
+         (Address.to_string addr));
+  let mbox =
+    Xsim.Mailbox.create ~name:("inbox:" ^ Address.to_string addr) ()
+  in
+  Addr_tbl.replace t.nodes addr { proc; last_delivery = 0 };
+  Addr_tbl.replace t.mailboxes addr mbox;
+  t.order <- addr :: t.order;
+  mbox
+
+let mailbox t addr = Addr_tbl.find t.mailboxes addr
+
+let members t = List.rev t.order
+
+let link_model t ~src ~dst =
+  match Link_tbl.find_opt t.link_latency (src, dst) with
+  | Some m -> m
+  | None -> t.default_latency
+
+let send t ~src ~dst payload =
+  let node = Addr_tbl.find t.nodes dst in
+  let mbox = Addr_tbl.find t.mailboxes dst in
+  let now = Xsim.Engine.now t.eng in
+  let delay = Latency.sample (link_model t ~src ~dst) t.rng ~now in
+  let delay =
+    if t.fifo then begin
+      (* Clamp so this message arrives no earlier than the previous one
+         bound for the same destination. *)
+      let arrival = max (now + delay) node.last_delivery in
+      node.last_delivery <- arrival;
+      arrival - now
+    end
+    else delay
+  in
+  t.sent <- t.sent + 1;
+  Xsim.Engine.schedule t.eng ~delay (fun () ->
+      t.delivered <- t.delivered + 1;
+      t.total_delay <- t.total_delay + delay;
+      Xsim.Mailbox.put mbox { src; dst; payload })
+
+let broadcast t ~src ?(include_self = false) payload =
+  List.iter
+    (fun dst ->
+      if include_self || not (Address.equal dst src) then
+        send t ~src ~dst payload)
+    (members t)
+
+let set_link_latency t ~src ~dst model =
+  Link_tbl.replace t.link_latency (src, dst) model
+
+let clear_link_latency t ~src ~dst = Link_tbl.remove t.link_latency (src, dst)
+
+let stats t =
+  { sent = t.sent; delivered = t.delivered; total_delay = t.total_delay }

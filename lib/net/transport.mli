@@ -1,0 +1,52 @@
+(** Simulated reliable message transport.
+
+    Implements the channel assumptions of the paper (section 5.2): channels
+    are reliable — a message sent between correct processes is eventually
+    delivered, exactly once.  Messages to a crashed process are delivered
+    into its mailbox but never consumed.  Delivery delay is drawn from a
+    {!Latency.t} model, optionally overridden per directed link; per-link
+    FIFO ordering is optional (off by default, matching an asynchronous
+    network).
+
+    The transport is polymorphic in the message type; one transport instance
+    carries one protocol's messages. *)
+
+type 'm t
+
+type 'm envelope = { src : Address.t; dst : Address.t; payload : 'm }
+
+type stats = {
+  sent : int;
+  delivered : int;
+  total_delay : int;  (** sum of delivery delays, for mean computation *)
+}
+
+val create : Xsim.Engine.t -> ?fifo:bool -> latency:Latency.t -> unit -> 'm t
+
+val engine : 'm t -> Xsim.Engine.t
+
+val register : 'm t -> Address.t -> proc:Xsim.Proc.t -> 'm envelope Xsim.Mailbox.t
+(** Attach a node.  Raises [Invalid_argument] if the address is taken.
+    The returned mailbox receives this node's inbound messages. *)
+
+val mailbox : 'm t -> Address.t -> 'm envelope Xsim.Mailbox.t
+(** Raises [Not_found] for unregistered addresses. *)
+
+val members : 'm t -> Address.t list
+(** All registered addresses, in registration order. *)
+
+val send : 'm t -> src:Address.t -> dst:Address.t -> 'm -> unit
+(** Fire-and-forget.  Sending to an unregistered address raises
+    [Not_found] (a configuration error, not a simulated fault). *)
+
+val broadcast : 'm t -> src:Address.t -> ?include_self:bool -> 'm -> unit
+(** Send to every registered member (excluding [src] unless
+    [include_self], default [false]). *)
+
+val set_link_latency : 'm t -> src:Address.t -> dst:Address.t -> Latency.t -> unit
+(** Override the delay model for one directed link (e.g. to simulate a slow
+    or partitioned path; reliability is preserved). *)
+
+val clear_link_latency : 'm t -> src:Address.t -> dst:Address.t -> unit
+
+val stats : 'm t -> stats

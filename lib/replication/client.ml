@@ -1,0 +1,98 @@
+type metrics = { mutable submits : int; mutable failures : int }
+
+type t = {
+  eng : Xsim.Engine.t;
+  transport : Wire.t Xnet.Transport.t;
+  detector : Xdetect.Detector.t;
+  replicas : Xnet.Address.t array;
+  c_addr : Xnet.Address.t;
+  c_proc : Xsim.Proc.t;
+  pending : (int, Xability.Value.t Xsim.Ivar.t) Hashtbl.t;
+  mutable i : int;
+  m : metrics;
+}
+
+let rid_counter = ref 0
+
+let pending_ivar t rid =
+  match Hashtbl.find_opt t.pending rid with
+  | Some iv -> iv
+  | None ->
+      let iv = Xsim.Ivar.create () in
+      Hashtbl.replace t.pending rid iv;
+      iv
+
+let create ~eng ~transport ~detector ~replicas ~addr:c_addr ~proc:c_proc () =
+  let mbox = Xnet.Transport.register transport c_addr ~proc:c_proc in
+  let t =
+    {
+      eng;
+      transport;
+      detector;
+      replicas = Array.of_list replicas;
+      c_addr;
+      c_proc;
+      pending = Hashtbl.create 16;
+      i = 0;
+      m = { submits = 0; failures = 0 };
+    }
+  in
+  (* Demultiplex replies to per-request ivars, so several fibers can have
+     submissions outstanding on the same stub (needed when a replicated
+     service itself acts as the client of another service). *)
+  Xsim.Engine.spawn eng ~proc:c_proc
+    ~name:("client-demux:" ^ Xnet.Address.to_string c_addr)
+    (fun () ->
+      let rec loop () =
+        (match (Xsim.Mailbox.take eng mbox).Xnet.Transport.payload with
+        | Wire.Result { rid; value } ->
+            (* First result wins; duplicates are ignored. *)
+            ignore (Xsim.Ivar.try_fill (pending_ivar t rid) value)
+        | Wire.Request _ -> () (* clients do not serve requests *));
+        loop ()
+      in
+      loop ());
+  t
+
+let addr t = t.c_addr
+let proc t = t.c_proc
+let metrics t = t.m
+
+let fresh_rid _t =
+  incr rid_counter;
+  !rid_counter
+
+let request t ~action ~kind ~input =
+  Xsm.Request.make ~rid:(fresh_rid t) ~action ~kind ~input
+
+let submit t (req : Xsm.Request.t) =
+  t.m.submits <- t.m.submits + 1;
+  let target = t.replicas.(t.i) in
+  Xnet.Transport.send t.transport ~src:t.c_addr ~dst:target
+    (Wire.Request { req; client = t.c_addr });
+  (* await (receive [Result,res]) or suspect(replicas[i]) *)
+  let result_iv = pending_ivar t req.rid in
+  let cell = Xsim.Ivar.create () in
+  Xsim.Ivar.watch result_iv (fun v -> Xsim.Ivar.try_fill cell (`Result v));
+  Xdetect.Detector.watch t.detector ~observer:t.c_addr ~target (fun () ->
+      Xsim.Ivar.try_fill cell `Suspect);
+  match Xsim.Ivar.read t.eng cell with
+  | `Result v -> Ok v
+  | `Suspect -> (
+      (* The reply may have raced in just as the suspicion fired. *)
+      match Xsim.Ivar.peek result_iv with
+      | Some v -> Ok v
+      | None ->
+          t.m.failures <- t.m.failures + 1;
+          t.i <- (t.i + 1) mod Array.length t.replicas;
+          Error `Suspected)
+
+let submit_until_success t ?(retry_delay = 20) req =
+  let rec go () =
+    match submit t req with
+    | Ok v -> v
+    | Error `Suspected ->
+        Xsim.Engine.sleep t.eng retry_delay;
+        go ()
+  in
+  go ()

@@ -1,0 +1,56 @@
+(** Client stub (paper Figure 5).
+
+    [submit] sends the request to the current replica and waits until it
+    either receives a result for that request (from {e any} replica — the
+    paper's [receive] has no [from] clause, which matters because after a
+    false suspicion the answer may come from the original owner or from a
+    cleaner) or suspects the current replica, in which case it rotates to
+    the next replica and reports failure.  [submit] is idempotent (R1):
+    resubmitting never duplicates the request's side-effects, because the
+    server side deduplicates on the request id through owner-agreement.
+
+    [submit_until_success] is the paper's client usage pattern: keep
+    calling [submit] until it succeeds (guaranteed eventually by R2 when a
+    correct replica remains reachable). *)
+
+type t
+
+val create :
+  eng:Xsim.Engine.t ->
+  transport:Wire.t Xnet.Transport.t ->
+  detector:Xdetect.Detector.t ->
+  replicas:Xnet.Address.t list ->
+  addr:Xnet.Address.t ->
+  proc:Xsim.Proc.t ->
+  unit ->
+  t
+(** Registers the client on the transport.  [replicas] is the paper's
+    [replicas[n]] array; the rotation index [i] starts at 0. *)
+
+val addr : t -> Xnet.Address.t
+val proc : t -> Xsim.Proc.t
+
+val fresh_rid : t -> int
+(** Globally unique request ids (unique across all clients). *)
+
+val request :
+  t ->
+  action:Xability.Action.name ->
+  kind:Xability.Action.kind ->
+  input:Xability.Value.t ->
+  Xsm.Request.t
+(** Convenience: a fresh round-1 request with a fresh id. *)
+
+val submit : t -> Xsm.Request.t -> (Xability.Value.t, [ `Suspected ]) result
+(** One attempt, per Figure 5.  [Error `Suspected] corresponds to the
+    pseudo-code's [return failure] — the caller may simply retry. *)
+
+val submit_until_success :
+  t -> ?retry_delay:int -> Xsm.Request.t -> Xability.Value.t
+(** Retry [submit] until it succeeds.  [retry_delay] (default 20 ticks)
+    separates attempts so that a burst of stale suspicions cannot make the
+    client spin without the simulation advancing. *)
+
+type metrics = { mutable submits : int; mutable failures : int }
+
+val metrics : t -> metrics

@@ -1,0 +1,75 @@
+type backend =
+  [ `Register of int
+  | `Paxos of Xnet.Latency.t ]
+
+type t =
+  | Registers of {
+      eng : Xsim.Engine.t;
+      latency : int;
+      table : (string, Pval.t Xconsensus.Register.t) Hashtbl.t;
+      (* Per-member local knowledge, so `Register reads stay honest about
+         which member has observed which decision. *)
+      mutable proposals : int;
+    }
+  | Paxos of Pval.t Xconsensus.Paxos.group
+
+let create eng ~backend ~members () =
+  match backend with
+  | `Register latency ->
+      ignore members;
+      Registers { eng; latency; table = Hashtbl.create 64; proposals = 0 }
+  | `Paxos latency ->
+      Paxos (Xconsensus.Paxos.create_group eng ~latency ~members ())
+
+let register_obj r inst =
+  match r with
+  | Registers { eng; latency; table; _ } -> (
+      match Hashtbl.find_opt table inst with
+      | Some obj -> obj
+      | None ->
+          let obj = Xconsensus.Register.create eng ~latency ~name:inst () in
+          Hashtbl.replace table inst obj;
+          obj)
+  | Paxos _ -> assert false
+
+let propose t ~member ~inst v =
+  match t with
+  | Registers r ->
+      r.proposals <- r.proposals + 1;
+      ignore member;
+      Xconsensus.Register.propose (register_obj t inst) v
+  | Paxos g ->
+      Xconsensus.Paxos.propose (Xconsensus.Paxos.handle g ~member ~inst) v
+
+let read t ~member ~inst =
+  match t with
+  | Registers _ ->
+      ignore member;
+      Xconsensus.Register.read (register_obj t inst)
+  | Paxos g -> Xconsensus.Paxos.read (Xconsensus.Paxos.handle g ~member ~inst)
+
+let known_owner_instances t ~member =
+  let parse acc inst =
+    match Pval.parse_owner_inst inst with
+    | Some pair -> pair :: acc
+    | None -> acc
+  in
+  match t with
+  | Registers { table; _ } ->
+      Hashtbl.fold
+        (fun inst obj acc ->
+          match Xconsensus.Register.peek obj with
+          | Some _ -> parse acc inst
+          | None -> acc)
+        table []
+  | Paxos g ->
+      List.fold_left parse []
+        (Xconsensus.Paxos.instances_known g ~member)
+
+let total_proposals = function
+  | Registers { proposals; _ } -> proposals
+  | Paxos g -> (Xconsensus.Paxos.stats g).proposals
+
+let messages_sent = function
+  | Registers _ -> 0
+  | Paxos g -> (Xconsensus.Paxos.stats g).messages_sent

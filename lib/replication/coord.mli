@@ -1,0 +1,41 @@
+(** Consensus backend used by the replicas, behind one interface.
+
+    The protocol needs only the paper's [propose]/[read] object interface;
+    this module lets a service choose between:
+    - [`Register]: consensus objects as remote atomic write-once registers
+      (the abstraction the paper assumes, with a configurable round-trip
+      latency) — reads are globally accurate;
+    - [`Paxos]: the message-passing implementation of {!Xconsensus.Paxos}
+      among the replicas — reads reflect local knowledge only, which is
+      all an asynchronous system can offer.
+
+    Instance ids follow {!Pval} naming. *)
+
+type backend =
+  [ `Register of int  (** one-way latency to the register service *)
+  | `Paxos of Xnet.Latency.t  (** message latency among replicas *) ]
+
+type t
+
+val create :
+  Xsim.Engine.t ->
+  backend:backend ->
+  members:(Xnet.Address.t * Xsim.Proc.t) list ->
+  unit ->
+  t
+
+val propose : t -> member:Xnet.Address.t -> inst:string -> Pval.t -> Pval.t
+(** Blocking (fiber). *)
+
+val read : t -> member:Xnet.Address.t -> inst:string -> Pval.t option
+(** The paper's [read()]: decided value or ⊥.  For [`Paxos] this is the
+    member's local knowledge. *)
+
+val known_owner_instances : t -> member:Xnet.Address.t -> (int * int) list
+(** Owner-agreement instances with a decision known at this member, as
+    (rid, round) pairs.  Cleaners use this to discover requests and their
+    latest rounds. *)
+
+val total_proposals : t -> int
+val messages_sent : t -> int
+(** 0 for the [`Register] backend (its cost is modelled as latency). *)

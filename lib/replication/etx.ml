@@ -1,0 +1,54 @@
+open Xability
+
+module Log = struct
+  type entry = { req : Xsm.Request.t; mutable result : Value.t option }
+
+  type t = { mutable entries : entry list (* reverse intent order *) }
+
+  let create () = { entries = [] }
+
+  let find t rid =
+    List.find_opt (fun e -> e.req.Xsm.Request.rid = rid) t.entries
+
+  let log_intent t req =
+    match find t req.Xsm.Request.rid with
+    | Some e -> e
+    | None ->
+        let e = { req; result = None } in
+        t.entries <- e :: t.entries;
+        e
+
+  let pending t =
+    List.rev_map
+      (fun e -> e.req)
+      (List.filter (fun e -> e.result = None) t.entries)
+
+  let completed t =
+    List.rev
+      (List.filter_map
+         (fun e ->
+           match e.result with Some v -> Some (e.req, v) | None -> None)
+         t.entries)
+end
+
+let submit log client req =
+  (* Write-ahead intent: after this point a successor can finish the job. *)
+  let entry = Log.log_intent log req in
+  match entry.Log.result with
+  | Some v -> v (* already completed by a previous incarnation *)
+  | None ->
+      let v = Client.submit_until_success client req in
+      entry.Log.result <- Some v;
+      v
+
+let recover log client =
+  List.map
+    (fun req ->
+      let v = submit log client req in
+      (req, v))
+    (Log.pending log)
+
+let result_of log ~rid =
+  match Log.find log rid with
+  | Some { Log.result; _ } -> result
+  | None -> None

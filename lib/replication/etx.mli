@@ -1,0 +1,45 @@
+(** E-transactions: exactly-once request execution across {e client}
+    crashes and restarts.
+
+    The paper guarantees at-most-once for a client that crashes mid-submit
+    (section 4): the last request may never be processed, and if it was,
+    the crashed client never learns the result.  The companion work the
+    paper cites ([FG99], "Implementing e-transactions with asynchronous
+    replication") closes that gap on the client side: the client logs its
+    intent on stable storage before submitting, and a successor
+    incarnation replays pending intents.  Because the service deduplicates
+    on the request id (R1: [submit] is idempotent), the replay returns the
+    already-agreed result — or processes the request for the first time —
+    with the side-effect still exactly-once.
+
+    {!Log} models the client's stable storage: it survives process crashes
+    (crash-stop kills fibers, not heap data) and is shared between client
+    incarnations. *)
+
+open Xability
+
+module Log : sig
+  type t
+
+  val create : unit -> t
+
+  val pending : t -> Xsm.Request.t list
+  (** Intents logged but not yet marked done, oldest first. *)
+
+  val completed : t -> (Xsm.Request.t * Value.t) list
+  (** Requests with a recorded result, oldest first. *)
+end
+
+val submit : Log.t -> Client.t -> Xsm.Request.t -> Value.t
+(** Exactly-once submit: log the intent, submit until success, record the
+    result.  If the calling client crashes anywhere in between, a
+    successor can {!recover}. *)
+
+val recover : Log.t -> Client.t -> (Xsm.Request.t * Value.t) list
+(** Replay every pending intent through the (new) client stub and record
+    the results; returns what was recovered, in intent order.  Safe to
+    call even when nothing is pending, and idempotent: replayed requests
+    reuse their original ids, so the service deduplicates. *)
+
+val result_of : Log.t -> rid:int -> Value.t option
+(** The recorded result of a logged request, if any. *)

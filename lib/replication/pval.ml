@@ -1,0 +1,56 @@
+(** Values decided by the protocol's consensus objects, and the naming of
+    consensus instances (paper section 5.4).
+
+    The server side uses three agreement families:
+    - {e owner-agreement}, one instance per (request, round): which replica
+      owns the round, together with the request and the client's address
+      (so a cleaner can take over and still answer the client);
+    - {e result-agreement}, one instance per (request, round) of an
+      idempotent action: the result the service will report for that
+      round, or [None] ("empty-result") when a cleaner vetoed the round;
+    - {e outcome-agreement}, one instance per (request, round) of an
+      undoable action: commit-with-result or abort.
+
+    The paper indexes these arrays by requests whose parameters include the
+    round number; we flatten that indexing into string instance ids. *)
+
+open Xability
+
+type outcome = Commit | Abort
+
+type t =
+  | Owner of {
+      owner : Xnet.Address.t;
+      req : Xsm.Request.t;
+      client : Xnet.Address.t;
+    }
+  | Result of Value.t option  (** [None] is the paper's [empty-result] *)
+  | Outcome of { outcome : outcome; result : Value.t option }
+
+let owner_inst ~rid ~round = Printf.sprintf "o/%d/%d" rid round
+let result_inst ~rid ~round = Printf.sprintf "r/%d/%d" rid round
+let outcome_inst ~rid ~round = Printf.sprintf "x/%d/%d" rid round
+
+(** Parse an owner instance id back into (rid, round). *)
+let parse_owner_inst s =
+  match String.split_on_char '/' s with
+  | [ "o"; rid; round ] -> (
+      match (int_of_string_opt rid, int_of_string_opt round) with
+      | Some rid, Some round -> Some (rid, round)
+      | _ -> None)
+  | _ -> None
+
+let outcome_to_string = function Commit -> "commit" | Abort -> "abort"
+
+let pp ppf = function
+  | Owner { owner; req; _ } ->
+      Format.fprintf ppf "Owner(%a,%s)" Xnet.Address.pp owner
+        (Xsm.Request.show req)
+  | Result None -> Format.fprintf ppf "Result(empty)"
+  | Result (Some v) -> Format.fprintf ppf "Result(%a)" Value.pp_compact v
+  | Outcome { outcome; result } ->
+      Format.fprintf ppf "Outcome(%s,%s)"
+        (outcome_to_string outcome)
+        (match result with
+        | None -> "empty"
+        | Some v -> Value.to_string v)

@@ -1,0 +1,395 @@
+open Xability
+
+type config = { cleaner_poll : int; veto_check : bool }
+
+let default_config = { cleaner_poll = 200; veto_check = true }
+
+type metrics = {
+  mutable requests_seen : int;
+  mutable rounds_owned : int;
+  mutable executions : int;
+  mutable cleanups : int;
+  mutable takeovers : int;
+  mutable replies_sent : int;
+}
+
+type request_state = {
+  rid : int;
+  mutable client : Xnet.Address.t option;
+  mutable max_round : int;
+  mutable settled : Value.t option;  (** result already sent to the client *)
+}
+
+type t = {
+  eng : Xsim.Engine.t;
+  env : Xsm.Environment.t;
+  sm : Xsm.Statemachine.t;  (** this replica's copy of S (Fig. 6) *)
+  transport : Wire.t Xnet.Transport.t;
+  detector : Xdetect.Detector.t;
+  coord : Coord.t;
+  r_addr : Xnet.Address.t;
+  r_proc : Xsim.Proc.t;
+  cfg : config;
+  m : metrics;
+  requests : (int, request_state) Hashtbl.t;
+  owned_rounds : (int * int, unit) Hashtbl.t;
+      (** (rid, round) pairs this replica is executing, to ignore duplicate
+          deliveries of the same request *)
+  suspicion_events : Xnet.Address.t Xsim.Mailbox.t;
+  mutable fiber_counter : int;
+}
+
+(* Figure 7 dispatches on S.is-idempotent / S.is-undoable; raw actions
+   (not in the paper's theory) fall back to the request's declared kind. *)
+let kind_of_request t (req : Xsm.Request.t) =
+  match Xsm.Statemachine.kind_of t.sm (Xsm.Request.base_action req) with
+  | Some kind -> kind
+  | None -> req.kind
+
+let addr t = t.r_addr
+let proc t = t.r_proc
+let metrics t = t.m
+
+let tracef t fmt =
+  Xsim.Engine.tracef t.eng ~source:(Xnet.Address.to_string t.r_addr) fmt
+
+let state_of t rid =
+  match Hashtbl.find_opt t.requests rid with
+  | Some rs -> rs
+  | None ->
+      let rs = { rid; client = None; max_round = 0; settled = None } in
+      Hashtbl.replace t.requests rid rs;
+      rs
+
+let max_round_of t ~rid =
+  match Hashtbl.find_opt t.requests rid with
+  | Some rs -> rs.max_round
+  | None -> 0
+
+let send_result t ~client ~rid value =
+  t.m.replies_sent <- t.m.replies_sent + 1;
+  Xnet.Transport.send t.transport ~src:t.r_addr ~dst:client
+    (Wire.Result { rid; value })
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: execute-until-success and result-coordination.            *)
+
+(* Retry an idempotent finalization (cancel/commit) until it succeeds.
+   The paper's execute-until-success specialised to finalizations: they
+   are idempotent, so we simply re-issue. *)
+let rec finalize_until_success t (req : Xsm.Request.t) =
+  t.m.executions <- t.m.executions + 1;
+  match Xsm.Statemachine.execute t.sm req with
+  | Ok v -> v
+  | Error _ -> finalize_until_success t req
+
+(* Has this round been terminated by a cleaner?  (Protocol completion: the
+   pseudo-code's execute-until-success would retry forever, not knowing
+   that its round can no longer report a result.) *)
+let round_vetoed t (req : Xsm.Request.t) =
+  match kind_of_request t req with
+  | Action.Idempotent -> (
+      match
+        Coord.read t.coord ~member:t.r_addr
+          ~inst:(Pval.result_inst ~rid:req.rid ~round:req.round)
+      with
+      | Some (Pval.Result None) -> true
+      | _ -> false)
+  | Action.Undoable -> (
+      match
+        Coord.read t.coord ~member:t.r_addr
+          ~inst:(Pval.outcome_inst ~rid:req.rid ~round:req.round)
+      with
+      | Some (Pval.Outcome { outcome = Pval.Abort; _ }) -> true
+      | _ -> false)
+
+(* Figure 7, execute-until-success.  Returns [None] when the round was
+   abandoned because a cleaner vetoed it. *)
+let rec execute_until_success t (req : Xsm.Request.t) =
+  if t.cfg.veto_check && round_vetoed t req then None
+  else begin
+    t.m.executions <- t.m.executions + 1;
+    match Xsm.Statemachine.execute t.sm req with
+    | Ok v -> Some v
+    | Error _ ->
+        (match kind_of_request t req with
+        | Action.Idempotent -> ()
+        | Action.Undoable ->
+            (* Cancel the failed attempt before retrying. *)
+            ignore (finalize_until_success t (Xsm.Request.cancel_of req)));
+        execute_until_success t req
+  end
+
+(* Figure 7, result-coordination.  [value = None] is cleaning mode. *)
+let result_coordination t (req : Xsm.Request.t) value =
+  match kind_of_request t req with
+  | Action.Idempotent -> (
+      let inst = Pval.result_inst ~rid:req.rid ~round:req.round in
+      match Coord.propose t.coord ~member:t.r_addr ~inst (Pval.Result value) with
+      | Pval.Result decided -> decided
+      | other ->
+          failwith
+            (Format.asprintf "result-agreement decided a foreign value: %a"
+               Pval.pp other))
+  | Action.Undoable -> (
+      let inst = Pval.outcome_inst ~rid:req.rid ~round:req.round in
+      let proposal =
+        match value with
+        | None -> Pval.Outcome { outcome = Pval.Abort; result = None }
+        | Some v -> Pval.Outcome { outcome = Pval.Commit; result = Some v }
+      in
+      match Coord.propose t.coord ~member:t.r_addr ~inst proposal with
+      | Pval.Outcome { outcome = Pval.Abort; _ } ->
+          ignore (finalize_until_success t (Xsm.Request.cancel_of req));
+          None
+      | Pval.Outcome { outcome = Pval.Commit; result } ->
+          ignore (finalize_until_success t (Xsm.Request.commit_of req));
+          result
+      | other ->
+          failwith
+            (Format.asprintf "outcome-agreement decided a foreign value: %a"
+               Pval.pp other))
+
+(* ------------------------------------------------------------------ *)
+(* Result lookup for requests this replica does not own.               *)
+
+let known_result t rs (req : Xsm.Request.t) =
+  match rs.settled with
+  | Some v -> Some v
+  | None ->
+      let rec scan round =
+        if round > rs.max_round then None
+        else
+          let found =
+            match kind_of_request t req with
+            | Action.Idempotent -> (
+                match
+                  Coord.read t.coord ~member:t.r_addr
+                    ~inst:(Pval.result_inst ~rid:req.rid ~round)
+                with
+                | Some (Pval.Result (Some v)) -> Some v
+                | _ -> None)
+            | Action.Undoable -> (
+                match
+                  Coord.read t.coord ~member:t.r_addr
+                    ~inst:(Pval.outcome_inst ~rid:req.rid ~round)
+                with
+                | Some (Pval.Outcome { outcome = Pval.Commit; result = Some v })
+                  ->
+                    Some v
+                | _ -> None)
+          in
+          match found with Some v -> Some v | None -> scan (round + 1)
+      in
+      scan 1
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: process-request.                                          *)
+
+let rec process_request t (req : Xsm.Request.t) client =
+  let rs = state_of t req.rid in
+  if rs.client = None then rs.client <- Some client;
+  let inst = Pval.owner_inst ~rid:req.rid ~round:req.round in
+  let decision =
+    Coord.propose t.coord ~member:t.r_addr ~inst
+      (Pval.Owner { owner = t.r_addr; req; client })
+  in
+  match decision with
+  | Pval.Owner { owner; req = req'; client = client' } ->
+      rs.max_round <- max rs.max_round req'.round;
+      if rs.client = None then rs.client <- Some client';
+      if Xnet.Address.equal owner t.r_addr then begin
+        if not (Hashtbl.mem t.owned_rounds (req'.rid, req'.round)) then begin
+          Hashtbl.replace t.owned_rounds (req'.rid, req'.round) ();
+          t.m.rounds_owned <- t.m.rounds_owned + 1;
+          tracef t "own %s round %d" (Xsm.Request.key req') req'.round;
+          let res = execute_until_success t req' in
+          let decided = result_coordination t req' res in
+          match decided with
+          | Some v ->
+              rs.settled <- Some v;
+              send_result t ~client:client' ~rid:req'.rid v
+          | None ->
+              (* Our round was vetoed; a cleaner is carrying the request
+                 forward. *)
+              tracef t "round %d of %s vetoed" req'.round
+                (Xsm.Request.key req')
+        end
+        else begin
+          (* Duplicate delivery of a round we already own (an idempotent
+             re-submission, R1): if the result is settled, re-send it; if
+             we are still executing, the original processing will reply. *)
+          match known_result t rs req' with
+          | Some v -> send_result t ~client ~rid:req'.rid v
+          | None -> ()
+        end
+      end
+      else begin
+        (* Not the owner.  If the request already has an agreed result,
+           answer the (possibly retrying) client ourselves. *)
+        match known_result t rs req' with
+        | Some v ->
+            rs.settled <- Some v;
+            send_result t ~client ~rid:req'.rid v
+        | None -> ()
+      end
+  | other ->
+      failwith
+        (Format.asprintf "owner-agreement decided a foreign value: %a" Pval.pp
+           other)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: the cleaner activity.                                     *)
+
+and clean_request t rs =
+  match rs.settled with
+  | Some _ -> ()
+  | None -> (
+      (* Advance to the largest defined index in owner-agreement. *)
+      let rec advance () =
+        match
+          Coord.read t.coord ~member:t.r_addr
+            ~inst:(Pval.owner_inst ~rid:rs.rid ~round:(rs.max_round + 1))
+        with
+        | Some (Pval.Owner { req; client; _ }) ->
+            rs.max_round <- rs.max_round + 1;
+            if rs.client = None then rs.client <- Some client;
+            ignore req;
+            advance ()
+        | _ -> ()
+      in
+      advance ();
+      if rs.max_round = 0 then ()
+      else
+        match
+          Coord.read t.coord ~member:t.r_addr
+            ~inst:(Pval.owner_inst ~rid:rs.rid ~round:rs.max_round)
+        with
+        | Some (Pval.Owner { owner; req; client })
+          when (not (Xnet.Address.equal owner t.r_addr))
+               && Xdetect.Detector.suspects t.detector ~observer:t.r_addr
+                    ~target:owner -> (
+            t.m.cleanups <- t.m.cleanups + 1;
+            tracef t "cleaning %s round %d (suspect %s)" (Xsm.Request.key req)
+              req.round
+              (Xnet.Address.to_string owner);
+            let res = result_coordination t req None in
+            match res with
+            | None ->
+                (* The round is terminated with no result: continue the
+                   request as owner-candidate of the next round. *)
+                t.m.takeovers <- t.m.takeovers + 1;
+                process_request t
+                  (Xsm.Request.with_round req (req.round + 1))
+                  client
+            | Some v ->
+                (* The suspected owner did decide a result; make sure the
+                   client gets it (it may never have been sent). *)
+                rs.settled <- Some v;
+                send_result t ~client ~rid:rs.rid v)
+        | _ -> ())
+
+let discover_requests t =
+  List.iter
+    (fun (rid, round) ->
+      let rs = state_of t rid in
+      if round > rs.max_round then rs.max_round <- round)
+    (Coord.known_owner_instances t.coord ~member:t.r_addr)
+
+let cleaner_pass t =
+  discover_requests t;
+  (* Snapshot: cleaning may create request states. *)
+  let states = Hashtbl.fold (fun _ rs acc -> rs :: acc) t.requests [] in
+  List.iter
+    (fun rs ->
+      (* Fill in the client from the round-1 decision if unknown. *)
+      if rs.client = None then begin
+        match
+          Coord.read t.coord ~member:t.r_addr
+            ~inst:(Pval.owner_inst ~rid:rs.rid ~round:1)
+        with
+        | Some (Pval.Owner { client; _ }) -> rs.client <- Some client
+        | _ -> ()
+      end;
+      clean_request t rs)
+    (List.sort (fun a b -> Int.compare a.rid b.rid) states)
+
+(* ------------------------------------------------------------------ *)
+
+let spawn_named t base fn =
+  t.fiber_counter <- t.fiber_counter + 1;
+  Xsim.Engine.spawn t.eng ~proc:t.r_proc
+    ~name:
+      (Printf.sprintf "%s:%s#%d" (Xnet.Address.to_string t.r_addr) base
+         t.fiber_counter)
+    fn
+
+let create ~eng ~env ~transport ~detector ~coord ~addr:r_addr ~proc:r_proc
+    ?(config = default_config) () =
+  let mbox = Xnet.Transport.register transport r_addr ~proc:r_proc in
+  let t =
+    {
+      eng;
+      env;
+      sm = Xsm.Statemachine.create env;
+      transport;
+      detector;
+      coord;
+      r_addr;
+      r_proc;
+      cfg = config;
+      m =
+        {
+          requests_seen = 0;
+          rounds_owned = 0;
+          executions = 0;
+          cleanups = 0;
+          takeovers = 0;
+          replies_sent = 0;
+        };
+      requests = Hashtbl.create 32;
+      owned_rounds = Hashtbl.create 32;
+      suspicion_events = Xsim.Mailbox.create ~name:"suspicions" ();
+      fiber_counter = 0;
+    }
+  in
+  Xdetect.Detector.on_suspicion detector ~observer:r_addr (fun target ->
+      Xsim.Mailbox.put t.suspicion_events target);
+  (* Request activity: one dispatcher fiber; each request is processed in
+     its own fiber so a slow execution does not block other clients. *)
+  spawn_named t "main" (fun () ->
+      let rec loop () =
+        let envelope = Xsim.Mailbox.take eng mbox in
+        (match envelope.Xnet.Transport.payload with
+        | Wire.Request { req; client } ->
+            t.m.requests_seen <- t.m.requests_seen + 1;
+            let req = Xsm.Request.with_round req 1 in
+            spawn_named t
+              (Printf.sprintf "req%d" req.rid)
+              (fun () -> process_request t req client)
+        | Wire.Result _ -> () (* replicas do not expect results *));
+        loop ()
+      in
+      loop ());
+  (* Cleaner activity: wake on suspicion onset or periodically. *)
+  spawn_named t "cleaner" (fun () ->
+      let rec loop () =
+        let wake = Xsim.Ivar.create () in
+        Xsim.Mailbox.take_into t.suspicion_events (fun a ->
+            Xsim.Ivar.try_fill wake (`Suspicion a));
+        Xsim.Timer.after_into eng t.cfg.cleaner_poll (fun () ->
+            Xsim.Ivar.try_fill wake `Tick);
+        (match Xsim.Ivar.read eng wake with
+        | `Suspicion _ | `Tick ->
+            (* Drain any queued onsets; one pass covers them all. *)
+            let rec drain () =
+              match Xsim.Mailbox.poll t.suspicion_events with
+              | Some _ -> drain ()
+              | None -> ()
+            in
+            drain ();
+            cleaner_pass t);
+        loop ()
+      in
+      loop ());
+  t

@@ -1,0 +1,67 @@
+(** Server replica: the main algorithm of the paper (Figures 6 and 7).
+
+    Each replica runs two activities:
+    - a {e request} activity: receive a client request, set its round to 1,
+      and run [process-request] — propose itself as owner of the round
+      via owner-agreement, and if it wins, execute the action until
+      success, coordinate on the result, and reply to the client;
+    - a {e cleaner} activity: react to failure suspicions — find the last
+      round of each known request, and if that round's owner is suspected,
+      run [result-coordination] in cleaning mode (proposing
+      [empty-result] / abort) to terminate the suspected owner's work;
+      if the round turns out vetoed, start the next round as its
+      continuation.
+
+    Two completions of the paper's pseudo-code (documented in DESIGN.md,
+    both needed for requirement R2):
+    - a replica that is not the owner, or a cleaner that finds the round
+      already decided with a real result, {e re-sends} that result to the
+      client (the pseudo-code silently drops it, which can leave a
+      retrying client without an answer when the original owner crashed
+      after deciding but before replying);
+    - optionally ([veto_check]), [execute-until-success] abandons execution
+      once its round has been vetoed by a cleaner, avoiding doomed retries
+      whose final attempt could remain unresolved in the history if the
+      replica subsequently crashes. *)
+
+type config = {
+  cleaner_poll : int;
+      (** period of the cleaner's periodic re-scan (safety net for
+          suspicion onsets that arrive before the round is discoverable) *)
+  veto_check : bool;  (** abandon execution of vetoed rounds *)
+}
+
+val default_config : config
+
+type metrics = {
+  mutable requests_seen : int;
+  mutable rounds_owned : int;
+  mutable executions : int;  (** environment execution attempts issued *)
+  mutable cleanups : int;  (** cleaning-mode result coordinations *)
+  mutable takeovers : int;  (** next rounds started by the cleaner *)
+  mutable replies_sent : int;
+}
+
+type t
+
+val create :
+  eng:Xsim.Engine.t ->
+  env:Xsm.Environment.t ->
+  transport:Wire.t Xnet.Transport.t ->
+  detector:Xdetect.Detector.t ->
+  coord:Coord.t ->
+  addr:Xnet.Address.t ->
+  proc:Xsim.Proc.t ->
+  ?config:config ->
+  unit ->
+  t
+(** Registers the replica on the transport and spawns its two activities.
+    The replica's fibers die when [proc] is killed (crash-stop). *)
+
+val addr : t -> Xnet.Address.t
+val proc : t -> Xsim.Proc.t
+val metrics : t -> metrics
+
+val max_round_of : t -> rid:int -> int
+(** Highest round this replica knows an owner decision for (0 if the
+    request is unknown) — used by experiments to measure round counts. *)

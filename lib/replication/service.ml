@@ -1,0 +1,149 @@
+type detector_config =
+  | Oracle of { detection_delay : int; poll_interval : int }
+  | Heartbeat of {
+      latency : Xnet.Latency.t;
+      period : int;
+      initial_timeout : int;
+      timeout_increment : int;
+    }
+
+type config = {
+  n_replicas : int;
+  n_clients : int;
+  net_latency : Xnet.Latency.t;
+  backend : Coord.backend;
+  detector : detector_config;
+  replica : Replica.config;
+}
+
+let default_config =
+  {
+    n_replicas = 3;
+    n_clients = 1;
+    net_latency = Xnet.Latency.Uniform (20, 60);
+    backend = `Register 25;
+    detector = Oracle { detection_delay = 50; poll_interval = 25 };
+    replica = Replica.default_config;
+  }
+
+type t = {
+  eng : Xsim.Engine.t;
+  env : Xsm.Environment.t;
+  s_transport : Wire.t Xnet.Transport.t;
+  s_coord : Coord.t;
+  s_detector : Xdetect.Detector.t;
+  s_oracle : Xdetect.Oracle.t option;
+  s_heartbeat : Xdetect.Heartbeat.t option;
+  s_replicas : Replica.t array;
+  replica_procs : Xsim.Proc.t array;
+  clients : Client.t array;
+  client_procs : Xsim.Proc.t array;
+}
+
+let create eng env (cfg : config) =
+  let s_transport = Xnet.Transport.create eng ~latency:cfg.net_latency () in
+  let replica_members =
+    List.init cfg.n_replicas (fun i ->
+        let addr = Xnet.Address.make ~role:"replica" ~index:i in
+        let proc =
+          Xsim.Proc.create ~name:(Xnet.Address.to_string addr)
+        in
+        (addr, proc))
+  in
+  let client_members =
+    List.init cfg.n_clients (fun i ->
+        let addr = Xnet.Address.make ~role:"client" ~index:i in
+        let proc = Xsim.Proc.create ~name:(Xnet.Address.to_string addr) in
+        (addr, proc))
+  in
+  let s_coord = Coord.create eng ~backend:cfg.backend ~members:replica_members () in
+  let s_detector, s_oracle, s_heartbeat =
+    match cfg.detector with
+    | Oracle { detection_delay; poll_interval } ->
+        let o =
+          Xdetect.Oracle.create eng
+            ~observers:(List.map fst (replica_members @ client_members))
+            ~targets:replica_members ~detection_delay ~poll_interval ()
+        in
+        (Xdetect.Oracle.detector o, Some o, None)
+    | Heartbeat { latency; period; initial_timeout; timeout_increment } ->
+        let hb =
+          Xdetect.Heartbeat.create eng ~latency ~members:replica_members
+            ~extra_observers:client_members ~period ~initial_timeout
+            ~timeout_increment ()
+        in
+        (Xdetect.Heartbeat.detector hb, None, Some hb)
+  in
+  let s_replicas =
+    Array.of_list
+      (List.map
+         (fun (addr, proc) ->
+           Replica.create ~eng ~env ~transport:s_transport
+             ~detector:s_detector ~coord:s_coord ~addr ~proc
+             ~config:cfg.replica ())
+         replica_members)
+  in
+  let replica_addrs = List.map fst replica_members in
+  let clients =
+    Array.of_list
+      (List.map
+         (fun (addr, proc) ->
+           Client.create ~eng ~transport:s_transport ~detector:s_detector
+             ~replicas:replica_addrs ~addr ~proc ())
+         client_members)
+  in
+  {
+    eng;
+    env;
+    s_transport;
+    s_coord;
+    s_detector;
+    s_oracle;
+    s_heartbeat;
+    s_replicas;
+    replica_procs = Array.of_list (List.map snd replica_members);
+    clients;
+    client_procs = Array.of_list (List.map snd client_members);
+  }
+
+let engine t = t.eng
+let environment t = t.env
+let replicas t = t.s_replicas
+
+let replica_addrs t =
+  Array.to_list (Array.map Replica.addr t.s_replicas)
+
+let client t i = t.clients.(i)
+let kill_replica t i = Xsim.Proc.kill t.replica_procs.(i)
+let kill_client t i = Xsim.Proc.kill t.client_procs.(i)
+let detector t = t.s_detector
+let oracle t = t.s_oracle
+let heartbeat t = t.s_heartbeat
+let coord t = t.s_coord
+let transport t = t.s_transport
+
+type totals = {
+  rounds_owned : int;
+  executions : int;
+  cleanups : int;
+  takeovers : int;
+  replies_sent : int;
+  consensus_proposals : int;
+  consensus_messages : int;
+  service_messages : int;
+}
+
+let totals t =
+  let sum f =
+    Array.fold_left (fun acc r -> acc + f (Replica.metrics r)) 0 t.s_replicas
+  in
+  {
+    rounds_owned = sum (fun m -> m.Replica.rounds_owned);
+    executions = sum (fun m -> m.Replica.executions);
+    cleanups = sum (fun m -> m.Replica.cleanups);
+    takeovers = sum (fun m -> m.Replica.takeovers);
+    replies_sent = sum (fun m -> m.Replica.replies_sent);
+    consensus_proposals = Coord.total_proposals t.s_coord;
+    consensus_messages = Coord.messages_sent t.s_coord;
+    service_messages = (Xnet.Transport.stats t.s_transport).sent;
+  }

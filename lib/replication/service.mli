@@ -1,0 +1,73 @@
+(** Assembly of a replicated service: replicas, clients, transport,
+    detector and consensus backend, wired over one simulation engine and
+    one environment.
+
+    This is the deployment harness for the paper's protocol: experiments
+    and applications describe a {!config}, call {!create}, obtain clients,
+    and drive the run. *)
+
+type detector_config =
+  | Oracle of { detection_delay : int; poll_interval : int }
+      (** test oracle (inject noise via {!oracle}) *)
+  | Heartbeat of {
+      latency : Xnet.Latency.t;
+      period : int;
+      initial_timeout : int;
+      timeout_increment : int;
+    }  (** heartbeat-based ◇P over its own transport *)
+
+type config = {
+  n_replicas : int;
+  n_clients : int;
+  net_latency : Xnet.Latency.t;  (** client-replica message latency *)
+  backend : Coord.backend;
+  detector : detector_config;
+  replica : Replica.config;
+}
+
+val default_config : config
+(** 3 replicas, 1 client, uniform(20,60) latency, register backend with
+    latency 25, oracle detector with 50-tick detection delay. *)
+
+type t
+
+val create : Xsim.Engine.t -> Xsm.Environment.t -> config -> t
+
+val engine : t -> Xsim.Engine.t
+val environment : t -> Xsm.Environment.t
+
+val replicas : t -> Replica.t array
+val replica_addrs : t -> Xnet.Address.t list
+
+val client : t -> int -> Client.t
+(** Clients are pre-allocated ([n_clients]); index from 0. *)
+
+val kill_replica : t -> int -> unit
+(** Crash replica [i] now (crash-stop). *)
+
+val kill_client : t -> int -> unit
+
+val detector : t -> Xdetect.Detector.t
+
+val oracle : t -> Xdetect.Oracle.t option
+(** The oracle instance when the oracle detector is configured. *)
+
+val heartbeat : t -> Xdetect.Heartbeat.t option
+
+val coord : t -> Coord.t
+
+val transport : t -> Wire.t Xnet.Transport.t
+
+type totals = {
+  rounds_owned : int;
+  executions : int;
+  cleanups : int;
+  takeovers : int;
+  replies_sent : int;
+  consensus_proposals : int;
+  consensus_messages : int;
+  service_messages : int;
+}
+
+val totals : t -> totals
+(** Aggregated metrics across all replicas. *)

@@ -1,0 +1,124 @@
+open Effect
+open Effect.Deep
+
+type 'a resumer = ('a, exn) result -> bool
+
+(* A fiber suspends by performing [Suspend register]: the handler builds
+   the fiber's one-shot resumer and hands it to [register]. *)
+type _ Effect.t += Suspend : ((('a, exn) result -> bool) -> unit) -> 'a Effect.t
+
+type fiber = { fname : string; proc : Proc.t option }
+
+type t = {
+  mutable vnow : int;
+  mutable seq : int;
+  queue : (int * int, unit -> unit) Heap.t;
+  root_rng : Rng.t;
+  tr : Trace.t;
+  mutable current : fiber option;
+  mutable stop : bool;
+  mutable errs : (int * string * exn) list;
+}
+
+let create ?(seed = 42) ?(trace_enabled = true) () =
+  {
+    vnow = 0;
+    seq = 0;
+    queue = Heap.create ();
+    root_rng = Rng.create seed;
+    tr = Trace.create ~enabled:trace_enabled ();
+    current = None;
+    stop = false;
+    errs = [];
+  }
+
+let now t = t.vnow
+let rng t = t.root_rng
+let trace t = t.tr
+
+let current_proc t =
+  match t.current with None -> None | Some f -> f.proc
+
+let current_fiber_name t =
+  match t.current with None -> "-" | Some f -> f.fname
+
+let tracef t ~source fmt =
+  Format.kasprintf (fun s -> Trace.record t.tr ~time:t.vnow ~source s) fmt
+
+let schedule t ~delay cb =
+  if delay < 0 then
+    invalid_arg (Printf.sprintf "Engine.schedule: negative delay %d" delay);
+  t.seq <- t.seq + 1;
+  Heap.add t.queue (t.vnow + delay, t.seq) cb
+
+let request_stop t = t.stop <- true
+let stop_requested t = t.stop
+let errors t = List.rev t.errs
+let pending_events t = Heap.size t.queue
+
+let handler t (f : fiber) : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> ());
+    exnc = (fun e -> t.errs <- (t.vnow, f.fname, e) :: t.errs);
+    effc =
+      (fun (type b) (eff : b Effect.t) ->
+        match eff with
+        | Suspend register ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                let resumed = ref false in
+                let resume (r : (b, exn) result) =
+                  if !resumed || not (Proc.alive_opt f.proc) then false
+                  else begin
+                    resumed := true;
+                    schedule t ~delay:0 (fun () ->
+                        if Proc.alive_opt f.proc then begin
+                          let saved = t.current in
+                          t.current <- Some f;
+                          (match r with
+                          | Ok v -> continue k v
+                          | Error e -> discontinue k e);
+                          t.current <- saved
+                        end);
+                    true
+                  end
+                in
+                register resume)
+        | _ -> None);
+  }
+
+let spawn t ?proc ~name fn =
+  let f = { fname = name; proc } in
+  schedule t ~delay:0 (fun () ->
+      if Proc.alive_opt proc then begin
+        let saved = t.current in
+        t.current <- Some f;
+        match_with fn () (handler t f);
+        t.current <- saved
+      end)
+
+let await (type a) _t (register : a resumer -> unit) : a =
+  perform (Suspend register)
+
+let sleep t delay =
+  await t (fun resume -> schedule t ~delay (fun () -> ignore (resume (Ok ()))))
+
+let yield t = sleep t 0
+
+let run ?(limit = max_int) t =
+  t.stop <- false;
+  let rec loop () =
+    if t.stop then ()
+    else
+      match Heap.peek t.queue with
+      | None -> ()
+      | Some ((time, _), _) when time > limit -> t.vnow <- limit
+      | Some _ ->
+          (match Heap.pop t.queue with
+          | None -> ()
+          | Some ((time, _), cb) ->
+              t.vnow <- time;
+              cb ());
+          loop ()
+  in
+  loop ()

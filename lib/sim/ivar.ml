@@ -1,0 +1,30 @@
+type 'a state = Empty of ('a -> bool) list | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let try_fill t v =
+  match t.state with
+  | Full _ -> false
+  | Empty waiters ->
+      t.state <- Full v;
+      List.iter (fun w -> ignore (w v)) (List.rev waiters);
+      true
+
+let fill t v =
+  if not (try_fill t v) then invalid_arg "Ivar.fill: already full"
+
+let peek t = match t.state with Full v -> Some v | Empty _ -> None
+let is_full t = match t.state with Full _ -> true | Empty _ -> false
+
+let watch t sink =
+  match t.state with
+  | Full v -> ignore (sink v)
+  | Empty waiters -> t.state <- Empty (sink :: waiters)
+
+let read eng t =
+  match t.state with
+  | Full v -> v
+  | Empty _ ->
+      Engine.await eng (fun resume -> watch t (fun v -> resume (Ok v)))

@@ -1,0 +1,31 @@
+(** Single-assignment variables, also usable as racing "select" cells.
+
+    An ivar is written at most once.  Fibers block on [read] until the value
+    arrives.  Racing producers use [try_fill]; exactly one wins.  This is
+    the synchronisation primitive behind the protocol's
+    "await (receive ... or suspect ...)" construct (paper Fig. 5): each
+    competing event source tries to fill the same ivar, and the waiting
+    fiber observes whichever filled it first. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] if already full. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** [true] iff this call set the value. *)
+
+val peek : 'a t -> 'a option
+
+val is_full : 'a t -> bool
+
+val read : Engine.t -> 'a t -> 'a
+(** Suspend the calling fiber until the ivar is full (returns immediately
+    when it already is). *)
+
+val watch : 'a t -> ('a -> bool) -> unit
+(** [watch iv sink] arranges for [sink v] to be called when the ivar is
+    filled (immediately if it already is).  The sink's return value is
+    ignored here; the [bool] type keeps it compatible with resumers. *)

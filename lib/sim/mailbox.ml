@@ -1,0 +1,36 @@
+type 'a t = {
+  mname : string;
+  messages : 'a Queue.t;
+  takers : ('a -> bool) Queue.t;
+}
+
+let create ?(name = "mailbox") () =
+  { mname = name; messages = Queue.create (); takers = Queue.create () }
+
+let name t = t.mname
+
+let put t v =
+  let rec offer () =
+    match Queue.take_opt t.takers with
+    | None -> Queue.push v t.messages
+    | Some taker -> if not (taker v) then offer ()
+  in
+  offer ()
+
+let take_into t sink =
+  match Queue.peek_opt t.messages with
+  | Some v ->
+      if sink v then ignore (Queue.pop t.messages)
+      (* A declining sink is dropped: it already resumed elsewhere. *)
+  | None -> Queue.push sink t.takers
+
+let take eng t =
+  match Queue.take_opt t.messages with
+  | Some v -> v
+  | None ->
+      Engine.await eng (fun resume ->
+          Queue.push (fun v -> resume (Ok v)) t.takers)
+
+let poll t = Queue.take_opt t.messages
+
+let length t = Queue.length t.messages

@@ -1,0 +1,29 @@
+(** Unbounded FIFO mailboxes connecting fibers.
+
+    Messages are never lost: when a registered taker declines a message
+    (because it already resumed through a racing event source), the message
+    is offered to the next taker or queued.  This matters for the protocol's
+    select between "reply received" and "replica suspected" — a reply that
+    loses the race stays in the mailbox for a later receive. *)
+
+type 'a t
+
+val create : ?name:string -> unit -> 'a t
+
+val name : 'a t -> string
+
+val put : 'a t -> 'a -> unit
+
+val take : Engine.t -> 'a t -> 'a
+(** Suspend until a message is available, then dequeue it. *)
+
+val take_into : 'a t -> ('a -> bool) -> unit
+(** Register a one-shot sink.  If a message is already queued it is offered
+    immediately.  A sink returning [false] declines the message (it stays
+    for other consumers) and the sink is dropped. *)
+
+val poll : 'a t -> 'a option
+(** Dequeue without blocking. *)
+
+val length : 'a t -> int
+(** Number of queued (undelivered) messages. *)

@@ -1,0 +1,17 @@
+type t = { id : int; name : string; mutable alive : bool }
+
+let counter = ref 0
+
+let create ~name =
+  incr counter;
+  { id = !counter; name; alive = true }
+
+let name t = t.name
+let id t = t.id
+let alive t = t.alive
+let kill t = t.alive <- false
+
+let alive_opt = function None -> true | Some p -> alive p
+
+let pp ppf t =
+  Format.fprintf ppf "%s#%d%s" t.name t.id (if t.alive then "" else "(dead)")

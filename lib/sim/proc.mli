@@ -1,0 +1,25 @@
+(** Simulated processes with crash-stop semantics.
+
+    A process groups the fibers that belong to one logical node (a replica,
+    a client, an external service).  Killing a process models a crash: none
+    of its suspended fibers ever resume, and no new fibers of that process
+    start.  Crashed processes never recover (crash-stop, paper section 5.2). *)
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val id : t -> int
+(** Unique within one OS process; for display only. *)
+
+val alive : t -> bool
+
+val kill : t -> unit
+(** Idempotent. After [kill p], [alive p = false] forever. *)
+
+val alive_opt : t option -> bool
+(** [true] for [None]: fibers with no owning process never crash. *)
+
+val pp : Format.formatter -> t -> unit

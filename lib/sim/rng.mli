@@ -1,0 +1,42 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Every source of randomness in the simulator flows through a [Rng.t] so
+    that runs are exactly reproducible from a seed.  [split] derives an
+    independent generator, which lets each simulated component own its own
+    stream: adding randomness consumption to one component does not perturb
+    the stream seen by another. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] advances [t] once and returns an independent generator seeded
+    from the drawn value. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [0,1]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. Raises [Invalid_argument] on []. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle. *)

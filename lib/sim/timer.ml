@@ -1,0 +1,10 @@
+let sleep = Engine.sleep
+
+let after_into eng delay sink =
+  Engine.schedule eng ~delay (fun () -> ignore (sink ()))
+
+let with_timeout eng delay iv =
+  let cell = Ivar.create () in
+  Ivar.watch iv (fun v -> Ivar.try_fill cell (Some v));
+  after_into eng delay (fun () -> Ivar.try_fill cell None);
+  Ivar.read eng cell

@@ -1,0 +1,12 @@
+(** Timeouts and timed waits built on the engine clock. *)
+
+val sleep : Engine.t -> int -> unit
+(** Same as {!Engine.sleep}. *)
+
+val after_into : Engine.t -> int -> (unit -> bool) -> unit
+(** Call the sink after the given number of ticks (its result is ignored;
+    the type matches racing sinks such as [Ivar.try_fill]). *)
+
+val with_timeout : Engine.t -> int -> 'a Ivar.t -> 'a option
+(** Wait for the ivar, but give up after the timeout.  [None] on timeout.
+    The ivar may still be filled later by its producer. *)

@@ -1,0 +1,33 @@
+type entry = { time : int; source : string; text : string }
+
+type t = {
+  mutable rev_entries : entry list;
+  mutable count : int;
+  mutable enabled : bool;
+}
+
+let create ?(enabled = true) () = { rev_entries = []; count = 0; enabled }
+
+let set_enabled t b = t.enabled <- b
+
+let record t ~time ~source text =
+  if t.enabled then begin
+    t.rev_entries <- { time; source; text } :: t.rev_entries;
+    t.count <- t.count + 1
+  end
+
+let entries t = List.rev t.rev_entries
+
+let by_source t source =
+  List.filter (fun e -> String.equal e.source source) (entries t)
+
+let length t = t.count
+
+let clear t =
+  t.rev_entries <- [];
+  t.count <- 0
+
+let pp_entry ppf e = Format.fprintf ppf "[%8d] %-14s %s" e.time e.source e.text
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

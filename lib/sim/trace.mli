@@ -1,0 +1,33 @@
+(** In-memory trace of simulation activity.
+
+    A trace records timestamped, tagged text entries in the order the
+    simulator produced them.  Tests use traces to assert determinism (same
+    seed, same trace) and to diagnose protocol behaviour. *)
+
+type entry = {
+  time : int;  (** virtual time at which the entry was recorded *)
+  source : string;  (** component that recorded it, e.g. a replica name *)
+  text : string;
+}
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:int -> source:string -> string -> unit
+(** No-op when the trace is disabled. *)
+
+val entries : t -> entry list
+(** All recorded entries, oldest first. *)
+
+val by_source : t -> string -> entry list
+
+val length : t -> int
+
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,135 @@
+open Xability
+
+type step = {
+  step_action : Action.name;
+  step_kind : Action.kind;
+  step_input : Value.t;
+}
+
+(* Step request ids live in their own range so they cannot collide with
+   client-issued ids; 64 steps per composite suffice. *)
+let sub_rid_base = 500_000_000
+let max_steps = 64
+let sub_rid ~rid ~index = sub_rid_base + (rid * max_steps) + index
+
+type per_rid = {
+  mutable cached_steps : step list option;
+      (** generated once per request so retries re-execute the same
+          program (non-determinism lives in the steps' results) *)
+  mutable subs : Request.t list;  (** reverse first-execution order *)
+  attempted : (int, Request.t list ref) Hashtbl.t;
+      (** per round: undoable step requests attempted, reverse order *)
+}
+
+type t = {
+  env : Environment.t;
+  name : Action.name;
+  states : (int, per_rid) Hashtbl.t;
+  mutable runs : int;
+}
+
+let state t rid =
+  match Hashtbl.find_opt t.states rid with
+  | Some s -> s
+  | None ->
+      let s =
+        { cached_steps = None; subs = []; attempted = Hashtbl.create 4 }
+      in
+      Hashtbl.replace t.states rid s;
+      s
+
+let attempted_cell s round =
+  match Hashtbl.find_opt s.attempted round with
+  | Some cell -> cell
+  | None ->
+      let cell = ref [] in
+      Hashtbl.replace s.attempted round cell;
+      cell
+
+(* Execute a (sub-)request until it succeeds, cancelling failed undoable
+   attempts first — Figure 7's execute-until-success, applied to steps. *)
+let rec run_until_success t (req : Request.t) =
+  t.runs <- t.runs + 1;
+  match Environment.execute t.env req with
+  | Ok v -> v
+  | Error _ ->
+      (match req.kind with
+      | Action.Idempotent -> ()
+      | Action.Undoable ->
+          ignore (finalize_until_success t (Request.cancel_of req)));
+      run_until_success t req
+
+and finalize_until_success t (req : Request.t) =
+  t.runs <- t.runs + 1;
+  match Environment.execute t.env req with
+  | Ok v -> v
+  | Error _ -> finalize_until_success t req
+
+let step_request t ~rid ~round index (st : step) =
+  let req =
+    Request.make ~rid:(sub_rid ~rid ~index) ~action:st.step_action
+      ~kind:st.step_kind ~input:st.step_input
+  in
+  ignore t;
+  match st.step_kind with
+  | Action.Idempotent -> req
+  | Action.Undoable -> Request.with_round req round
+
+let attempt t ~rid ~payload ~round ~rng gen =
+  let s = state t rid in
+  let steps =
+    match s.cached_steps with
+    | Some steps -> steps
+    | None ->
+        let steps = gen ~rid ~payload ~rng in
+        if List.length steps > max_steps then
+          failwith "Composite: too many steps";
+        s.cached_steps <- Some steps;
+        steps
+  in
+  let outputs =
+    List.mapi
+      (fun index st ->
+        let req = step_request t ~rid ~round index st in
+        if not (List.exists (fun r -> Request.key r = Request.key req) s.subs)
+        then s.subs <- req :: s.subs;
+        if st.step_kind = Action.Undoable then begin
+          let cell = attempted_cell s round in
+          cell := req :: !cell
+        end;
+        run_until_success t req)
+      steps
+  in
+  Value.list outputs
+
+let cancel t ~rid ~round =
+  let s = state t rid in
+  let cell = attempted_cell s round in
+  (* Reverse order of execution = saga rollback order; [!cell] is already
+     reversed by construction. *)
+  List.iter
+    (fun req -> ignore (finalize_until_success t (Request.cancel_of req)))
+    !cell;
+  cell := []
+
+let commit t ~rid ~round =
+  let s = state t rid in
+  let cell = attempted_cell s round in
+  List.iter
+    (fun req -> ignore (finalize_until_success t (Request.commit_of req)))
+    (List.rev !cell)
+
+let register env name ~steps:gen =
+  let t = { env; name; states = Hashtbl.create 16; runs = 0 } in
+  Environment.register_undoable env name
+    ~attempt:(fun ~rid ~payload ~round ~rng -> attempt t ~rid ~payload ~round ~rng gen)
+    ~cancel:(fun ~rid ~payload:_ ~round -> cancel t ~rid ~round)
+    ~commit:(fun ~rid ~payload:_ ~round -> commit t ~rid ~round);
+  t
+
+let sub_requests t ~rid =
+  match Hashtbl.find_opt t.states rid with
+  | Some s -> List.rev s.subs
+  | None -> []
+
+let steps_run t = t.runs

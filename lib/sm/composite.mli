@@ -1,0 +1,55 @@
+(** Composite actions: one request whose execution is a {e sequence} of
+    sub-actions (paper sections 2.1 and 4 — "the particular sequence of
+    actions executed in response to a request" may itself be
+    non-deterministic, and R3 constrains the whole sequence).
+
+    A composite is registered as an {e undoable} action whose tentative
+    effect is the in-order execution of the steps its generator produces:
+
+    - executing the composite executes each step until success, in order
+      (idempotent steps retry; undoable steps are cancelled and retried,
+      exactly like Figure 7's [execute-until-success]);
+    - cancelling the composite cancels its undoable steps in reverse
+      order (a saga rollback) — idempotent steps cannot be unexecuted,
+      so composites whose early steps must be revocable should make them
+      undoable;
+    - committing the composite commits its undoable steps in order.
+
+    Step instances are derived deterministically from the composite's
+    request id, step index, and (for undoable steps) the composite's
+    round, so retries of the composite deduplicate exactly like ordinary
+    actions, and cancellation of round [n] cannot touch round [n+1].
+
+    Because x-ability is local, the replication protocol needs no change:
+    it sees one undoable action; the environment history additionally
+    contains the steps' events, each of which must itself be exactly-once
+    — {!sub_requests} exposes them so checkers can include them in the
+    R3 expectation. *)
+
+open Xability
+
+type step = {
+  step_action : Action.name;  (** a registered base action *)
+  step_kind : Action.kind;
+  step_input : Value.t;
+}
+
+type t
+
+val register :
+  Environment.t ->
+  Action.name ->
+  steps:(rid:int -> payload:Value.t -> rng:Xsim.Rng.t -> step list) ->
+  t
+(** Register the composite.  [steps] runs on each fresh attempt of a
+    round (it may be non-deterministic through [rng]); all referenced
+    actions must already be registered with matching kinds.  The
+    composite's output value is the list of the steps' outputs. *)
+
+val sub_requests : t -> rid:int -> Request.t list
+(** The step requests spawned so far on behalf of the given composite
+    request, in first-execution order (one entry per distinct step
+    instance; round-retries of an undoable step appear once). *)
+
+val steps_run : t -> int
+(** Total step executions issued (for experiments). *)

@@ -1,0 +1,142 @@
+(** The environment: every third-party entity the replicated service
+    invokes, together with the hypothetical event observer of the paper
+    (section 2.2).
+
+    The environment hosts {e actions} registered with one of three
+    semantics:
+
+    - {b idempotent}: the action's side-effect and output are fixed at the
+      first effective execution; re-executions observe the same output and
+      cause no further effect (the paper's [Idempotent] set — think of a
+      deduplicating mail gateway or an upsert keyed by request id);
+    - {b undoable}: executions apply a {e tentative} effect, which a
+      cancellation reverses and a commit makes permanent, per retry round
+      (the paper's [Undoable] set — a database transaction);
+    - {b raw}: every execution applies the effect again and may draw a
+      fresh non-deterministic output.  Raw actions are outside the paper's
+      theory; they exist so the baseline replication schemes can exhibit
+      the duplicate side-effects the introduction warns about.
+
+    Executions of the same logical action are serialized (the environment
+    models an external service that processes same-object operations one at
+    a time), take simulated time, and can fail: a failed execution records
+    a start event but no completion, and reports an error to the caller —
+    with probability [fail_after_prob] the side-effect has nevertheless
+    been applied, which is precisely the uncertainty exactly-once
+    protocols must cope with.  To match the paper's assumption that
+    actions eventually succeed, failures per logical action are capped at
+    [max_consecutive_failures] in a row.
+
+    Crucially, execution is carried by environment-owned fibers: a replica
+    that crashes mid-call does not stop the external world from completing
+    the work (the completion event still lands in the history; only the
+    reply is lost). *)
+
+open Xability
+
+type config = {
+  exec_min : int;
+  exec_mean : float;  (** execution duration: min + exponential tail *)
+  finalize_min : int;
+  finalize_mean : float;  (** duration of cancel/commit executions *)
+  fail_prob : float;  (** probability an execution attempt fails *)
+  fail_after_prob : float;
+      (** given failure, probability the effect was applied first *)
+  finalize_fail_prob : float;  (** failure probability of cancel/commit *)
+  max_consecutive_failures : int;
+}
+
+val default_config : config
+(** 40+exp(40) ticks per execution, 10+exp(10) per finalize, no failures. *)
+
+type t
+
+val create : Xsim.Engine.t -> ?config:config -> unit -> t
+
+val engine : t -> Xsim.Engine.t
+
+val config : t -> config
+
+val set_config : t -> config -> unit
+(** Adjust failure/timing knobs mid-run (affects subsequent executions). *)
+
+(** {1 Registration} *)
+
+val register_idempotent :
+  t ->
+  Action.name ->
+  (rid:int -> payload:Value.t -> rng:Xsim.Rng.t -> Value.t) ->
+  unit
+
+val register_undoable :
+  t ->
+  Action.name ->
+  attempt:(rid:int -> payload:Value.t -> round:int -> rng:Xsim.Rng.t -> Value.t) ->
+  cancel:(rid:int -> payload:Value.t -> round:int -> unit) ->
+  commit:(rid:int -> payload:Value.t -> round:int -> unit) ->
+  unit
+
+val register_raw :
+  t ->
+  Action.name ->
+  (rid:int -> payload:Value.t -> rng:Xsim.Rng.t -> Value.t) ->
+  unit
+
+val is_registered : t -> Action.name -> bool
+(** Is the (base of the) given action name registered, with any
+    semantics including raw? *)
+
+val kind_of : t -> Action.name -> Action.kind option
+(** Kind of a registered base action; [None] for raw or unknown names.
+    Usable directly as the checker's [kinds] function. *)
+
+(** {1 Execution (fiber context)} *)
+
+val execute : t -> Request.t -> (Value.t, string) result
+(** Execute the request's action (exec, cancel, or commit variant,
+    dispatched on the request's action name).  Blocks the calling fiber
+    for the simulated duration.  [Error] means the attempt failed. *)
+
+val in_flight : t -> int
+(** Number of executions currently queued or running inside the
+    environment — 0 means the external world is quiescent. *)
+
+(** {1 Observation} *)
+
+val history : t -> History.t
+(** The global event history, in observation order. *)
+
+val checker_expected : t -> Request.t -> Checker.expected
+(** The checker expectation corresponding to a logical request. *)
+
+type key_stats = {
+  action : Action.name;
+  rid : int;
+  attempts : int;  (** execution start events *)
+  completions : int;  (** execution completion events *)
+  applied : int;  (** effective side-effect applications *)
+  committed_rounds : int;
+  cancelled_rounds : int;  (** cancellations that reversed a tentative effect *)
+  net_effects : int;
+      (** surviving effects: raw = applied; idempotent = min(applied,1);
+          undoable = committed rounds *)
+  possible : Value.t list;  (** outputs drawn so far (PossibleReply set) *)
+}
+
+val stats : t -> key_stats list
+(** Per logical request, in first-execution order. *)
+
+val stats_of : t -> Request.t -> key_stats option
+
+val possible_replies : t -> Request.t -> Value.t list
+(** The PossibleReply set for the logical request (section 3.4). *)
+
+val violations : t -> string list
+(** Environment-level protocol violations observed (e.g. commit without a
+    tentative effect, conflicting finalizations).  A correct replication
+    protocol never triggers any. *)
+
+val duplicate_effects : t -> int
+(** Total surplus effective applications beyond exactly-once, across all
+    logical requests ([sum (max 0 (net_effects - 1))] plus lost effects are
+    visible as [net_effects = 0]). *)

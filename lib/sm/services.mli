@@ -1,0 +1,89 @@
+(** Stock external services, registered into an {!Environment}.
+
+    These model the "third-party entities" of the paper's three-tier
+    motivation: a key-value store, a bank ledger with tentative
+    (undoable) money movements, a seat-booking service with
+    non-deterministic seat assignment, and a mail gateway offered both
+    with exactly-once deduplication (idempotent) and raw (at-least-once)
+    semantics.  Each service exposes inspection functions so tests and
+    experiments can assert on final external state. *)
+
+open Xability
+
+(** Key-value store: [kv_put] and [kv_get] are idempotent ([kv_put]
+    deduplicates by request id — re-executions do not rewrite). *)
+module Kv : sig
+  type t
+
+  val register : Environment.t -> ?prefix:string -> unit -> t
+  (** Registers [<prefix>kv_put] (idempotent; payload [(key, value)]) and
+      [<prefix>kv_get] (idempotent; payload [key], returns current value or
+      [Nil]).  Default prefix is [""]. *)
+
+  val get : t -> string -> Value.t option
+  val size : t -> int
+  val put_count : t -> int
+  (** Number of distinct writes applied (duplicates excluded). *)
+end
+
+(** Bank ledger: [transfer] is undoable — executions place a hold
+    (tentative debit/credit), cancel releases it, commit posts it.
+    [balance] is an idempotent read returning the posted balance and
+    is non-deterministic only through its dependence on state. *)
+module Bank : sig
+  type t
+
+  val register :
+    Environment.t -> ?prefix:string -> accounts:(string * int) list -> unit -> t
+  (** Registers [<prefix>transfer] (undoable; payload
+      [((from, to), amount)] encoded as [Pair (Pair (Str, Str), Int)])
+      and [<prefix>balance] (idempotent; payload [Str account]). *)
+
+  val posted_balance : t -> string -> int
+  val held : t -> string -> int
+  (** Sum of outstanding (uncommitted, uncancelled) holds on the account. *)
+
+  val posted_transfers : t -> int
+  val total_money : t -> int
+  (** Invariant: posted money is conserved by transfers. *)
+end
+
+(** Seat booking with non-deterministic assignment: [reserve] is undoable
+    and returns a seat number chosen by the service; cancel frees the
+    seat, commit makes the reservation permanent. *)
+module Booking : sig
+  type t
+
+  val register :
+    Environment.t -> ?prefix:string -> seats:int -> unit -> t
+  (** Registers [<prefix>reserve] (undoable; payload [Str passenger];
+      output [Int seat]). *)
+
+  val confirmed : t -> (int * string) list
+  (** Committed (seat, passenger) pairs. *)
+
+  val held_seats : t -> int
+  (** Seats currently under a tentative hold. *)
+
+  val free_seats : t -> int
+end
+
+(** Mail gateway.  [send] deduplicates by request id (idempotent,
+    Kafka-style exactly-once producer); [send_raw] delivers on every
+    execution (at-least-once) — the baseline schemes use it to exhibit
+    duplicate deliveries. *)
+module Mailer : sig
+  type t
+
+  val register : Environment.t -> ?prefix:string -> unit -> t
+  (** Registers [<prefix>send] (idempotent; payload [Str body]; output
+      [Int message_id]) and [<prefix>send_raw] (raw; same payload). *)
+
+  val deliveries : t -> string list
+  (** All delivered message bodies, in delivery order (duplicates show up
+      multiply). *)
+
+  val delivery_count : t -> int
+  val duplicate_count : t -> int
+  (** Deliveries beyond the first per distinct body. *)
+end

@@ -1,0 +1,27 @@
+open Xability
+
+type t = { env : Environment.t }
+
+let create env = { env }
+
+let kind_of t name = Environment.kind_of t.env name
+
+let is_idempotent t (req : Request.t) =
+  kind_of t (Request.base_action req) = Some Action.Idempotent
+
+let is_undoable t (req : Request.t) =
+  kind_of t (Request.base_action req) = Some Action.Undoable
+
+let knows t name =
+  (* Raw actions are registered but unclassified; probe by execution
+     table membership via a cheap classification query first, then fall
+     back to the environment's registry through [kind_of] semantics. *)
+  match kind_of t name with
+  | Some _ -> true
+  | None -> Environment.is_registered t.env name
+
+let execute t req = Environment.execute t.env req
+
+let possible_replies t req = Environment.possible_replies t.env req
+
+let environment t = t.env

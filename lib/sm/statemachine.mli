@@ -1,0 +1,41 @@
+(** The state machine [S] of the paper (sections 2.1 and 5.3-5.4).
+
+    A state machine names the actions a service exports and how requests
+    dispatch to them.  In the pseudo-code of Figure 6/7, every replica
+    holds a copy of [S] and calls [S.execute(req)], [S.is-idempotent(req)]
+    and [S.is-undoable(req)]; this module is that interface, backed by the
+    shared {!Environment} for the actual side-effects (the environment
+    plays the role of the external world all copies of [S] act upon).
+
+    Keeping the dispatch surface separate from the environment lets a
+    replica hold "its own copy" of the machine, as the paper prescribes,
+    while the observable side-effects flow through the single event
+    history. *)
+
+open Xability
+
+type t
+
+val create : Environment.t -> t
+(** A state machine view over the environment's registered actions. *)
+
+val is_idempotent : t -> Request.t -> bool
+(** Figure 7's [S.is-idempotent(req)] — true when the request's base
+    action is registered idempotent. *)
+
+val is_undoable : t -> Request.t -> bool
+(** Figure 7's [S.is-undoable(req)]. *)
+
+val knows : t -> Action.name -> bool
+(** Is the action registered at all (idempotent, undoable, or raw)? *)
+
+val execute : t -> Request.t -> (Value.t, string) result
+(** Figure 7's [S.execute(req)] — dispatches to the environment (blocking
+    fiber call; may fail). *)
+
+val kind_of : t -> Action.name -> Action.kind option
+
+val possible_replies : t -> Request.t -> Value.t list
+(** The PossibleReply set (section 3.4) for the request. *)
+
+val environment : t -> Environment.t

@@ -1,0 +1,209 @@
+open Xability
+
+type spec = {
+  seed : int;
+  env_config : Xsm.Environment.config;
+  service_config : Xreplication.Service.config;
+  crashes : (int * int) list;
+  client_crash_at : int option;
+  noise : (float * int * int) option;
+  time_limit : int;
+  quiesce_grace : int;
+}
+
+let default_spec =
+  {
+    seed = 42;
+    env_config = Xsm.Environment.default_config;
+    service_config = Xreplication.Service.default_config;
+    crashes = [];
+    client_crash_at = None;
+    noise = None;
+    time_limit = 1_000_000;
+    quiesce_grace = 8_000;
+  }
+
+type submission = { req : Xsm.Request.t; reply : Value.t; latency : int }
+
+type result = {
+  completed : bool;
+  end_time : int;
+  submissions : submission list;
+  report : Checker.report;
+  r4_ok : bool;
+  r4_violations : string list;
+  env_violations : string list;
+  duplicate_effects : int;
+  engine_errors : (int * string * string) list;
+  totals : Xreplication.Service.totals;
+  history_length : int;
+  false_suspicions : int;
+  rounds_per_request : float;
+}
+
+let ok r =
+  r.completed && r.report.Checker.ok && r.r4_ok
+  && r.env_violations = []
+  && r.engine_errors = []
+  && r.duplicate_effects = 0
+
+let failures r =
+  (if r.completed then [] else [ "workload did not complete" ])
+  @ (if r.report.Checker.ok then []
+     else List.map (fun v -> "R3: " ^ v) r.report.Checker.violations)
+  @ List.map (fun v -> "R4: " ^ v) r.r4_violations
+  @ List.map (fun v -> "env: " ^ v) r.env_violations
+  @ List.map
+      (fun (t, f, e) -> Printf.sprintf "fiber error @%d in %s: %s" t f e)
+      r.engine_errors
+  @
+  if r.duplicate_effects = 0 then []
+  else [ Printf.sprintf "duplicate effects: %d" r.duplicate_effects ]
+
+let run ~spec ~setup ~workload () =
+  let eng = Xsim.Engine.create ~seed:spec.seed ~trace_enabled:false () in
+  let env = Xsm.Environment.create eng ~config:spec.env_config () in
+  let srv = setup env in
+  let svc = Xreplication.Service.create eng env spec.service_config in
+  let client = Xreplication.Service.client svc 0 in
+  let submissions_rev = ref [] in
+  let issued_rev = ref [] in
+  let done_iv = Xsim.Ivar.create () in
+  let submit req =
+    issued_rev := req :: !issued_rev;
+    let t0 = Xsim.Engine.now eng in
+    let reply = Xreplication.Client.submit_until_success client req in
+    submissions_rev :=
+      { req; reply; latency = Xsim.Engine.now eng - t0 } :: !submissions_rev;
+    reply
+  in
+  Xsim.Engine.spawn eng
+    ~proc:(Xreplication.Client.proc client)
+    ~name:"workload"
+    (fun () ->
+      workload srv client submit;
+      Xsim.Ivar.fill done_iv ());
+  List.iter
+    (fun (at, idx) ->
+      Xsim.Engine.schedule eng ~delay:at (fun () ->
+          Xreplication.Service.kill_replica svc idx))
+    spec.crashes;
+  (match spec.client_crash_at with
+  | Some at ->
+      Xsim.Engine.schedule eng ~delay:at (fun () ->
+          Xreplication.Service.kill_client svc 0)
+  | None -> ());
+  (match (spec.noise, Xreplication.Service.oracle svc) with
+  | Some (probability, duration, until), Some o ->
+      Xdetect.Oracle.enable_noise o ~probability ~duration ~until ()
+  | _ -> ());
+  (* Drive until the workload completes (or the hard limit). *)
+  Xsim.Ivar.watch done_iv (fun () ->
+      Xsim.Engine.request_stop eng;
+      true);
+  Xsim.Engine.run ~limit:spec.time_limit eng;
+  (* Quiesce: give cleaners and in-flight finalizations time to settle so
+     the final history is not cut mid-action. *)
+  let deadline =
+    min spec.time_limit (Xsim.Engine.now eng + spec.quiesce_grace)
+  in
+  let rec quiesce () =
+    let next = min deadline (Xsim.Engine.now eng + 500) in
+    if Xsim.Engine.now eng < next then begin
+      Xsim.Engine.run ~limit:next eng;
+      if Xsm.Environment.in_flight env > 0 && Xsim.Engine.now eng < deadline
+      then quiesce ()
+      else if Xsim.Engine.now eng < deadline then begin
+        (* One more slice: a cleaner may be between consensus and its
+           finalization actions. *)
+        Xsim.Engine.run ~limit:(min deadline (Xsim.Engine.now eng + 500)) eng;
+        if Xsm.Environment.in_flight env > 0 && Xsim.Engine.now eng < deadline
+        then quiesce ()
+      end
+    end
+  in
+  quiesce ();
+  let completed = Xsim.Ivar.is_full done_iv in
+  let issued = List.rev !issued_rev in
+  let submissions = List.rev !submissions_rev in
+  let history = Xsm.Environment.history env in
+  let kinds = Xsm.Environment.kind_of env in
+  let expected = List.map (Xsm.Environment.checker_expected env) issued in
+  let check exp =
+    Checker.check ~kinds ~logical_of:Xsm.Request.logical_of_env_iv
+      ~round_of:Xsm.Request.round_of_env_iv ~engine:`Hybrid ~expected:exp
+      history
+  in
+  let report =
+    let full = check expected in
+    if full.Checker.ok || completed then full
+    else
+      (* Client crashed: also accept the history without the last issued
+         request, provided that request left no events (at-most-once). *)
+      match List.rev expected with
+      | last :: rest_rev ->
+          let without_last = check (List.rev rest_rev) in
+          let last_untouched =
+            List.for_all
+              (fun (g : Checker.group_result) ->
+                not
+                  (g.expected.Checker.action = last.Checker.action
+                  && Value.equal g.expected.Checker.logical
+                       last.Checker.logical)
+                || g.events = 0)
+              full.Checker.groups
+          in
+          if without_last.Checker.ok && last_untouched then without_last
+          else full
+      | [] -> full
+  in
+  let r4_violations =
+    List.filter_map
+      (fun s ->
+        let possible = Xsm.Environment.possible_replies env s.req in
+        if List.exists (Value.equal s.reply) possible then None
+        else
+          Some
+            (Printf.sprintf "reply %s to %s not in PossibleReply {%s}"
+               (Value.to_string s.reply) (Xsm.Request.key s.req)
+               (String.concat ", " (List.map Value.to_string possible))))
+      submissions
+  in
+  let false_suspicions =
+    match
+      (Xreplication.Service.oracle svc, Xreplication.Service.heartbeat svc)
+    with
+    | Some o, _ -> Xdetect.Oracle.false_suspicions o
+    | None, Some hb -> Xdetect.Heartbeat.false_suspicions hb
+    | None, None -> 0
+  in
+  let totals = Xreplication.Service.totals svc in
+  let result =
+    {
+      completed;
+      end_time = Xsim.Engine.now eng;
+      submissions;
+      report;
+      r4_ok = r4_violations = [];
+      r4_violations;
+      env_violations = Xsm.Environment.violations env;
+      duplicate_effects = Xsm.Environment.duplicate_effects env;
+      engine_errors =
+        List.map
+          (fun (t, f, e) -> (t, f, Printexc.to_string e))
+          (Xsim.Engine.errors eng);
+      totals;
+      history_length = History.length history;
+      false_suspicions;
+      rounds_per_request =
+        Stats.ratio totals.Xreplication.Service.rounds_owned
+          (max 1 (List.length issued));
+    }
+  in
+  (result, srv)
+
+let timed_pp ppf r =
+  Format.fprintf ppf
+    "completed=%b x-able=%b r4=%b dup=%d rounds/req=%.2f hist=%d end=%d"
+    r.completed r.report.Checker.ok r.r4_ok r.duplicate_effects
+    r.rounds_per_request r.history_length r.end_time

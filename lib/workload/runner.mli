@@ -1,0 +1,87 @@
+(** Scenario runner: build a simulated deployment of the paper's protocol,
+    drive a client workload through it under a fault schedule, let the
+    system quiesce, and verify the paper's requirements R1–R4 on the
+    resulting run.
+
+    Verification performed on every run:
+    - {b R2/liveness}: every workload request received a reply (the run
+      [completed]) unless the client was crashed on purpose;
+    - {b R3/x-ability}: the environment history reduces to a failure-free
+      history of the submitted request sequence ({!Xability.Checker});
+    - {b R4/possible replies}: every reply the client accepted is in the
+      environment's PossibleReply set for that request;
+    - environment-level exactly-once accounting: net effects per request,
+      duplicate effects, environment violations;
+    - simulator hygiene: no fiber died with an uncaught exception.
+
+    (R1, idempotence of [submit], is exercised separately by tests that
+    force client retries and is implied by R3 holding under retries.) *)
+
+type spec = {
+  seed : int;
+  env_config : Xsm.Environment.config;
+  service_config : Xreplication.Service.config;
+  crashes : (int * int) list;  (** (virtual time, replica index) *)
+  client_crash_at : int option;
+  noise : (float * int * int) option;
+      (** oracle-detector false-suspicion noise: (probability per poll,
+          suspicion duration, active until) *)
+  time_limit : int;  (** hard stop for the whole run *)
+  quiesce_grace : int;  (** extra time after the workload completes *)
+}
+
+val default_spec : spec
+
+(** What the client workload did: each submitted request with its reply
+    and observed latency. *)
+type submission = {
+  req : Xsm.Request.t;
+  reply : Xability.Value.t;
+  latency : int;
+}
+
+type result = {
+  completed : bool;  (** the workload fiber ran to completion *)
+  end_time : int;
+  submissions : submission list;
+  report : Xability.Checker.report;  (** R3 verdict over the env history *)
+  r4_ok : bool;
+  r4_violations : string list;
+  env_violations : string list;
+  duplicate_effects : int;
+  engine_errors : (int * string * string) list;
+  totals : Xreplication.Service.totals;
+  history_length : int;
+  false_suspicions : int;
+  rounds_per_request : float;  (** mean rounds of owner-agreement used *)
+}
+
+val ok : result -> bool
+(** All checks green: completed, R3, R4, no violations, no fiber errors. *)
+
+val failures : result -> string list
+(** Human-readable list of everything that went wrong (empty iff [ok]). *)
+
+val run :
+  spec:spec ->
+  setup:(Xsm.Environment.t -> 'srv) ->
+  workload:
+    ('srv ->
+    Xreplication.Client.t ->
+    (Xsm.Request.t -> Xability.Value.t) ->
+    unit) ->
+  unit ->
+  result * 'srv
+(** [setup] registers services on the environment and returns whatever
+    handle the workload needs.  [workload srv client submit] runs inside
+    the client's fiber; it must issue requests through the provided
+    [submit], which records each request (defining the R3 expectation,
+    in issue order) and its reply latency.
+
+    If the spec crashes the client, the workload fiber dies silently;
+    per the paper's at-most-once discussion (section 4), the checker
+    then also accepts the history in which the {e last} issued request
+    was never processed. *)
+
+val timed_pp : Format.formatter -> result -> unit
+(** One-line summary, for experiment tables. *)

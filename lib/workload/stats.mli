@@ -1,0 +1,17 @@
+(** Small numeric helpers for experiment reporting. *)
+
+val mean : float list -> float
+(** 0.0 on the empty list. *)
+
+val mean_int : int list -> float
+
+val stddev : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile 0.5 xs] is the median (nearest-rank on the sorted list);
+    0.0 on the empty list. *)
+
+val min_max : float list -> float * float
+
+val ratio : int -> int -> float
+(** [ratio num den] with 0.0 for a zero denominator. *)

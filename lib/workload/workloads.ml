@@ -1,0 +1,57 @@
+open Xability
+
+type services = {
+  mailer : Xsm.Services.Mailer.t;
+  bank : Xsm.Services.Bank.t;
+  booking : Xsm.Services.Booking.t;
+  kv : Xsm.Services.Kv.t;
+}
+
+let setup_all env =
+  {
+    mailer = Xsm.Services.Mailer.register env ();
+    bank =
+      Xsm.Services.Bank.register env
+        ~accounts:[ ("alice", 10_000); ("bob", 0) ]
+        ();
+    booking = Xsm.Services.Booking.register env ~seats:64 ();
+    kv = Xsm.Services.Kv.register env ();
+  }
+
+let send client ~body =
+  Xreplication.Client.request client ~action:"send" ~kind:Action.Idempotent
+    ~input:(Value.str body)
+
+let transfer client ~from_acct ~to_acct ~amount =
+  Xreplication.Client.request client ~action:"transfer" ~kind:Action.Undoable
+    ~input:
+      (Value.pair (Value.pair (Value.str from_acct) (Value.str to_acct))
+         (Value.int amount))
+
+let reserve client ~passenger =
+  Xreplication.Client.request client ~action:"reserve" ~kind:Action.Undoable
+    ~input:(Value.str passenger)
+
+let kv_put client ~key ~value =
+  Xreplication.Client.request client ~action:"kv_put" ~kind:Action.Idempotent
+    ~input:(Value.pair (Value.str key) value)
+
+let kv_get client ~key =
+  Xreplication.Client.request client ~action:"kv_get" ~kind:Action.Idempotent
+    ~input:(Value.str key)
+
+type mix = Idempotent_only | Undoable_only | Mixed
+
+let sequence mix ~n client submit =
+  for i = 1 to n do
+    let req =
+      match mix with
+      | Idempotent_only -> send client ~body:(Printf.sprintf "mail-%d" i)
+      | Undoable_only ->
+          transfer client ~from_acct:"alice" ~to_acct:"bob" ~amount:i
+      | Mixed ->
+          if i mod 2 = 1 then send client ~body:(Printf.sprintf "mail-%d" i)
+          else transfer client ~from_acct:"alice" ~to_acct:"bob" ~amount:i
+    in
+    ignore (submit req)
+  done

@@ -1,0 +1,35 @@
+(** Standard workloads over the stock services, shared by tests,
+    examples, and the benchmark harness. *)
+
+open Xability
+
+type services = {
+  mailer : Xsm.Services.Mailer.t;
+  bank : Xsm.Services.Bank.t;
+  booking : Xsm.Services.Booking.t;
+  kv : Xsm.Services.Kv.t;
+}
+
+val setup_all : Xsm.Environment.t -> services
+(** Register a mailer, a bank (alice: 10_000, bob: 0), a 64-seat booking
+    service, and a key-value store. *)
+
+(** Request constructors (fresh request ids from the client). *)
+
+val send : Xreplication.Client.t -> body:string -> Xsm.Request.t
+val transfer :
+  Xreplication.Client.t -> from_acct:string -> to_acct:string -> amount:int ->
+  Xsm.Request.t
+val reserve : Xreplication.Client.t -> passenger:string -> Xsm.Request.t
+val kv_put : Xreplication.Client.t -> key:string -> value:Value.t -> Xsm.Request.t
+val kv_get : Xreplication.Client.t -> key:string -> Xsm.Request.t
+
+type mix = Idempotent_only | Undoable_only | Mixed
+
+val sequence :
+  mix -> n:int ->
+  Xreplication.Client.t ->
+  (Xsm.Request.t -> Value.t) ->
+  unit
+(** Issue [n] requests sequentially: mail sends (idempotent), bank
+    transfers (undoable), or an alternation. *)

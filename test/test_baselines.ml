@@ -1,0 +1,340 @@
+(* Tests for the baseline replication schemes (xbaselines): they work in
+   benign runs and exhibit exactly the pathologies the paper's
+   introduction attributes to them under faults. *)
+
+open Xability
+module Engine = Xsim.Engine
+module Env = Xsm.Environment
+module PB = Xbaselines.Primary_backup
+module Active = Xbaselines.Active
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let raw_send_req rid body =
+  Xsm.Request.make ~rid ~action:"send_raw" ~kind:Action.Idempotent
+    ~input:(Value.str body)
+
+let setup ?(seed = 3) () =
+  let eng = Engine.create ~seed () in
+  let env = Env.create eng () in
+  let mailer = Xsm.Services.Mailer.register env () in
+  (eng, env, mailer)
+
+(* ------------------------------------------------------------------ *)
+(* Primary-backup *)
+
+let run_pb ?(seed = 3) ?(crash_at = None) ~n () =
+  let eng, env, mailer = setup ~seed () in
+  let pb = PB.create eng env PB.default_config in
+  let done_iv = Xsim.Ivar.create () in
+  Engine.spawn eng ~proc:(PB.client_proc pb) ~name:"client" (fun () ->
+      for i = 1 to n do
+        ignore (PB.submit_until_success pb (raw_send_req i (Printf.sprintf "m%d" i)))
+      done;
+      Xsim.Ivar.fill done_iv ());
+  (match crash_at with
+  | Some at -> Engine.schedule eng ~delay:at (fun () -> PB.kill_replica pb 0)
+  | None -> ());
+  Xsim.Ivar.watch done_iv (fun () ->
+      Engine.request_stop eng;
+      true);
+  Engine.run ~limit:3_000_000 eng;
+  (Xsim.Ivar.is_full done_iv, mailer, pb, eng)
+
+let test_pb_failure_free () =
+  let completed, mailer, _, eng = run_pb ~n:5 () in
+  checkb "completed" true completed;
+  checki "exactly-once without faults" 5
+    (Xsm.Services.Mailer.delivery_count mailer);
+  checki "no duplicates" 0 (Xsm.Services.Mailer.duplicate_count mailer);
+  checkb "no fiber errors" true (Engine.errors eng = [])
+
+let test_pb_failover_completes () =
+  let completed, mailer, _, _ = run_pb ~seed:7 ~crash_at:(Some 130) ~n:5 () in
+  checkb "completed despite primary crash" true completed;
+  checkb "all mails delivered at least once" true
+    (Xsm.Services.Mailer.delivery_count mailer >= 5)
+
+let test_pb_duplicates_across_seeds () =
+  (* Window (a): the primary executes, replies lost / not propagated,
+     crashes; the new primary re-executes.  Some seed in this small sweep
+     must exhibit a duplicate delivery — that is the scheme's documented
+     failure mode. *)
+  let total_dups = ref 0 in
+  for seed = 1 to 12 do
+    let crash_at = Some (100 + (seed * 13)) in
+    let completed, mailer, _, _ = run_pb ~seed ~crash_at ~n:5 () in
+    if completed then
+      total_dups := !total_dups + Xsm.Services.Mailer.duplicate_count mailer
+  done;
+  checkb
+    (Printf.sprintf "duplicates across failovers (%d)" !total_dups)
+    true (!total_dups > 0)
+
+let test_pb_false_suspicion_two_primaries () =
+  (* Window (b): a false suspicion at the client sends the request to the
+     backup while the real primary is alive.  Force it via the oracle. *)
+  let eng, env, mailer = setup ~seed:11 () in
+  let pb = PB.create eng env PB.default_config in
+  let done_iv = Xsim.Ivar.create () in
+  Engine.spawn eng ~proc:(PB.client_proc pb) ~name:"client" (fun () ->
+      ignore (PB.submit_until_success pb (raw_send_req 1 "m1"));
+      Xsim.Ivar.fill done_iv ());
+  (* Everyone (client and backups) falsely suspects the primary just as
+     the request is in flight; the backup executes; the primary also
+     executes the original delivery. *)
+  let orc = PB.oracle pb in
+  List.iter
+    (fun observer ->
+      Xdetect.Oracle.inject_false orc ~at:30
+        ~observer:(Xnet.Address.of_string observer)
+        ~target:(Xnet.Address.make ~role:"pb" ~index:0)
+        ~duration:4_000)
+    [ "pb-client" ];
+  Xdetect.Oracle.inject_false orc ~at:30
+    ~observer:(Xnet.Address.make ~role:"pb" ~index:1)
+    ~target:(Xnet.Address.make ~role:"pb" ~index:0)
+    ~duration:4_000;
+  Xsim.Ivar.watch done_iv (fun () ->
+      Engine.request_stop eng;
+      true);
+  Engine.run ~limit:3_000_000 eng;
+  (* Let the falsely-suspected primary finish its in-flight work. *)
+  Engine.run ~limit:(Engine.now eng + 5_000) eng;
+  checkb "delivered at least once" true
+    (Xsm.Services.Mailer.delivery_count mailer >= 1);
+  ignore mailer
+
+(* ------------------------------------------------------------------ *)
+(* Active replication *)
+
+let run_active ?(seed = 3) ?(n_replicas = 3) ~n () =
+  let eng = Engine.create ~seed () in
+  let env = Env.create eng () in
+  let mailer = Xsm.Services.Mailer.register env () in
+  Env.register_idempotent env "roll" (fun ~rid:_ ~payload:_ ~rng ->
+      Value.int (Xsim.Rng.int rng 1_000_000));
+  Env.register_raw env "roll_raw" (fun ~rid:_ ~payload:_ ~rng ->
+      Value.int (Xsim.Rng.int rng 1_000_000));
+  let active =
+    Active.create eng env { Active.default_config with n_replicas }
+  in
+  let done_iv = Xsim.Ivar.create () in
+  Engine.spawn eng ~proc:(Active.client_proc active) ~name:"client" (fun () ->
+      for i = 1 to n do
+        ignore
+          (Active.submit_until_success active
+             (raw_send_req i (Printf.sprintf "m%d" i)))
+      done;
+      Xsim.Ivar.fill done_iv ());
+  Xsim.Ivar.watch done_iv (fun () ->
+      Engine.request_stop eng;
+      true);
+  Engine.run ~limit:3_000_000 eng;
+  (* Let the other replicas' executions land. *)
+  Engine.run ~limit:(Engine.now eng + 10_000) eng;
+  (Xsim.Ivar.is_full done_iv, mailer, active, eng)
+
+let test_active_completes () =
+  let completed, _, _, eng = run_active ~n:4 () in
+  checkb "completed" true completed;
+  checkb "no fiber errors" true (Engine.errors eng = [])
+
+let test_active_duplicates_side_effects () =
+  let completed, mailer, _, _ = run_active ~n:4 ~n_replicas:3 () in
+  checkb "completed" true completed;
+  (* Every replica delivers every raw mail: 3x amplification. *)
+  checki "n-fold delivery" 12 (Xsm.Services.Mailer.delivery_count mailer);
+  checki "duplicates = (n-1) per request" 8
+    (Xsm.Services.Mailer.duplicate_count mailer)
+
+let test_active_masks_crash_without_takeover () =
+  let eng = Engine.create ~seed:5 () in
+  let env = Env.create eng () in
+  let mailer = Xsm.Services.Mailer.register env () in
+  let active = Active.create eng env Active.default_config in
+  Active.kill_replica active 0;
+  let done_iv = Xsim.Ivar.create () in
+  Engine.spawn eng ~proc:(Active.client_proc active) ~name:"client" (fun () ->
+      ignore (Active.submit_until_success active (raw_send_req 1 "m1"));
+      Xsim.Ivar.fill done_iv ());
+  Xsim.Ivar.watch done_iv (fun () ->
+      Engine.request_stop eng;
+      true);
+  Engine.run ~limit:1_000_000 eng;
+  checkb "masked: client got a reply with a dead replica" true
+    (Xsim.Ivar.is_full done_iv);
+  checkb "delivered" true (Xsm.Services.Mailer.delivery_count mailer >= 1)
+
+let test_active_divergent_replies_on_nondeterminism () =
+  let eng = Engine.create ~seed:9 () in
+  let env = Env.create eng () in
+  Env.register_raw env "roll_raw" (fun ~rid:_ ~payload:_ ~rng ->
+      Value.int (Xsim.Rng.int rng 1_000_000));
+  let active = Active.create eng env Active.default_config in
+  let done_iv = Xsim.Ivar.create () in
+  Engine.spawn eng ~proc:(Active.client_proc active) ~name:"client" (fun () ->
+      for i = 1 to 5 do
+        let req =
+          Xsm.Request.make ~rid:i ~action:"roll_raw" ~kind:Action.Idempotent
+            ~input:Value.unit
+        in
+        ignore (Active.submit_until_success active req)
+      done;
+      Xsim.Ivar.fill done_iv ());
+  Xsim.Ivar.watch done_iv (fun () ->
+      Engine.request_stop eng;
+      true);
+  Engine.run ~limit:1_000_000 eng;
+  Engine.run ~limit:(Engine.now eng + 10_000) eng;
+  checkb "replicas disagreed on some result" true
+    (Active.divergent_replies active > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Contrast: same raw-action workload through the x-ability protocol,
+   using the idempotent mail action, stays exactly-once under the same
+   crash schedule that made primary-backup duplicate. *)
+
+let test_contrast_with_protocol () =
+  let spec =
+    {
+      Xworkload.Runner.default_spec with
+      seed = 40;
+      crashes = [ (140, 0) ];
+    }
+  in
+  let r, srv =
+    Xworkload.Runner.run ~spec ~setup:Xworkload.Workloads.setup_all
+      ~workload:(fun _srv client submit ->
+        Xworkload.Workloads.sequence Idempotent_only ~n:5 client submit)
+      ()
+  in
+  checkb "protocol run ok" true (Xworkload.Runner.ok r);
+  checki "exactly-once" 5
+    (Xsm.Services.Mailer.delivery_count srv.Xworkload.Workloads.mailer)
+
+
+(* ------------------------------------------------------------------ *)
+(* Semi-passive replication *)
+
+module SP = Xbaselines.Semi_passive
+
+let run_sp ?(seed = 3) ?(crash_at = None) ?(false_suspicion = false) ~n () =
+  let eng = Engine.create ~seed () in
+  let env = Env.create eng () in
+  let mailer = Xsm.Services.Mailer.register env () in
+  let sp = SP.create eng env SP.default_config in
+  let done_iv = Xsim.Ivar.create () in
+  Engine.spawn eng ~proc:(SP.client_proc sp) ~name:"client" (fun () ->
+      for i = 1 to n do
+        ignore (SP.submit_until_success sp (raw_send_req i (Printf.sprintf "m%d" i)))
+      done;
+      Xsim.Ivar.fill done_iv ());
+  (match crash_at with
+  | Some at -> Engine.schedule eng ~delay:at (fun () -> SP.kill_replica sp 0)
+  | None -> ());
+  if false_suspicion then begin
+    let orc = SP.oracle sp in
+    Xdetect.Oracle.inject_false orc ~at:40
+      ~observer:(Xnet.Address.make ~role:"sp" ~index:1)
+      ~target:(Xnet.Address.make ~role:"sp" ~index:0)
+      ~duration:3_000
+  end;
+  Xsim.Ivar.watch done_iv (fun () ->
+      Engine.request_stop eng;
+      true);
+  Engine.run ~limit:3_000_000 eng;
+  Engine.run ~limit:(Engine.now eng + 10_000) eng;
+  (Xsim.Ivar.is_full done_iv, mailer, sp, eng)
+
+let test_sp_failure_free () =
+  let completed, mailer, sp, eng = run_sp ~n:5 () in
+  checkb "completed" true completed;
+  checki "exactly-once without faults" 5
+    (Xsm.Services.Mailer.delivery_count mailer);
+  checki "one execution per request" 5 (SP.executions sp);
+  checkb "no fiber errors" true (Engine.errors eng = [])
+
+let test_sp_coordinator_crash_completes () =
+  let completed, mailer, _, _ = run_sp ~seed:5 ~crash_at:(Some 120) ~n:5 () in
+  checkb "completed despite coordinator crash" true completed;
+  checkb "all mails delivered at least once" true
+    (Xsm.Services.Mailer.delivery_count mailer >= 5)
+
+let test_sp_false_suspicion_duplicates () =
+  (* A false suspicion at a backup makes two coordinators execute the same
+     request: semi-passive's residual duplicate-side-effect window. *)
+  let dup_total = ref 0 in
+  for seed = 1 to 10 do
+    let completed, mailer, _, _ =
+      run_sp ~seed ~false_suspicion:true ~n:3 ()
+    in
+    if completed then
+      dup_total := !dup_total + Xsm.Services.Mailer.duplicate_count mailer
+  done;
+  checkb
+    (Printf.sprintf "duplicates under false suspicion (%d)" !dup_total)
+    true (!dup_total > 0)
+
+let test_sp_consistent_replies () =
+  (* Even when two coordinators execute a non-deterministic action, the
+     consensus object makes every reply equal. *)
+  let eng = Engine.create ~seed:11 () in
+  let env = Env.create eng () in
+  Env.register_raw env "roll_raw" (fun ~rid:_ ~payload:_ ~rng ->
+      Value.int (Xsim.Rng.int rng 1_000_000));
+  let sp = SP.create eng env SP.default_config in
+  let replies = ref [] in
+  let done_iv = Xsim.Ivar.create () in
+  Engine.spawn eng ~proc:(SP.client_proc sp) ~name:"client" (fun () ->
+      let req =
+        Xsm.Request.make ~rid:1 ~action:"roll_raw" ~kind:Action.Idempotent
+          ~input:Value.unit
+      in
+      (* Submit twice: second submit must return the same agreed value. *)
+      let v1 = SP.submit_until_success sp req in
+      let v2 = SP.submit_until_success sp req in
+      replies := [ v1; v2 ];
+      Xsim.Ivar.fill done_iv ());
+  Xdetect.Oracle.inject_false (SP.oracle sp) ~at:30
+    ~observer:(Xnet.Address.make ~role:"sp" ~index:1)
+    ~target:(Xnet.Address.make ~role:"sp" ~index:0)
+    ~duration:2_000;
+  Xsim.Ivar.watch done_iv (fun () ->
+      Engine.request_stop eng;
+      true);
+  Engine.run ~limit:3_000_000 eng;
+  match !replies with
+  | [ v1; v2 ] -> checkb "replies agree" true (Value.equal v1 v2)
+  | _ -> Alcotest.fail "expected two replies"
+
+let tc name f = Alcotest.test_case name `Quick f
+let ts name f = Alcotest.test_case name `Slow f
+
+let () =
+  Alcotest.run "xbaselines"
+    [
+      ( "primary-backup",
+        [
+          tc "failure-free exactly-once" test_pb_failure_free;
+          tc "failover completes" test_pb_failover_completes;
+          ts "failover duplicates side-effects" test_pb_duplicates_across_seeds;
+          tc "false suspicion window" test_pb_false_suspicion_two_primaries;
+        ] );
+      ( "active",
+        [
+          tc "completes" test_active_completes;
+          tc "n-fold side-effects" test_active_duplicates_side_effects;
+          tc "masks crash without takeover" test_active_masks_crash_without_takeover;
+          tc "divergent replies" test_active_divergent_replies_on_nondeterminism;
+        ] );
+      ( "semi-passive",
+        [
+          tc "failure-free exactly-once" test_sp_failure_free;
+          tc "coordinator crash completes" test_sp_coordinator_crash_completes;
+          tc "false suspicion duplicates" test_sp_false_suspicion_duplicates;
+          tc "consistent replies" test_sp_consistent_replies;
+        ] );
+      ("contrast", [ tc "x-protocol stays exactly-once" test_contrast_with_protocol ]);
+    ]

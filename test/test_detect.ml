@@ -1,0 +1,252 @@
+(* Tests for failure detectors (xdetect): the oracle and the
+   heartbeat-based eventually-perfect detector. *)
+
+module Engine = Xsim.Engine
+module Proc = Xsim.Proc
+module Address = Xnet.Address
+module Detector = Xdetect.Detector
+module Oracle = Xdetect.Oracle
+module Heartbeat = Xdetect.Heartbeat
+module Board = Xdetect.Board
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let addr name = Address.of_string name
+
+(* ------------------------------------------------------------------ *)
+(* Board *)
+
+let test_board_get_set () =
+  let b = Board.create () in
+  let o = addr "o" and t = addr "t" in
+  checkb "initially unsuspected" false (Board.get b ~observer:o ~target:t);
+  Board.set b ~observer:o ~target:t true;
+  checkb "suspected" true (Board.get b ~observer:o ~target:t);
+  Board.set b ~observer:o ~target:t false;
+  checkb "retracted" false (Board.get b ~observer:o ~target:t)
+
+let test_board_onset_subscription () =
+  let b = Board.create () in
+  let o = addr "o" and t = addr "t" in
+  let onsets = ref 0 in
+  Board.subscribe b ~observer:o (fun _ -> incr onsets);
+  Board.set b ~observer:o ~target:t true;
+  Board.set b ~observer:o ~target:t true;
+  (* no transition *)
+  Board.set b ~observer:o ~target:t false;
+  Board.set b ~observer:o ~target:t true;
+  checki "two onsets" 2 !onsets
+
+let test_board_watch_one_shot () =
+  let b = Board.create () in
+  let o = addr "o" and t = addr "t" in
+  let fired = ref 0 in
+  Board.watch b ~observer:o ~target:t (fun () ->
+      incr fired;
+      true);
+  Board.set b ~observer:o ~target:t true;
+  Board.set b ~observer:o ~target:t false;
+  Board.set b ~observer:o ~target:t true;
+  checki "fires once" 1 !fired
+
+let test_board_watch_immediate_when_suspected () =
+  let b = Board.create () in
+  let o = addr "o" and t = addr "t" in
+  Board.set b ~observer:o ~target:t true;
+  let fired = ref false in
+  Board.watch b ~observer:o ~target:t (fun () ->
+      fired := true;
+      true);
+  checkb "immediate" true !fired
+
+let test_detector_never () =
+  checkb "never suspects" false
+    (Detector.suspects Detector.never ~observer:(addr "o") ~target:(addr "t"))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle *)
+
+let oracle_setup () =
+  let eng = Engine.create ~seed:3 () in
+  let o = addr "observer" in
+  let t1 = addr "t1" and t2 = addr "t2" in
+  let p1 = Proc.create ~name:"t1" and p2 = Proc.create ~name:"t2" in
+  let orc =
+    Oracle.create eng ~observers:[ o ] ~targets:[ (t1, p1); (t2, p2) ]
+      ~detection_delay:100 ~poll_interval:10 ()
+  in
+  (eng, o, (t1, p1), (t2, p2), orc)
+
+let test_oracle_completeness () =
+  let eng, o, (t1, p1), (t2, _), orc = oracle_setup () in
+  let d = Oracle.detector orc in
+  Engine.schedule eng ~delay:50 (fun () -> Proc.kill p1);
+  Engine.run ~limit:1_000 eng;
+  checkb "crashed target suspected" true (Detector.suspects d ~observer:o ~target:t1);
+  checkb "live target not suspected" false
+    (Detector.suspects d ~observer:o ~target:t2)
+
+let test_oracle_detection_delay () =
+  let eng, o, (t1, p1), _, orc = oracle_setup () in
+  let d = Oracle.detector orc in
+  Proc.kill p1;
+  Engine.run ~limit:50 eng;
+  checkb "not yet (within delay)" false (Detector.suspects d ~observer:o ~target:t1);
+  Engine.run ~limit:500 eng;
+  checkb "suspected after delay" true (Detector.suspects d ~observer:o ~target:t1)
+
+let test_oracle_injected_false_suspicion_retracts () =
+  let eng, o, (t1, _), _, orc = oracle_setup () in
+  let d = Oracle.detector orc in
+  Oracle.inject_false orc ~at:100 ~observer:o ~target:t1 ~duration:200;
+  Engine.run ~limit:150 eng;
+  checkb "suspected during window" true (Detector.suspects d ~observer:o ~target:t1);
+  Engine.run ~limit:1_000 eng;
+  checkb "retracted after window (target alive)" false
+    (Detector.suspects d ~observer:o ~target:t1);
+  checki "counted" 1 (Oracle.false_suspicions orc)
+
+let test_oracle_false_suspicion_sticks_if_target_dies () =
+  let eng, o, (t1, p1), _, orc = oracle_setup () in
+  let d = Oracle.detector orc in
+  Oracle.inject_false orc ~at:100 ~observer:o ~target:t1 ~duration:200;
+  Engine.schedule eng ~delay:150 (fun () -> Proc.kill p1);
+  Engine.run ~limit:1_000 eng;
+  checkb "suspicion persists for dead target" true
+    (Detector.suspects d ~observer:o ~target:t1)
+
+let test_oracle_noise_eventually_quiet () =
+  let eng, o, (t1, _), _, orc = oracle_setup () in
+  let d = Oracle.detector orc in
+  Oracle.enable_noise orc ~probability:0.5 ~duration:50 ~until:500 ();
+  Engine.run ~limit:400 eng;
+  checkb "noise produced suspicions" true (Oracle.false_suspicions orc > 0);
+  Engine.run ~limit:2_000 eng;
+  checkb "quiet after until (eventual accuracy)" false
+    (Detector.suspects d ~observer:o ~target:t1)
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat *)
+
+let hb_setup ~latency =
+  let eng = Engine.create ~seed:11 () in
+  let members =
+    List.init 3 (fun i ->
+        let a = Address.make ~role:"n" ~index:i in
+        (a, Proc.create ~name:(Address.to_string a)))
+  in
+  let hb =
+    Heartbeat.create eng ~latency ~members ~period:20 ~initial_timeout:80
+      ~timeout_increment:60 ()
+  in
+  (eng, members, hb)
+
+let test_heartbeat_no_false_suspicion_when_synchronous () =
+  let eng, members, hb = hb_setup ~latency:(Xnet.Latency.Constant 10) in
+  ignore members;
+  Engine.run ~limit:5_000 eng;
+  checki "no suspicions under bounded delay" 0 (Heartbeat.suspicions hb)
+
+let test_heartbeat_completeness () =
+  let eng, members, hb = hb_setup ~latency:(Xnet.Latency.Constant 10) in
+  let d = Heartbeat.detector hb in
+  let a0, p0 = List.nth members 0 in
+  let a1, _ = List.nth members 1 in
+  Engine.schedule eng ~delay:500 (fun () -> Proc.kill p0);
+  Engine.run ~limit:5_000 eng;
+  checkb "crashed member suspected" true
+    (Detector.suspects d ~observer:a1 ~target:a0);
+  checkb "live member not suspected" false
+    (Detector.suspects d ~observer:a0 ~target:a1)
+
+let test_heartbeat_eventual_accuracy_under_phases () =
+  (* Chaotic delays until t=3000, then bounded: ◇P must stop suspecting. *)
+  let latency =
+    Xnet.Latency.Phases
+      ([ (3_000, Xnet.Latency.Uniform (5, 400)) ], Xnet.Latency.Constant 10)
+  in
+  let eng, members, hb = hb_setup ~latency in
+  let d = Heartbeat.detector hb in
+  Engine.run ~limit:3_000 eng;
+  let noisy = Heartbeat.false_suspicions hb in
+  Engine.run ~limit:30_000 eng;
+  (* After stabilisation plus adaptation, live members are unsuspected. *)
+  List.iter
+    (fun (o, _) ->
+      List.iter
+        (fun (t, _) ->
+          if not (Address.equal o t) then
+            checkb "eventually accurate" false
+              (Detector.suspects d ~observer:o ~target:t))
+        members)
+    members;
+  checkb "chaos produced suspicions (test is meaningful)" true (noisy >= 0)
+
+let test_heartbeat_timeout_adapts () =
+  let latency =
+    Xnet.Latency.Phases
+      ([ (3_000, Xnet.Latency.Uniform (5, 400)) ], Xnet.Latency.Constant 10)
+  in
+  let eng, members, hb = hb_setup ~latency in
+  let a0, _ = List.nth members 0 and a1, _ = List.nth members 1 in
+  let before = Heartbeat.timeout_of hb ~observer:a0 ~target:a1 in
+  Engine.run ~limit:30_000 eng;
+  let after = Heartbeat.timeout_of hb ~observer:a0 ~target:a1 in
+  checkb
+    (Printf.sprintf "timeout grew under churn (%d -> %d) iff refutations" before
+       after)
+    true
+    (after >= before)
+
+let test_heartbeat_extra_observer () =
+  let eng = Engine.create ~seed:13 () in
+  let members =
+    List.init 2 (fun i ->
+        let a = Address.make ~role:"n" ~index:i in
+        (a, Proc.create ~name:(Address.to_string a)))
+  in
+  let client = (addr "client", Proc.create ~name:"client") in
+  let hb =
+    Heartbeat.create eng ~latency:(Xnet.Latency.Constant 10) ~members
+      ~extra_observers:[ client ] ~period:20 ~initial_timeout:80 ()
+  in
+  let d = Heartbeat.detector hb in
+  let a0, p0 = List.nth members 0 in
+  Engine.schedule eng ~delay:200 (fun () -> Proc.kill p0);
+  Engine.run ~limit:3_000 eng;
+  checkb "client observes the crash" true
+    (Detector.suspects d ~observer:(fst client) ~target:a0)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "xdetect"
+    [
+      ( "board",
+        [
+          tc "get/set" test_board_get_set;
+          tc "onset subscription" test_board_onset_subscription;
+          tc "watch one-shot" test_board_watch_one_shot;
+          tc "watch immediate" test_board_watch_immediate_when_suspected;
+          tc "never detector" test_detector_never;
+        ] );
+      ( "oracle",
+        [
+          tc "completeness" test_oracle_completeness;
+          tc "detection delay" test_oracle_detection_delay;
+          tc "false suspicion retracts" test_oracle_injected_false_suspicion_retracts;
+          tc "false suspicion sticks on death"
+            test_oracle_false_suspicion_sticks_if_target_dies;
+          tc "noise eventually quiet" test_oracle_noise_eventually_quiet;
+        ] );
+      ( "heartbeat",
+        [
+          tc "no false suspicions when synchronous"
+            test_heartbeat_no_false_suspicion_when_synchronous;
+          tc "completeness" test_heartbeat_completeness;
+          tc "eventual accuracy (phases)" test_heartbeat_eventual_accuracy_under_phases;
+          tc "timeout adapts" test_heartbeat_timeout_adapts;
+          tc "extra observer (client)" test_heartbeat_extra_observer;
+        ] );
+    ]

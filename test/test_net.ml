@@ -1,0 +1,211 @@
+(* Tests for the simulated network (xnet). *)
+
+module Engine = Xsim.Engine
+module Address = Xnet.Address
+module Latency = Xnet.Latency
+module Transport = Xnet.Transport
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_address_basics () =
+  let a = Address.make ~role:"replica" ~index:2 in
+  Alcotest.(check string) "to_string" "replica.2" (Address.to_string a);
+  checkb "equal" true (Address.equal a (Address.make ~role:"replica" ~index:2));
+  checkb "not equal" false (Address.equal a (Address.make ~role:"replica" ~index:3));
+  Alcotest.(check string) "role" "replica" (Address.role a);
+  checki "index" 2 (Address.index a);
+  Alcotest.(check string) "of_string" "client"
+    (Address.to_string (Address.of_string "client"))
+
+let test_address_ordering () =
+  let a = Address.make ~role:"a" ~index:1 in
+  let b = Address.make ~role:"b" ~index:0 in
+  checkb "role-major order" true (Address.compare a b < 0);
+  checkb "index order" true
+    (Address.compare
+       (Address.make ~role:"a" ~index:0)
+       (Address.make ~role:"a" ~index:1)
+    < 0)
+
+let test_latency_constant () =
+  let rng = Xsim.Rng.create 1 in
+  for _ = 1 to 100 do
+    checki "constant" 30 (Latency.sample (Latency.Constant 30) rng ~now:0)
+  done
+
+let test_latency_uniform_bounds () =
+  let rng = Xsim.Rng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Latency.sample (Latency.Uniform (10, 20)) rng ~now:0 in
+    checkb "in bounds" true (v >= 10 && v <= 20)
+  done
+
+let test_latency_exponential_min () =
+  let rng = Xsim.Rng.create 3 in
+  for _ = 1 to 1000 do
+    checkb "respects min" true
+      (Latency.sample (Latency.Exponential { min = 15; mean = 10.0 }) rng ~now:0
+      >= 15)
+  done
+
+let test_latency_never_negative () =
+  let rng = Xsim.Rng.create 4 in
+  let models =
+    [
+      Latency.Constant (-5);
+      Latency.Uniform (-10, -1);
+      Latency.Exponential { min = -3; mean = 5.0 };
+    ]
+  in
+  List.iter
+    (fun m ->
+      for _ = 1 to 100 do
+        checkb "clamped" true (Latency.sample m rng ~now:0 >= 0)
+      done)
+    models
+
+let test_latency_phases () =
+  let rng = Xsim.Rng.create 5 in
+  let m =
+    Latency.Phases ([ (100, Latency.Constant 50); (200, Latency.Constant 30) ],
+                    Latency.Constant 10)
+  in
+  checki "first regime" 50 (Latency.sample m rng ~now:0);
+  checki "second regime" 30 (Latency.sample m rng ~now:150);
+  checki "final regime" 10 (Latency.sample m rng ~now:500);
+  checki "lower bound tracks regime" 10 (Latency.lower_bound m ~now:500)
+
+let setup () =
+  let eng = Engine.create ~seed:5 () in
+  let tr = Transport.create eng ~latency:(Latency.Constant 10) () in
+  let a = Address.of_string "a" and b = Address.of_string "b" in
+  let pa = Xsim.Proc.create ~name:"a" and pb = Xsim.Proc.create ~name:"b" in
+  let mba = Transport.register tr a ~proc:pa in
+  let mbb = Transport.register tr b ~proc:pb in
+  (eng, tr, (a, pa, mba), (b, pb, mbb))
+
+let test_transport_delivery () =
+  let eng, tr, (a, _, _), (b, _, mbb) = setup () in
+  Transport.send tr ~src:a ~dst:b "hello";
+  let got = ref None in
+  Engine.spawn eng ~name:"recv" (fun () ->
+      let e = Xsim.Mailbox.take eng mbb in
+      got := Some (e.Transport.src, e.Transport.payload));
+  Engine.run eng;
+  (match !got with
+  | Some (src, "hello") -> checkb "src" true (Address.equal src a)
+  | _ -> Alcotest.fail "no delivery");
+  checki "delivered at latency" 10 (Engine.now eng)
+
+let test_transport_duplicate_registration () =
+  let _, tr, (a, pa, _), _ = setup () in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Transport.register: a already registered") (fun () ->
+      ignore (Transport.register tr a ~proc:pa))
+
+let test_transport_unknown_destination () =
+  let _, tr, (a, _, _), _ = setup () in
+  checkb "raises Not_found" true
+    (try
+       Transport.send tr ~src:a ~dst:(Address.of_string "ghost") "x";
+       false
+     with Not_found -> true)
+
+let test_transport_broadcast () =
+  let eng, tr, (a, _, mba), (_, _, mbb) = setup () in
+  Transport.broadcast tr ~src:a "ping";
+  Engine.run eng;
+  checki "self excluded" 0 (Xsim.Mailbox.length mba);
+  checki "peer got it" 1 (Xsim.Mailbox.length mbb);
+  Transport.broadcast tr ~src:a ~include_self:true "pong";
+  Engine.run eng;
+  checki "self included" 1 (Xsim.Mailbox.length mba)
+
+let test_transport_fifo () =
+  let eng = Engine.create ~seed:7 () in
+  let tr = Transport.create eng ~fifo:true ~latency:(Latency.Uniform (5, 100)) () in
+  let a = Address.of_string "a" and b = Address.of_string "b" in
+  let _ = Transport.register tr a ~proc:(Xsim.Proc.create ~name:"a") in
+  let mbb = Transport.register tr b ~proc:(Xsim.Proc.create ~name:"b") in
+  for i = 1 to 20 do
+    Transport.send tr ~src:a ~dst:b i
+  done;
+  let got = ref [] in
+  Engine.spawn eng ~name:"recv" (fun () ->
+      for _ = 1 to 20 do
+        got := (Xsim.Mailbox.take eng mbb).Transport.payload :: !got
+      done);
+  Engine.run eng;
+  Alcotest.(check (list int)) "in order" (List.init 20 (fun i -> i + 1))
+    (List.rev !got)
+
+let test_transport_link_override () =
+  let eng, tr, (a, _, _), (b, _, mbb) = setup () in
+  Transport.set_link_latency tr ~src:a ~dst:b (Latency.Constant 500);
+  Transport.send tr ~src:a ~dst:b "slow";
+  Engine.spawn eng ~name:"recv" (fun () ->
+      ignore (Xsim.Mailbox.take eng mbb));
+  Engine.run eng;
+  checki "overridden latency" 500 (Engine.now eng);
+  Transport.clear_link_latency tr ~src:a ~dst:b;
+  Transport.send tr ~src:a ~dst:b "fast";
+  Engine.spawn eng ~name:"recv2" (fun () ->
+      ignore (Xsim.Mailbox.take eng mbb));
+  Engine.run eng;
+  checki "back to default" 510 (Engine.now eng)
+
+let test_transport_stats () =
+  let eng, tr, (a, _, _), (b, _, _) = setup () in
+  for _ = 1 to 5 do
+    Transport.send tr ~src:a ~dst:b "m"
+  done;
+  Engine.run eng;
+  let st = Transport.stats tr in
+  checki "sent" 5 st.Transport.sent;
+  checki "delivered" 5 st.Transport.delivered;
+  checki "total delay" 50 st.Transport.total_delay
+
+let test_transport_to_dead_process () =
+  let eng, tr, (a, _, _), (b, pb, mbb) = setup () in
+  Xsim.Proc.kill pb;
+  Transport.send tr ~src:a ~dst:b "wasted";
+  Engine.run eng;
+  (* Delivered into the mailbox, but no fiber of b will ever consume it. *)
+  checki "queued at dead node" 1 (Xsim.Mailbox.length mbb)
+
+let test_transport_members_order () =
+  let _, tr, (a, _, _), (b, _, _) = setup () in
+  Alcotest.(check (list string)) "registration order" [ "a"; "b" ]
+    (List.map Address.to_string (Transport.members tr));
+  checkb "mailbox lookup" true (Transport.mailbox tr a != Transport.mailbox tr b)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "xnet"
+    [
+      ( "address",
+        [ tc "basics" test_address_basics; tc "ordering" test_address_ordering ]
+      );
+      ( "latency",
+        [
+          tc "constant" test_latency_constant;
+          tc "uniform bounds" test_latency_uniform_bounds;
+          tc "exponential min" test_latency_exponential_min;
+          tc "never negative" test_latency_never_negative;
+          tc "phases" test_latency_phases;
+        ] );
+      ( "transport",
+        [
+          tc "delivery" test_transport_delivery;
+          tc "duplicate registration" test_transport_duplicate_registration;
+          tc "unknown destination" test_transport_unknown_destination;
+          tc "broadcast" test_transport_broadcast;
+          tc "fifo" test_transport_fifo;
+          tc "link override" test_transport_link_override;
+          tc "stats" test_transport_stats;
+          tc "delivery to dead process" test_transport_to_dead_process;
+          tc "members order" test_transport_members_order;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Tests for the workload library (xworkload): statistics helpers and
+   runner mechanics. *)
+
+module Stats = Xworkload.Stats
+module Runner = Xworkload.Runner
+module Workloads = Xworkload.Workloads
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  checkf "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  checkf "empty" 0.0 (Stats.mean []);
+  checkf "mean_int" 2.5 (Stats.mean_int [ 2; 3 ])
+
+let test_stddev () =
+  checkf "constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  checkf "singleton" 0.0 (Stats.stddev [ 5.0 ]);
+  checkb "spread > 0" true (Stats.stddev [ 1.0; 9.0 ] > 0.0)
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  checkf "median" 50.0 (Stats.percentile 0.5 xs);
+  checkf "p99" 99.0 (Stats.percentile 0.99 xs);
+  checkf "p100" 100.0 (Stats.percentile 1.0 xs);
+  checkf "empty" 0.0 (Stats.percentile 0.5 [])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; 1.0; 2.0 ] in
+  checkf "min" 1.0 lo;
+  checkf "max" 3.0 hi
+
+let test_ratio () =
+  checkf "ratio" 0.5 (Stats.ratio 1 2);
+  checkf "zero denominator" 0.0 (Stats.ratio 1 0)
+
+(* ------------------------------------------------------------------ *)
+
+let test_runner_determinism () =
+  let go () =
+    let r, _ =
+      Runner.run
+        ~spec:{ Runner.default_spec with seed = 55 }
+        ~setup:Workloads.setup_all
+        ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:4 c s)
+        ()
+    in
+    ( r.Runner.end_time,
+      r.Runner.history_length,
+      List.map (fun s -> s.Runner.latency) r.Runner.submissions )
+  in
+  let a = go () and b = go () in
+  checkb "identical runs from identical seeds" true (a = b)
+
+let test_runner_seed_changes_timings () =
+  let go seed =
+    let r, _ =
+      Runner.run
+        ~spec:{ Runner.default_spec with seed }
+        ~setup:Workloads.setup_all
+        ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:4 c s)
+        ()
+    in
+    List.map (fun s -> s.Runner.latency) r.Runner.submissions
+  in
+  checkb "different seeds give different latencies" true (go 1 <> go 2)
+
+let test_runner_records_submissions () =
+  let r, _ =
+    Runner.run ~spec:Runner.default_spec ~setup:Workloads.setup_all
+      ~workload:(fun _ c s -> Workloads.sequence Idempotent_only ~n:3 c s)
+      ()
+  in
+  checki "three submissions" 3 (List.length r.Runner.submissions);
+  List.iter
+    (fun s -> checkb "positive latency" true (s.Runner.latency > 0))
+    r.Runner.submissions;
+  checkb "ok" true (Runner.ok r);
+  checkb "no failures listed" true (Runner.failures r = [])
+
+let test_runner_failures_listing () =
+  (* An uncompleted run must produce a readable failure list. *)
+  let r, _ =
+    Runner.run
+      ~spec:{ Runner.default_spec with client_crash_at = Some 10; time_limit = 50_000 }
+      ~setup:Workloads.setup_all
+      ~workload:(fun _ c s -> Workloads.sequence Idempotent_only ~n:3 c s)
+      ()
+  in
+  checkb "not ok" false (Runner.ok r);
+  checkb "mentions completion" true
+    (List.exists
+       (fun f -> f = "workload did not complete")
+       (Runner.failures r))
+
+let test_workload_constructors () =
+  (* Constructors produce well-formed requests with distinct ids. *)
+  let r1, _ =
+    Runner.run ~spec:Runner.default_spec ~setup:Workloads.setup_all
+      ~workload:(fun _ client submit ->
+        let a = Workloads.send client ~body:"x" in
+        let b = Workloads.kv_put client ~key:"k" ~value:(Xability.Value.int 1) in
+        let c = Workloads.kv_get client ~key:"k" in
+        checkb "distinct rids" true (a.Xsm.Request.rid <> b.Xsm.Request.rid);
+        ignore (submit a);
+        ignore (submit b);
+        ignore (submit c))
+      ()
+  in
+  checkb "ok" true (Runner.ok r1)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "xworkload"
+    [
+      ( "stats",
+        [
+          tc "mean" test_mean;
+          tc "stddev" test_stddev;
+          tc "percentile" test_percentile;
+          tc "min_max" test_min_max;
+          tc "ratio" test_ratio;
+        ] );
+      ( "runner",
+        [
+          tc "determinism" test_runner_determinism;
+          tc "seed sensitivity" test_runner_seed_changes_timings;
+          tc "records submissions" test_runner_records_submissions;
+          tc "failure listing" test_runner_failures_listing;
+          tc "workload constructors" test_workload_constructors;
+        ] );
+    ]
