@@ -13,20 +13,60 @@
      E6  three-tier composition (locality of x-ability)
      E7  reduction-engine behaviour and cost
      E8  consensus substrate (Paxos) behaviour and cost
+     E9  ablations of design choices
 
    plus Bechamel microbenchmarks of the hot paths.
 
+   Seed sweeps fan out over an Xpar.Pool sized from JOBS / --jobs /
+   Domain.recommended_domain_count; results are collected in seed order,
+   so the tables are byte-identical whatever the pool size.
+
    Run with: dune exec bench/main.exe            (full, a few minutes)
-             QUICK=1 dune exec bench/main.exe    (reduced seed counts) *)
+             QUICK=1 dune exec bench/main.exe    (reduced seed counts)
+             JOBS=4 dune exec bench/main.exe     (pool size; also --jobs 4)
+             dune exec bench/main.exe -- --json  (machine-readable output,
+                                                  also BENCH_JSON=path) *)
 
 open Xability
 module Runner = Xworkload.Runner
 module Workloads = Xworkload.Workloads
 module Stats = Xworkload.Stats
 module Service = Xreplication.Service
+module Pool = Xpar.Pool
 
 let quick = Sys.getenv_opt "QUICK" <> None
 let seeds n = if quick then max 2 (n / 5) else n
+
+(* ------------------------------------------------------------------ *)
+(* Command line: --jobs N / -j N, --json [PATH] *)
+
+let jobs_arg = ref None
+let json_arg = ref (Sys.getenv_opt "BENCH_JSON")
+let default_json_path = "BENCH_verdict_pipeline.json"
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | ("--jobs" | "-j") :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n > 0 -> jobs_arg := Some n
+        | _ -> prerr_endline ("bench: ignoring bad --jobs value " ^ v));
+        parse rest
+    | "--json" :: v :: rest when String.length v > 0 && v.[0] <> '-' ->
+        json_arg := Some v;
+        parse rest
+    | "--json" :: rest ->
+        json_arg := Some default_json_path;
+        parse rest
+    | _ :: rest -> parse rest
+  in
+  parse (List.tl argv)
+
+let pool = Pool.create ?domains:!jobs_arg ()
+
+(* Fan a seed sweep [1..n] over the pool, results in seed order. *)
+let psweep n f = Pool.map pool f (List.init n (fun i -> i + 1))
 
 let header title =
   Format.printf
@@ -36,6 +76,78 @@ let header title =
     "==============================================================@."
 
 let row fmt = Format.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* JSON output (hand-rolled; stdlib only) *)
+
+type json =
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec json_emit b = function
+  | J_bool v -> Buffer.add_string b (string_of_bool v)
+  | J_int i -> Buffer.add_string b (string_of_int i)
+  | J_float f ->
+      Buffer.add_string b
+        (if Float.is_finite f then Printf.sprintf "%.6g" f else "null")
+  | J_str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (json_escape s);
+      Buffer.add_char b '"'
+  | J_list xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          json_emit b x)
+        xs;
+      Buffer.add_char b ']'
+  | J_obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          json_emit b (J_str k);
+          Buffer.add_char b ':';
+          json_emit b v)
+        fields;
+      Buffer.add_char b '}'
+
+let json_to_string j =
+  let b = Buffer.create 4096 in
+  json_emit b j;
+  Buffer.contents b
+
+(* Accumulators for the JSON report. *)
+let exp_times : (string * float) list ref = ref []
+let e7_rows : json list ref = ref []
+let micro_rows : json list ref = ref []
+let calibration : json ref = ref (J_obj [])
+
+let timed_exp name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  exp_times := (name, Unix.gettimeofday () -. t0) :: !exp_times;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Shared runners *)
@@ -81,17 +193,18 @@ let e1 () =
   in
   List.iter
     (fun (name, crashes, noise, fail_prob) ->
-      let ok = ref 0 and dups = ref 0 in
-      for seed = 1 to n do
-        let r, _ =
-          protocol_run ~crashes ?noise ~fail_prob ~seed:(seed * 7919) ()
-        in
-        if Runner.ok r then incr ok;
-        dups := !dups + r.Runner.duplicate_effects
-      done;
+      let results =
+        psweep n (fun seed ->
+            let r, _ =
+              protocol_run ~crashes ?noise ~fail_prob ~seed:(seed * 7919) ()
+            in
+            (Runner.ok r, r.Runner.duplicate_effects))
+      in
+      let ok = List.length (List.filter fst results) in
+      let dups = List.fold_left (fun acc (_, d) -> acc + d) 0 results in
       row "%-34s %-8d %-10s %-12d@." name n
-        (Printf.sprintf "%d/%d" !ok n)
-        !dups)
+        (Printf.sprintf "%d/%d" ok n)
+        dups)
     configs;
   row
     "expected shape: x-able = runs and dup-effects = 0 everywhere (the \
@@ -109,29 +222,28 @@ let e2 () =
   let n = seeds 10 and n_requests = 6 in
   List.iter
     (fun prob ->
-      let rounds = ref [] and execs = ref [] in
-      let cleanups = ref [] and takeovers = ref [] in
-      let all_ok = ref true in
-      for seed = 1 to n do
-        let noise = if prob > 0.0 then Some (prob, 150, 10_000) else None in
-        let r, _ =
-          protocol_run ~n_requests ?noise
-            ~seed:(seed + int_of_float (prob *. 1000.))
-            ()
-        in
-        if not (Runner.ok r) then all_ok := false;
-        rounds := r.Runner.rounds_per_request :: !rounds;
-        execs :=
-          Stats.ratio r.Runner.totals.Service.executions n_requests :: !execs;
-        cleanups :=
-          Stats.ratio r.Runner.totals.Service.cleanups n_requests :: !cleanups;
-        takeovers :=
-          Stats.ratio r.Runner.totals.Service.takeovers n_requests
-          :: !takeovers
-      done;
+      let results =
+        psweep n (fun seed ->
+            let noise = if prob > 0.0 then Some (prob, 150, 10_000) else None in
+            let r, _ =
+              protocol_run ~n_requests ?noise
+                ~seed:(seed + int_of_float (prob *. 1000.))
+                ()
+            in
+            ( Runner.ok r,
+              r.Runner.rounds_per_request,
+              Stats.ratio r.Runner.totals.Service.executions n_requests,
+              Stats.ratio r.Runner.totals.Service.cleanups n_requests,
+              Stats.ratio r.Runner.totals.Service.takeovers n_requests ))
+      in
+      let all_ok = List.for_all (fun (ok, _, _, _, _) -> ok) results in
+      let rounds = List.map (fun (_, r, _, _, _) -> r) results in
+      let execs = List.map (fun (_, _, e, _, _) -> e) results in
+      let cleanups = List.map (fun (_, _, _, c, _) -> c) results in
+      let takeovers = List.map (fun (_, _, _, _, t) -> t) results in
       row "%-12.2f %-12.2f %-12.2f %-14.2f %-12.2f %-10b@." prob
-        (Stats.mean !rounds) (Stats.mean !execs) (Stats.mean !cleanups)
-        (Stats.mean !takeovers) !all_ok)
+        (Stats.mean rounds) (Stats.mean execs) (Stats.mean cleanups)
+        (Stats.mean takeovers) all_ok)
     [ 0.0; 0.02; 0.05; 0.08; 0.12; 0.16; 0.20 ];
   row
     "expected shape: rounds/req ~1 at zero noise (primary-backup-like); \
@@ -279,16 +391,17 @@ let e3 () =
     (fun (name, runner) ->
       List.iter
         (fun (fault_name, crash_of_seed) ->
-          let dups = ref 0 and lost = ref 0 and completed = ref 0 in
-          for seed = 1 to n do
-            let ok, d, l = runner ~seed ~crash:(crash_of_seed seed) in
-            if ok then incr completed;
-            dups := !dups + d;
-            lost := !lost + l
-          done;
+          let results =
+            psweep n (fun seed -> runner ~seed ~crash:(crash_of_seed seed))
+          in
+          let completed =
+            List.length (List.filter (fun (ok, _, _) -> ok) results)
+          in
+          let dups = List.fold_left (fun a (_, d, _) -> a + d) 0 results in
+          let lost = List.fold_left (fun a (_, _, l) -> a + l) 0 results in
           row "%-18s %-18s %-10s %-16d %-10d@." name fault_name
-            (Printf.sprintf "%d/%d" !completed n)
-            !dups !lost)
+            (Printf.sprintf "%d/%d" completed n)
+            dups lost)
         faults)
     [
       ( "primary-backup",
@@ -311,45 +424,44 @@ let e4 () =
   header
     "E4  Failure-free request latency vs replica count  [cost of the \
      exactly-once machinery]";
-  row "%-24s %-6s %-10s %-10s %-12s@." "scheme" "n" "mean" "p95" "msgs/req";
+  row "%-24s %-6s %-10s %-10s %-10s %-10s %-12s@." "scheme" "n" "mean" "p50"
+    "p95" "p99" "msgs/req";
   let n_runs = seeds 10 and n_requests = 5 in
+  let latency_row name n_replicas lats msgs =
+    let s = Stats.summarize lats in
+    row "%-24s %-6d %-10.0f %-10.0f %-10.0f %-10.0f %-12s@." name n_replicas
+      s.Stats.mean s.Stats.p50 s.Stats.p95 s.Stats.p99 msgs
+  in
   let protocol_row name backend n_replicas =
-    let lats = ref [] and msgs = ref [] in
-    for seed = 1 to n_runs do
-      let r, _ =
-        protocol_run ~n_requests ~n_replicas ~backend ~seed:(seed * 31) ()
-      in
-      List.iter
-        (fun s -> lats := float_of_int s.Runner.latency :: !lats)
-        r.Runner.submissions;
-      msgs :=
-        Stats.ratio
-          (r.Runner.totals.Service.service_messages
-          + r.Runner.totals.Service.consensus_messages)
-          n_requests
-        :: !msgs
-    done;
-    row "%-24s %-6d %-10.0f %-10.0f %-12.1f@." name n_replicas
-      (Stats.mean !lats)
-      (Stats.percentile 0.95 !lats)
-      (Stats.mean !msgs)
+    let results =
+      psweep n_runs (fun seed ->
+          let r, _ =
+            protocol_run ~n_requests ~n_replicas ~backend ~seed:(seed * 31) ()
+          in
+          ( List.map
+              (fun s -> float_of_int s.Runner.latency)
+              r.Runner.submissions,
+            Stats.ratio
+              (r.Runner.totals.Service.service_messages
+              + r.Runner.totals.Service.consensus_messages)
+              n_requests ))
+    in
+    let lats = List.concat_map fst results in
+    let msgs = List.map snd results in
+    latency_row name n_replicas lats (Printf.sprintf "%.1f" (Stats.mean msgs))
   in
   List.iter (protocol_row "x-ability (register)" (`Register 25)) [ 1; 3; 5; 7 ];
   List.iter
     (protocol_row "x-ability (paxos)" (`Paxos (Xnet.Latency.Uniform (10, 40))))
     [ 1; 3; 5; 7 ];
   (* Baselines, same workload size. *)
-  let baseline_row name submit_loop =
-    let lats = ref [] in
-    for seed = 1 to n_runs do
-      submit_loop ~seed ~n:n_requests ~record:(fun l ->
-          lats := float_of_int l :: !lats)
-    done;
-    row "%-24s %-6d %-10.0f %-10.0f %-12s@." name 3 (Stats.mean !lats)
-      (Stats.percentile 0.95 !lats)
-      "-"
+  let baseline_row name submit_run =
+    let lats = List.concat (psweep n_runs (fun seed -> submit_run ~seed ~n:n_requests)) in
+    latency_row name 3 lats "-"
   in
-  baseline_row "primary-backup" (fun ~seed ~n ~record ->
+  baseline_row "primary-backup" (fun ~seed ~n ->
+      let lats = ref [] in
+      let record l = lats := float_of_int l :: !lats in
       let eng = Xsim.Engine.create ~seed ~trace_enabled:false () in
       let env = Xsm.Environment.create eng () in
       ignore (Xsm.Services.Mailer.register env ());
@@ -368,8 +480,11 @@ let e4 () =
             record (Xsim.Engine.now eng - t0)
           done;
           Xsim.Engine.request_stop eng);
-      Xsim.Engine.run ~limit:3_000_000 eng);
-  baseline_row "semi-passive" (fun ~seed ~n ~record ->
+      Xsim.Engine.run ~limit:3_000_000 eng;
+      List.rev !lats);
+  baseline_row "semi-passive" (fun ~seed ~n ->
+      let lats = ref [] in
+      let record l = lats := float_of_int l :: !lats in
       let eng = Xsim.Engine.create ~seed ~trace_enabled:false () in
       let env = Xsm.Environment.create eng () in
       ignore (Xsm.Services.Mailer.register env ());
@@ -388,8 +503,11 @@ let e4 () =
             record (Xsim.Engine.now eng - t0)
           done;
           Xsim.Engine.request_stop eng);
-      Xsim.Engine.run ~limit:3_000_000 eng);
-  baseline_row "active" (fun ~seed ~n ~record ->
+      Xsim.Engine.run ~limit:3_000_000 eng;
+      List.rev !lats);
+  baseline_row "active" (fun ~seed ~n ->
+      let lats = ref [] in
+      let record l = lats := float_of_int l :: !lats in
       let eng = Xsim.Engine.create ~seed ~trace_enabled:false () in
       let env = Xsm.Environment.create eng () in
       ignore (Xsm.Services.Mailer.register env ());
@@ -406,7 +524,8 @@ let e4 () =
             record (Xsim.Engine.now eng - t0)
           done;
           Xsim.Engine.request_stop eng);
-      Xsim.Engine.run ~limit:3_000_000 eng);
+      Xsim.Engine.run ~limit:3_000_000 eng;
+      List.rev !lats);
   row
     "expected shape: x-ability costs one consensus round over \
      primary-backup; paxos backend costs more than the register and grows \
@@ -433,18 +552,19 @@ let e5 () =
   List.iter
     (fun (name, crashes, noise, fail_prob) ->
       let n = seeds 10 in
-      let completed = ref 0 and rounds = ref [] in
-      for seed = 1 to n do
-        let r, _ =
-          protocol_run ~n_requests:4 ~mix:Workloads.Undoable_only ~crashes
-            ?noise ~fail_prob ~seed:(seed * 131) ()
-        in
-        if r.Runner.completed && Runner.ok r then incr completed;
-        rounds := r.Runner.rounds_per_request :: !rounds
-      done;
+      let results =
+        psweep n (fun seed ->
+            let r, _ =
+              protocol_run ~n_requests:4 ~mix:Workloads.Undoable_only ~crashes
+                ?noise ~fail_prob ~seed:(seed * 131) ()
+            in
+            (r.Runner.completed && Runner.ok r, r.Runner.rounds_per_request))
+      in
+      let completed = List.length (List.filter fst results) in
+      let rounds = List.map snd results in
       row "%-44s %-12s %-14.2f@." name
-        (Printf.sprintf "%d/%d" !completed n)
-        (Stats.mean !rounds))
+        (Printf.sprintf "%d/%d" completed n)
+        (Stats.mean rounds))
     scenarios;
   row "expected shape: completed = runs everywhere@."
 
@@ -536,18 +656,16 @@ let e6 () =
   let n = seeds 8 and orders = 3 in
   List.iter
     (fun (name, middle_crash, backend_crash) ->
-      let ok = ref 0 and extra = ref 0 in
-      for seed = 1 to n do
-        let good, surplus =
-          run_three_tier ~seed:(seed * 977) ~middle_crash ~backend_crash
-            ~orders
-        in
-        if good then incr ok;
-        extra := !extra + surplus
-      done;
+      let results =
+        psweep n (fun seed ->
+            run_three_tier ~seed:(seed * 977) ~middle_crash ~backend_crash
+              ~orders)
+      in
+      let ok = List.length (List.filter fst results) in
+      let extra = List.fold_left (fun a (_, s) -> a + s) 0 results in
       row "%-34s %-8d %-16s %-22d@." name n
-        (Printf.sprintf "%d/%d" !ok n)
-        !extra)
+        (Printf.sprintf "%d/%d" ok n)
+        extra)
     [
       ("none", None, None);
       ("middle-tier crash", Some 150, None);
@@ -596,40 +714,51 @@ let e7 () =
   header
     "E7  Reduction engine: verdicts and cost vs history length  [paper: \
      Figure 4]";
-  row "%-32s %-8s %-10s %-14s@." "history shape" "events" "x-able"
-    "cpu time (us)";
+  row "%-32s %-8s %-10s %-14s %-10s@." "history shape" "events" "x-able"
+    "cpu time (us)" "visited";
   let time f =
     let t0 = Sys.time () in
     let r = f () in
     (r, (Sys.time () -. t0) *. 1e6)
   in
+  let search_row shape ~kind ~action ~iv h =
+    let visited = ref 0 in
+    let (ok : bool), us =
+      time (fun () ->
+          Option.is_some
+            (Reduction.reduces_to ~kinds:e7_kinds ~visited_count:visited h
+               ~goal:(fun h' -> Xable.failure_free kind action ~iv h')))
+    in
+    row "%-32s %-8d %-10b %-14.1f %-10d@." shape (History.length h) ok us
+      !visited;
+    e7_rows :=
+      J_obj
+        [
+          ("shape", J_str shape);
+          ("engine", J_str "search");
+          ("events", J_int (History.length h));
+          ("x_able", J_bool ok);
+          ("us_per_op", J_float us);
+          ("visited_states", J_int !visited);
+        ]
+      :: !e7_rows
+  in
   List.iter
     (fun attempts ->
-      let h = idem_history ~attempts in
-      let ok, us =
-        time (fun () ->
-            Xable.x_able ~kinds:e7_kinds ~kind:Action.Idempotent ~action:"a"
-              ~iv:(Value.int 1) h)
-      in
-      row "%-32s %-8d %-10b %-14.1f@."
+      search_row
         (Printf.sprintf "idempotent, %d retries" attempts)
-        (History.length h) ok us)
+        ~kind:Action.Idempotent ~action:"a" ~iv:(Value.int 1)
+        (idem_history ~attempts))
     [ 0; 2; 4; 6; 8 ];
   List.iter
     (fun rounds ->
-      let h = undo_history ~rounds in
       let riv =
         Value.pair (Value.str "round")
           (Value.pair (Value.int (rounds + 1)) (Value.int 1))
       in
-      let ok, us =
-        time (fun () ->
-            Xable.x_able ~kinds:e7_kinds ~kind:Action.Undoable ~action:"u"
-              ~iv:riv h)
-      in
-      row "%-32s %-8d %-10b %-14.1f@."
+      search_row
         (Printf.sprintf "undoable, %d aborted rounds" rounds)
-        (History.length h) ok us)
+        ~kind:Action.Undoable ~action:"u" ~iv:riv (undo_history ~rounds))
     [ 0; 1; 2; 3 ];
   (* Fast engine on the same histories. *)
   row "-- linear analyzer on the same histories --@.";
@@ -637,6 +766,19 @@ let e7 () =
     "cpu time (us)";
   let logical_of = Xsm.Request.logical_of_env_iv in
   let round_of = Xsm.Request.round_of_env_iv in
+  let fast_row shape events ok us =
+    row "%-32s %-8d %-10b %-14.1f@." shape events ok us;
+    e7_rows :=
+      J_obj
+        [
+          ("shape", J_str shape);
+          ("engine", J_str "analyzer");
+          ("events", J_int events);
+          ("x_able", J_bool ok);
+          ("us_per_op", J_float us);
+        ]
+      :: !e7_rows
+  in
   List.iter
     (fun attempts ->
       let h = idem_history ~attempts in
@@ -646,7 +788,7 @@ let e7 () =
             | Analyzer.Xable _ -> true
             | Analyzer.Not_xable _ -> false)
       in
-      row "%-32s %-8d %-10b %-14.1f@."
+      fast_row
         (Printf.sprintf "idempotent, %d retries (fast)" attempts)
         (History.length h) ok us)
     [ 0; 4; 8; 16; 32 ];
@@ -662,7 +804,7 @@ let e7 () =
             | Analyzer.Xable _ -> true
             | Analyzer.Not_xable _ -> false)
       in
-      row "%-32s %-8d %-10b %-14.1f@."
+      fast_row
         (Printf.sprintf "undoable, %d aborted rounds (fast)" rounds)
         (History.length h) ok us)
     [ 0; 2; 4; 8 ];
@@ -695,49 +837,53 @@ let e8 () =
   let n_runs = seeds 20 in
   List.iter
     (fun (n, n_proposers) ->
-      let decided = ref 0 and agreed = ref 0 in
-      let ticks = ref [] and msgs = ref [] in
-      for seed = 1 to n_runs do
-        let eng =
-          Xsim.Engine.create ~seed:(seed * 53) ~trace_enabled:false ()
-        in
-        let members =
-          List.init n (fun i ->
-              let a = Xnet.Address.make ~role:"px" ~index:i in
-              (a, Xsim.Proc.create ~name:(Xnet.Address.to_string a)))
-        in
-        let g =
-          Xconsensus.Paxos.create_group eng
-            ~latency:(Xnet.Latency.Uniform (5, 40))
-            ~members ()
-        in
-        let results = Array.make n_proposers (-1) in
-        List.iteri
-          (fun i (m, p) ->
-            if i < n_proposers then
-              Xsim.Engine.spawn eng ~proc:p ~name:(Printf.sprintf "p%d" i)
-                (fun () ->
-                  results.(i) <-
-                    Xconsensus.Paxos.propose
-                      (Xconsensus.Paxos.handle g ~member:m ~inst:"i")
-                      i))
-          members;
-        Xsim.Engine.run ~limit:1_000_000 eng;
-        if Array.for_all (fun v -> v >= 0) results then begin
-          incr decided;
-          let v0 = results.(0) in
-          if Array.for_all (fun v -> v = v0) results then incr agreed;
-          ticks := float_of_int (Xsim.Engine.now eng) :: !ticks;
-          msgs :=
-            float_of_int
-              (Xconsensus.Paxos.stats g).Xconsensus.Paxos.messages_sent
-            :: !msgs
-        end
-      done;
+      let results =
+        psweep n_runs (fun seed ->
+            let eng =
+              Xsim.Engine.create ~seed:(seed * 53) ~trace_enabled:false ()
+            in
+            let members =
+              List.init n (fun i ->
+                  let a = Xnet.Address.make ~role:"px" ~index:i in
+                  (a, Xsim.Proc.create ~name:(Xnet.Address.to_string a)))
+            in
+            let g =
+              Xconsensus.Paxos.create_group eng
+                ~latency:(Xnet.Latency.Uniform (5, 40))
+                ~members ()
+            in
+            let results = Array.make n_proposers (-1) in
+            List.iteri
+              (fun i (m, p) ->
+                if i < n_proposers then
+                  Xsim.Engine.spawn eng ~proc:p ~name:(Printf.sprintf "p%d" i)
+                    (fun () ->
+                      results.(i) <-
+                        Xconsensus.Paxos.propose
+                          (Xconsensus.Paxos.handle g ~member:m ~inst:"i")
+                          i))
+              members;
+            Xsim.Engine.run ~limit:1_000_000 eng;
+            if Array.for_all (fun v -> v >= 0) results then
+              Some
+                ( Array.for_all (fun v -> v = results.(0)) results,
+                  float_of_int (Xsim.Engine.now eng),
+                  float_of_int
+                    (Xconsensus.Paxos.stats g).Xconsensus.Paxos.messages_sent
+                )
+            else None)
+      in
+      let decided_runs = List.filter_map Fun.id results in
+      let decided = List.length decided_runs in
+      let agreed =
+        List.length (List.filter (fun (a, _, _) -> a) decided_runs)
+      in
+      let ticks = List.map (fun (_, t, _) -> t) decided_runs in
+      let msgs = List.map (fun (_, _, m) -> m) decided_runs in
       row "%-6d %-11d %-10s %-11s %-13.0f %-14.0f@." n n_proposers
-        (Printf.sprintf "%d/%d" !decided n_runs)
-        (Printf.sprintf "%d/%d" !agreed !decided)
-        (Stats.mean !ticks) (Stats.mean !msgs))
+        (Printf.sprintf "%d/%d" decided n_runs)
+        (Printf.sprintf "%d/%d" agreed decided)
+        (Stats.mean ticks) (Stats.mean msgs))
     [ (3, 1); (3, 3); (5, 1); (5, 5); (7, 3) ];
   row
     "expected shape: decided = runs, agreement = decided; ticks/messages \
@@ -760,36 +906,39 @@ let e9 () =
   List.iter
     (fun veto ->
       let n = seeds 10 in
-      let ok = ref 0 and execs = ref [] and rounds = ref [] in
-      for seed = 1 to n do
-        let spec =
-          {
-            Runner.default_spec with
-            seed = 100 + seed;
-            noise = Some (0.12, 180, 8_000);
-            env_config =
-              { Xsm.Environment.default_config with fail_prob = 0.2 };
-            service_config =
+      let results =
+        psweep n (fun seed ->
+            let spec =
               {
-                Service.default_config with
-                replica = { Xreplication.Replica.default_config with veto_check = veto };
-              };
-            time_limit = 5_000_000;
-            quiesce_grace = 20_000;
-          }
-        in
-        let r, _ =
-          Runner.run ~spec ~setup:Workloads.setup_all
-            ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:5 c s)
-            ()
-        in
-        if Runner.ok r then incr ok;
-        execs := Stats.ratio r.Runner.totals.Service.executions 5 :: !execs;
-        rounds := r.Runner.rounds_per_request :: !rounds
-      done;
+                Runner.default_spec with
+                seed = 100 + seed;
+                noise = Some (0.12, 180, 8_000);
+                env_config =
+                  { Xsm.Environment.default_config with fail_prob = 0.2 };
+                service_config =
+                  {
+                    Service.default_config with
+                    replica = { Xreplication.Replica.default_config with veto_check = veto };
+                  };
+                time_limit = 5_000_000;
+                quiesce_grace = 20_000;
+              }
+            in
+            let r, _ =
+              Runner.run ~spec ~setup:Workloads.setup_all
+                ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:5 c s)
+                ()
+            in
+            ( Runner.ok r,
+              Stats.ratio r.Runner.totals.Service.executions 5,
+              r.Runner.rounds_per_request ))
+      in
+      let ok = List.length (List.filter (fun (ok, _, _) -> ok) results) in
+      let execs = List.map (fun (_, e, _) -> e) results in
+      let rounds = List.map (fun (_, _, r) -> r) results in
       row "%-14b %-10s %-12.2f %-12.2f@." veto
-        (Printf.sprintf "%d/%d" !ok n)
-        (Stats.mean !execs) (Stats.mean !rounds))
+        (Printf.sprintf "%d/%d" ok n)
+        (Stats.mean execs) (Stats.mean rounds))
     [ true; false ];
   (* (b) cleaner poll period: takeover latency vs background cost. *)
   row "-- (b) cleaner poll period (owner crash takeover) --@.";
@@ -797,36 +946,38 @@ let e9 () =
   List.iter
     (fun poll ->
       let n = seeds 8 in
-      let ok = ref 0 and times = ref [] in
-      for seed = 1 to n do
-        let spec =
-          {
-            Runner.default_spec with
-            seed = 200 + seed;
-            crashes = [ (120, 0) ];
-            service_config =
+      let results =
+        psweep n (fun seed ->
+            let spec =
               {
-                Service.default_config with
-                replica =
-                  { Xreplication.Replica.default_config with cleaner_poll = poll };
-              };
-            time_limit = 5_000_000;
-          }
-        in
-        let r, _ =
-          Runner.run ~spec ~setup:Workloads.setup_all
-            ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:4 c s)
-            ()
-        in
-        if Runner.ok r then incr ok;
-        let lat =
-          List.map (fun s -> float_of_int s.Runner.latency) r.Runner.submissions
-        in
-        times := Stats.mean lat :: !times
-      done;
+                Runner.default_spec with
+                seed = 200 + seed;
+                crashes = [ (120, 0) ];
+                service_config =
+                  {
+                    Service.default_config with
+                    replica =
+                      { Xreplication.Replica.default_config with cleaner_poll = poll };
+                  };
+                time_limit = 5_000_000;
+              }
+            in
+            let r, _ =
+              Runner.run ~spec ~setup:Workloads.setup_all
+                ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:4 c s)
+                ()
+            in
+            ( Runner.ok r,
+              Stats.mean
+                (List.map
+                   (fun s -> float_of_int s.Runner.latency)
+                   r.Runner.submissions) ))
+      in
+      let ok = List.length (List.filter fst results) in
+      let times = List.map snd results in
       row "%-14d %-10s %-16.0f@." poll
-        (Printf.sprintf "%d/%d" !ok n)
-        (Stats.mean !times))
+        (Printf.sprintf "%d/%d" ok n)
+        (Stats.mean times))
     [ 100; 400; 1600 ];
   (* (c) detector aggressiveness: detection delay trades takeover speed
      against false-suspicion churn (here with injected noise fixed). *)
@@ -835,41 +986,75 @@ let e9 () =
   List.iter
     (fun delay ->
       let n = seeds 8 in
-      let ok = ref 0 and times = ref [] in
-      for seed = 1 to n do
-        let spec =
-          {
-            Runner.default_spec with
-            seed = 300 + seed;
-            crashes = [ (120, 0) ];
-            service_config =
+      let results =
+        psweep n (fun seed ->
+            let spec =
               {
-                Service.default_config with
-                detector =
-                  Service.Oracle { detection_delay = delay; poll_interval = 25 };
-              };
-            time_limit = 5_000_000;
-          }
-        in
-        let r, _ =
-          Runner.run ~spec ~setup:Workloads.setup_all
-            ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:4 c s)
-            ()
-        in
-        if Runner.ok r then incr ok;
-        let lat =
-          List.map (fun s -> float_of_int s.Runner.latency) r.Runner.submissions
-        in
-        times := Stats.mean lat :: !times
-      done;
+                Runner.default_spec with
+                seed = 300 + seed;
+                crashes = [ (120, 0) ];
+                service_config =
+                  {
+                    Service.default_config with
+                    detector =
+                      Service.Oracle
+                        { detection_delay = delay; poll_interval = 25 };
+                  };
+                time_limit = 5_000_000;
+              }
+            in
+            let r, _ =
+              Runner.run ~spec ~setup:Workloads.setup_all
+                ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:4 c s)
+                ()
+            in
+            ( Runner.ok r,
+              Stats.mean
+                (List.map
+                   (fun s -> float_of_int s.Runner.latency)
+                   r.Runner.submissions) ))
+      in
+      let ok = List.length (List.filter fst results) in
+      let times = List.map snd results in
       row "%-18d %-10s %-16.0f@." delay
-        (Printf.sprintf "%d/%d" !ok n)
-        (Stats.mean !times))
+        (Printf.sprintf "%d/%d" ok n)
+        (Stats.mean times))
     [ 25; 100; 400; 1600 ];
   row
     "expected shape: x-able everywhere; veto_check=false costs extra \
      executions; larger cleaner polls and detection delays slow \
      crash-path latency only@."
+
+(* ------------------------------------------------------------------ *)
+(* Parallel speedup calibration: one fixed sweep, sequential vs pool. *)
+
+let calibrate () =
+  header "Parallel calibration (same sweep, sequential vs pool)";
+  let n = seeds 10 in
+  let work seed =
+    let r, _ = protocol_run ~crashes:[ (150, 0) ] ~seed:(seed * 7919) () in
+    Runner.ok r
+  in
+  let items = List.init n (fun i -> i + 1) in
+  let t0 = Unix.gettimeofday () in
+  let seq = List.map work items in
+  let seq_s = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let par = Pool.map pool work items in
+  let par_s = Unix.gettimeofday () -. t1 in
+  let speedup = if par_s > 0.0 then seq_s /. par_s else 1.0 in
+  row "jobs=%d  sequential %.3fs  pool %.3fs  speedup %.2fx  identical=%b@."
+    (Pool.size pool) seq_s par_s speedup (seq = par);
+  calibration :=
+    J_obj
+      [
+        ("runs", J_int n);
+        ("jobs", J_int (Pool.size pool));
+        ("sequential_s", J_float seq_s);
+        ("pool_s", J_float par_s);
+        ("speedup", J_float speedup);
+        ("results_identical", J_bool (seq = par));
+      ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
@@ -976,23 +1161,55 @@ let microbench () =
           tbl []
       in
       List.iter
-        (fun (name, est) -> row "%-40s %14.0f ns/run@." name est)
+        (fun (name, est) ->
+          row "%-40s %14.0f ns/run@." name est;
+          micro_rows :=
+            J_obj [ ("name", J_str name); ("ns_per_run", J_float est) ]
+            :: !micro_rows)
         (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
   | None -> row "no results?!@.")
 
 (* ------------------------------------------------------------------ *)
 
+let write_json path =
+  let experiments =
+    List.rev_map
+      (fun (name, s) ->
+        J_obj [ ("name", J_str name); ("wall_s", J_float s) ])
+      !exp_times
+  in
+  let doc =
+    J_obj
+      [
+        ("bench", J_str "verdict_pipeline");
+        ("quick", J_bool quick);
+        ("jobs", J_int (Pool.size pool));
+        ("experiments", J_list experiments);
+        ("e7_reduction", J_list (List.rev !e7_rows));
+        ("calibration", !calibration);
+        ("microbench", J_list (List.rev !micro_rows));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (json_to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Format.printf "@.wrote %s@." path
+
 let () =
-  Format.printf "X-Ability reproduction benchmark harness%s@."
-    (if quick then " (QUICK mode)" else "");
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  microbench ();
+  Format.printf "X-Ability reproduction benchmark harness%s  (jobs=%d)@."
+    (if quick then " (QUICK mode)" else "")
+    (Pool.size pool);
+  timed_exp "e1" e1;
+  timed_exp "e2" e2;
+  timed_exp "e3" e3;
+  timed_exp "e4" e4;
+  timed_exp "e5" e5;
+  timed_exp "e6" e6;
+  timed_exp "e7" e7;
+  timed_exp "e8" e8;
+  timed_exp "e9" e9;
+  timed_exp "calibration" calibrate;
+  timed_exp "microbench" microbench;
+  (match !json_arg with Some path -> write_json path | None -> ());
   Format.printf "@.done.@."

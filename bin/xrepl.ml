@@ -231,43 +231,60 @@ let sweep_cmd =
     Arg.(
       value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per point.")
   in
-  let sweep points seeds =
-    Format.printf "%-12s %-10s %-14s %-12s %-8s@." "noise-prob" "rounds/req"
-      "execs/req" "cleanups/req" "x-able";
-    for p = 0 to points - 1 do
-      let prob = 0.04 *. float_of_int p in
-      let rounds = ref [] and execs = ref [] and cleans = ref [] in
-      let all_ok = ref true in
-      for seed = 1 to seeds do
-        let spec =
-          {
-            Runner.default_spec with
-            seed = (p * 1000) + seed;
-            noise = (if prob > 0.0 then Some (prob, 150, 8_000) else None);
-            time_limit = 5_000_000;
-          }
-        in
-        let r, _ =
-          Runner.run ~spec ~setup:Workloads.setup_all
-            ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:6 c s)
-            ()
-        in
-        if not (Runner.ok r) then all_ok := false;
-        rounds := r.Runner.rounds_per_request :: !rounds;
-        execs :=
-          Xworkload.Stats.ratio r.Runner.totals.Service.executions 6 :: !execs;
-        cleans :=
-          Xworkload.Stats.ratio r.Runner.totals.Service.cleanups 6 :: !cleans
-      done;
-      Format.printf "%-12.2f %-10.2f %-14.2f %-12.2f %-8b@." prob
-        (Xworkload.Stats.mean !rounds)
-        (Xworkload.Stats.mean !execs)
-        (Xworkload.Stats.mean !cleans)
-        !all_ok
-    done;
-    0
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the sweep (default: the $(b,JOBS) environment \
+             variable, else the recommended domain count).  Results are \
+             collected in seed order, so the table is identical whatever the \
+             pool size.")
   in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const sweep $ points_arg $ seeds_arg)
+  let sweep points seeds jobs =
+    Xpar.Pool.with_pool ?domains:jobs (fun pool ->
+        Format.printf "%-12s %-10s %-14s %-12s %-8s@." "noise-prob"
+          "rounds/req" "execs/req" "cleanups/req" "x-able";
+        for p = 0 to points - 1 do
+          let prob = 0.04 *. float_of_int p in
+          let results =
+            Xpar.Pool.map pool
+              (fun seed ->
+                let spec =
+                  {
+                    Runner.default_spec with
+                    seed = (p * 1000) + seed;
+                    noise =
+                      (if prob > 0.0 then Some (prob, 150, 8_000) else None);
+                    time_limit = 5_000_000;
+                  }
+                in
+                let r, _ =
+                  Runner.run ~spec ~setup:Workloads.setup_all
+                    ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:6 c s)
+                    ()
+                in
+                ( Runner.ok r,
+                  r.Runner.rounds_per_request,
+                  Xworkload.Stats.ratio r.Runner.totals.Service.executions 6,
+                  Xworkload.Stats.ratio r.Runner.totals.Service.cleanups 6 ))
+              (List.init seeds (fun i -> i + 1))
+          in
+          let all_ok = List.for_all (fun (ok, _, _, _) -> ok) results in
+          let rounds = List.map (fun (_, r, _, _) -> r) results in
+          let execs = List.map (fun (_, _, e, _) -> e) results in
+          let cleans = List.map (fun (_, _, _, c) -> c) results in
+          Format.printf "%-12.2f %-10.2f %-14.2f %-12.2f %-8b@." prob
+            (Xworkload.Stats.mean rounds)
+            (Xworkload.Stats.mean execs)
+            (Xworkload.Stats.mean cleans)
+            all_ok
+        done;
+        0)
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const sweep $ points_arg $ seeds_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace *)

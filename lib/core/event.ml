@@ -10,6 +10,13 @@ let output = function S _ -> None | C (_, _, ov) -> Some ov
 let is_start = function S _ -> true | C _ -> false
 let is_completion = function S _ -> false | C _ -> true
 
+let hash = function
+  | S (a, iv) -> ((0x53 lxor Hashtbl.hash a) * 0x01000193) lxor Value.hash iv
+  | C (a, iv, ov) ->
+      ((((0x43 lxor Hashtbl.hash a) * 0x01000193) lxor Value.hash iv)
+      * 0x01000193)
+      lxor Value.hash ov
+
 let pp_compact ppf = function
   | S (a, iv) -> Format.fprintf ppf "S(%s,%a)" a Value.pp_compact iv
   | C (a, iv, ov) ->

@@ -27,5 +27,8 @@ val output : t -> Value.t option
 val is_start : t -> bool
 val is_completion : t -> bool
 
+val hash : t -> int
+(** Structural hash compatible with {!equal}. *)
+
 val pp_compact : Format.formatter -> t -> unit
 (** e.g. [S(book,(1,"NYC"))] or [C(book,(1,"NYC"))=42]. *)

@@ -51,3 +51,14 @@ let pp_compact ppf h =
     h
 
 let to_string h = Format.asprintf "%a" pp_compact h
+
+let hash h =
+  List.fold_left (fun acc e -> (acc * 0x01000193) lxor Event.hash e) 0x7ee3623b h
+  land max_int
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -32,3 +32,10 @@ val split_at : t -> int -> t * t
 val pp_compact : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+val hash : t -> int
+(** Structural hash compatible with {!equal} (order-sensitive). *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by whole histories — the reduction engine's visited
+    sets and successor dedup, without materialising string keys. *)

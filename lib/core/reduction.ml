@@ -3,81 +3,97 @@ type kinds = Action.name -> Action.kind option
 type rule = R_idempotent | R_cancel | R_commit [@@deriving show, eq]
 
 (* ------------------------------------------------------------------ *)
-(* Index utilities over the history viewed as an array.               *)
+(* Per-step index over the history viewed as an array.
 
-let starts_of arr name iv =
-  let acc = ref [] in
+   One left-to-right scan builds, for every (name, iv) instance, the
+   ascending start-index and completion-index lists that every rule
+   needs; the seed implementation re-scanned the whole array once per
+   rule per instance.  A scratch byte mask holds the candidate
+   removed-index set (the sets have at most 4 elements, so set/clear
+   around each candidate is cheaper than allocating per candidate). *)
+
+module Inst_tbl = Hashtbl.Make (struct
+  type t = Action.name * Value.t
+
+  let equal (a, iv) (a', iv') = Action.equal_name a a' && Value.equal iv iv'
+  let hash (a, iv) = (Hashtbl.hash a * 0x01000193) lxor Value.hash iv
+end)
+
+type index = {
+  arr : Event.t array;
+  starts : int list Inst_tbl.t;  (* ascending *)
+  comps : (int * Value.t) list Inst_tbl.t;  (* ascending, with outputs *)
+  order : (Action.name * Value.t) list;
+      (* distinct start instances, first-occurrence order *)
+  mask : Bytes.t;  (* scratch removed mask; all-zero between candidates *)
+}
+
+let build_index arr =
+  let starts = Inst_tbl.create 16 and comps = Inst_tbl.create 16 in
+  let order = ref [] in
   Array.iteri
     (fun i e ->
       match e with
-      | Event.S (a, iv') when Action.equal_name a name && Value.equal iv iv' ->
-          acc := i :: !acc
-      | _ -> ())
+      | Event.S (a, iv) -> (
+          let key = (a, iv) in
+          match Inst_tbl.find_opt starts key with
+          | None ->
+              order := key :: !order;
+              Inst_tbl.replace starts key [ i ]
+          | Some l -> Inst_tbl.replace starts key (i :: l))
+      | Event.C (a, iv, ov) ->
+          let key = (a, iv) in
+          let l = Option.value ~default:[] (Inst_tbl.find_opt comps key) in
+          Inst_tbl.replace comps key ((i, ov) :: l))
     arr;
-  List.rev !acc
-
-let completions_of arr name iv =
-  let acc = ref [] in
-  Array.iteri
-    (fun i e ->
-      match e with
-      | Event.C (a, iv', ov)
-        when Action.equal_name a name && Value.equal iv iv' ->
-          acc := (i, ov) :: !acc
-      | _ -> ())
+  Inst_tbl.filter_map_inplace (fun _ l -> Some (List.rev l)) starts;
+  Inst_tbl.filter_map_inplace (fun _ l -> Some (List.rev l)) comps;
+  {
     arr;
-  List.rev !acc
+    starts;
+    comps;
+    order = List.rev !order;
+    mask = Bytes.make (Array.length arr) '\000';
+  }
 
-(* Distinct (name, iv) instances appearing in start events. *)
-let instances arr =
-  let seen = Hashtbl.create 16 in
-  let acc = ref [] in
-  Array.iter
-    (fun e ->
-      match e with
-      | Event.S (a, iv) ->
-          let key = (a, Value.to_string iv) in
-          if not (Hashtbl.mem seen key) then begin
-            Hashtbl.replace seen key ();
-            acc := (a, iv) :: !acc
-          end
-      | Event.C _ -> ())
-    arr;
-  List.rev !acc
+let starts_of idx key =
+  Option.value ~default:[] (Inst_tbl.find_opt idx.starts key)
 
-let any_start_before arr name iv bound =
-  let found = ref false in
-  for i = 0 to bound - 1 do
-    (match arr.(i) with
-    | Event.S (a, iv') when Action.equal_name a name && Value.equal iv iv' ->
-        found := true
-    | _ -> ())
-  done;
-  !found
+let comps_of idx key =
+  Option.value ~default:[] (Inst_tbl.find_opt idx.comps key)
 
-let any_start_in_leftover arr name iv ~lo ~hi removed =
-  let found = ref false in
-  for i = lo to hi do
-    if not (List.mem i removed) then
-      match arr.(i) with
-      | Event.S (a, iv') when Action.equal_name a name && Value.equal iv iv' ->
-          found := true
-      | _ -> ()
-  done;
-  !found
+(* Starts are ascending, so "any start before [bound]" is a head test. *)
+let any_start_before idx key bound =
+  match starts_of idx key with [] -> false | i :: _ -> i < bound
 
-(* Rebuild a history: drop indices in [removed]; if [insert_pair] is
-   [Some (pos, events)], splice [events] immediately after index [pos]
-   (this realises the canonical placement of the kept pair at the end of
-   the matched region, as in the right-hand sides of rules 18 and 20). *)
-let rebuild arr removed insert_pair =
-  let n = Array.length arr in
+(* Any start of the instance inside [lo, hi] that the current candidate
+   does NOT remove (i.e. that lands in the region's leftover). *)
+let any_start_in_leftover idx key ~lo ~hi =
+  let rec go = function
+    | [] -> false
+    | i :: _ when i > hi -> false
+    | i :: tl -> (i >= lo && Bytes.get idx.mask i = '\000') || go tl
+  in
+  go (starts_of idx key)
+
+let with_removed idx removed f =
+  List.iter (fun i -> Bytes.set idx.mask i '\001') removed;
+  f ();
+  List.iter (fun i -> Bytes.set idx.mask i '\000') removed
+
+(* Rebuild a history: drop the indices marked in the scratch mask; if
+   [insert_pair] is [Some (pos, events)], splice [events] immediately
+   after index [pos] (this realises the canonical placement of the kept
+   pair at the end of the matched region, as in the right-hand sides of
+   rules 18 and 20). *)
+let rebuild idx insert_pair =
+  let arr = idx.arr in
   let out = ref [] in
-  for i = n - 1 downto 0 do
+  for i = Array.length arr - 1 downto 0 do
     (match insert_pair with
     | Some (pos, events) when pos = i -> out := events @ !out
     | _ -> ());
-    if not (List.mem i removed) then out := arr.(i) :: !out
+    if Bytes.get idx.mask i = '\000' then out := arr.(i) :: !out
   done;
   !out
 
@@ -87,39 +103,35 @@ let rebuild arr removed insert_pair =
    (start alone, or start+completion with the same output) is removed; the
    surviving success pair is re-emitted at the end of the region. *)
 
-let rule18_for arr name iv =
-  let starts = starts_of arr name iv in
-  let comps = completions_of arr name iv in
+let rule18_for idx name iv =
+  let key = (name, iv) in
+  let starts = starts_of idx key in
+  let comps = comps_of idx key in
   let results = ref [] in
+  let emit removed insert =
+    with_removed idx removed (fun () -> results := rebuild idx insert :: !results)
+  in
   List.iter
     (fun is2 ->
       List.iter
         (fun (jc2, ov) ->
           if jc2 > is2 then
             (* E2 = success pair (is2, jc2).  Enumerate E1. *)
+            let insert =
+              Some (jc2, [ Event.S (name, iv); Event.C (name, iv, ov) ])
+            in
             List.iter
               (fun i1 ->
                 if i1 <> is2 && i1 < is2 && i1 < jc2 then begin
                   (* E1 as a lone start: i1 must be region-min, jc2 max. *)
-                  let removed = [ i1 ] in
-                  results :=
-                    rebuild arr (is2 :: jc2 :: removed)
-                      (Some (jc2, [ Event.S (name, iv); Event.C (name, iv, ov) ]))
-                    :: !results;
+                  emit [ i1; is2; jc2 ] insert;
                   (* E1 as a completed attempt with equal output. *)
                   List.iter
                     (fun (ic1, ov1) ->
                       if
                         ic1 > i1 && ic1 <> is2 && ic1 <> jc2 && ic1 < jc2
                         && Value.equal ov1 ov
-                      then
-                        results :=
-                          rebuild arr [ i1; ic1; is2; jc2 ]
-                            (Some
-                               ( jc2,
-                                 [ Event.S (name, iv); Event.C (name, iv, ov) ]
-                               ))
-                          :: !results)
+                      then emit [ i1; ic1; is2; jc2 ] insert)
                     comps
                 end)
               starts)
@@ -132,16 +144,19 @@ let rule18_for arr name iv =
    E1 ranges over attempts of the action, E2 is a complete cancellation
    pair whose completion closes the region. *)
 
-let rule19_for arr name iv =
+let rule19_for idx name iv =
   let cancel = Action.cancel_name name in
   let commit = Action.commit_name name in
-  let a_starts = starts_of arr name iv in
-  let a_comps = completions_of arr name iv in
-  let c_starts = starts_of arr cancel iv in
-  let c_comps = completions_of arr cancel iv in
+  let akey = (name, iv) and mkey = (commit, iv) in
+  let a_starts = starts_of idx akey in
+  let a_comps = comps_of idx akey in
+  let c_starts = starts_of idx (cancel, iv) in
+  let c_comps = comps_of idx (cancel, iv) in
   let results = ref [] in
-  let leftover_ok ~lo ~hi removed =
-    not (any_start_in_leftover arr commit iv ~lo ~hi removed)
+  let try_emit ~lo ~hi removed =
+    with_removed idx removed (fun () ->
+        if not (any_start_in_leftover idx mkey ~lo ~hi) then
+          results := rebuild idx None :: !results)
   in
   List.iter
     (fun is2 ->
@@ -150,19 +165,13 @@ let rule19_for arr name iv =
           if jc2 > is2 && Value.equal ov Value.nil then begin
             (* E1 = Λ: the pair cancelled nothing — only legal when no
                events of the action occur to its left. *)
-            if not (any_start_before arr name iv jc2) then begin
-              let removed = [ is2; jc2 ] in
-              if leftover_ok ~lo:is2 ~hi:jc2 removed then
-                results := rebuild arr removed None :: !results
-            end;
+            if not (any_start_before idx akey jc2) then
+              try_emit ~lo:is2 ~hi:jc2 [ is2; jc2 ];
             (* E1 = lone start i1. *)
             List.iter
               (fun i1 ->
-                if i1 < is2 && not (any_start_before arr name iv i1) then begin
-                  let removed = [ i1; is2; jc2 ] in
-                  if leftover_ok ~lo:i1 ~hi:jc2 removed then
-                    results := rebuild arr removed None :: !results
-                end)
+                if i1 < is2 && not (any_start_before idx akey i1) then
+                  try_emit ~lo:i1 ~hi:jc2 [ i1; is2; jc2 ])
               a_starts;
             (* E1 = completed attempt (i1, ic1), any output. *)
             List.iter
@@ -171,12 +180,8 @@ let rule19_for arr name iv =
                   (fun (ic1, _ov1) ->
                     if
                       i1 < is2 && ic1 > i1 && ic1 < jc2 && ic1 <> is2
-                      && not (any_start_before arr name iv i1)
-                    then begin
-                      let removed = [ i1; ic1; is2; jc2 ] in
-                      if leftover_ok ~lo:i1 ~hi:jc2 removed then
-                        results := rebuild arr removed None :: !results
-                    end)
+                      && not (any_start_before idx akey i1)
+                    then try_emit ~lo:i1 ~hi:jc2 [ i1; ic1; is2; jc2 ])
                   a_comps)
               a_starts
           end)
@@ -189,57 +194,38 @@ let rule19_for arr name iv =
    with the side-condition that the committed action does not overlap the
    region's leftover. *)
 
-let rule20_for arr name iv =
+let rule20_for idx name iv =
   let commit = Action.commit_name name in
-  let m_starts = starts_of arr commit iv in
-  let m_comps = completions_of arr commit iv in
+  let akey = (name, iv) and mkey = (commit, iv) in
+  let m_starts = starts_of idx mkey in
+  let m_comps = comps_of idx mkey in
   let results = ref [] in
+  let try_emit ~lo ~hi removed insert =
+    with_removed idx removed (fun () ->
+        if not (any_start_in_leftover idx akey ~lo ~hi) then
+          results := rebuild idx insert :: !results)
+  in
   List.iter
     (fun is2 ->
       List.iter
         (fun (jc2, ov) ->
           if jc2 > is2 && Value.equal ov Value.nil then
+            let insert =
+              Some
+                (jc2, [ Event.S (commit, iv); Event.C (commit, iv, Value.nil) ])
+            in
             List.iter
               (fun i1 ->
                 if i1 < is2 then begin
                   (* E1 = lone start. *)
-                  let removed = [ i1; is2; jc2 ] in
-                  if
-                    not
-                      (any_start_in_leftover arr name iv ~lo:i1 ~hi:jc2 removed)
-                  then
-                    results :=
-                      rebuild arr removed
-                        (Some
-                           ( jc2,
-                             [
-                               Event.S (commit, iv);
-                               Event.C (commit, iv, Value.nil);
-                             ] ))
-                      :: !results;
+                  try_emit ~lo:i1 ~hi:jc2 [ i1; is2; jc2 ] insert;
                   (* E1 = completed commit pair. *)
                   List.iter
                     (fun (ic1, ov1) ->
                       if
                         ic1 > i1 && ic1 < jc2 && ic1 <> is2
                         && Value.equal ov1 Value.nil
-                      then begin
-                        let removed = [ i1; ic1; is2; jc2 ] in
-                        if
-                          not
-                            (any_start_in_leftover arr name iv ~lo:i1 ~hi:jc2
-                               removed)
-                        then
-                          results :=
-                            rebuild arr removed
-                              (Some
-                                 ( jc2,
-                                   [
-                                     Event.S (commit, iv);
-                                     Event.C (commit, iv, Value.nil);
-                                   ] ))
-                            :: !results
-                      end)
+                      then try_emit ~lo:i1 ~hi:jc2 [ i1; ic1; is2; jc2 ] insert)
                     m_comps
                 end)
               m_starts)
@@ -250,7 +236,7 @@ let rule20_for arr name iv =
 (* ------------------------------------------------------------------ *)
 
 let step ~kinds h =
-  let arr = Array.of_list h in
+  let idx = build_index (Array.of_list h) in
   let out = ref [] in
   let add rule hs = List.iter (fun h' -> out := (rule, h') :: !out) hs in
   List.iter
@@ -258,72 +244,75 @@ let step ~kinds h =
       let base, variant = Action.split name in
       match (variant, kinds base) with
       | Action.Exec, Some Action.Idempotent ->
-          add R_idempotent (rule18_for arr name iv)
+          add R_idempotent (rule18_for idx name iv)
       | Action.Exec, Some Action.Undoable ->
-          add R_cancel (rule19_for arr base iv);
-          add R_commit (rule20_for arr base iv)
+          add R_cancel (rule19_for idx base iv);
+          add R_commit (rule20_for idx base iv)
       | Action.Cancel, Some Action.Undoable ->
           (* Cancellations are idempotent (rule 18) and also close rule-19
              regions; the latter is generated from the base instance above
              when the base action appears.  When only cancel events exist
              (the Λ case of rule 19), generate from here as well. *)
-          add R_idempotent (rule18_for arr name iv);
-          add R_cancel (rule19_for arr base iv)
+          add R_idempotent (rule18_for idx name iv);
+          add R_cancel (rule19_for idx base iv)
       | Action.Commit, Some Action.Undoable ->
-          add R_commit (rule20_for arr base iv)
+          add R_commit (rule20_for idx base iv)
       | _ -> ())
-    (instances arr);
-  (* Deduplicate successors. *)
-  let seen = Hashtbl.create 16 in
+    idx.order;
+  (* Deduplicate successors structurally, then try the most-shrinking
+     rewrites first: the searches below reach witnesses and normal forms
+     (which are short) with fewer visited states. *)
+  let seen = History.Tbl.create 16 in
   List.filter
     (fun (_, h') ->
-      let key = History.to_string h' in
-      if Hashtbl.mem seen key then false
+      if History.Tbl.mem seen h' then false
       else begin
-        Hashtbl.replace seen key ();
+        History.Tbl.replace seen h' ();
         true
       end)
     (List.rev !out)
+  |> List.map (fun (rule, h') -> (History.length h', rule, h'))
+  |> List.stable_sort (fun (la, _, _) (lb, _, _) -> Int.compare la lb)
+  |> List.map (fun (_, rule, h') -> (rule, h'))
 
-let reduces_to ~kinds ?(max_visited = 200_000) h ~goal =
-  let visited = Hashtbl.create 256 in
+let reduces_to ~kinds ?(max_visited = 200_000) ?visited_count h ~goal =
+  let visited = History.Tbl.create 256 in
   let budget = ref max_visited in
   let exception Found of History.t in
   let rec dfs h =
-    if !budget <= 0 then ()
-    else begin
-      let key = History.to_string h in
-      if not (Hashtbl.mem visited key) then begin
-        Hashtbl.replace visited key ();
-        decr budget;
-        if goal h then raise (Found h);
-        List.iter (fun (_, h') -> dfs h') (step ~kinds h)
-      end
+    if !budget > 0 && not (History.Tbl.mem visited h) then begin
+      History.Tbl.replace visited h ();
+      decr budget;
+      if goal h then raise (Found h);
+      List.iter (fun (_, h') -> dfs h') (step ~kinds h)
     end
+  in
+  let finish r =
+    (match visited_count with
+    | Some c -> c := History.Tbl.length visited
+    | None -> ());
+    r
   in
   try
     dfs h;
-    None
-  with Found w -> Some w
+    finish None
+  with Found w -> finish (Some w)
 
 let normal_forms ~kinds ?(max_visited = 200_000) h =
-  let visited = Hashtbl.create 256 in
-  let normals = Hashtbl.create 16 in
+  let visited = History.Tbl.create 256 in
+  let normals = History.Tbl.create 16 in
   let budget = ref max_visited in
   let rec dfs h =
-    if !budget > 0 then begin
-      let key = History.to_string h in
-      if not (Hashtbl.mem visited key) then begin
-        Hashtbl.replace visited key ();
-        decr budget;
-        match step ~kinds h with
-        | [] -> Hashtbl.replace normals key h
-        | succs -> List.iter (fun (_, h') -> dfs h') succs
-      end
+    if !budget > 0 && not (History.Tbl.mem visited h) then begin
+      History.Tbl.replace visited h ();
+      decr budget;
+      match step ~kinds h with
+      | [] -> History.Tbl.replace normals h ()
+      | succs -> List.iter (fun (_, h') -> dfs h') succs
     end
   in
   dfs h;
-  Hashtbl.fold (fun _ h acc -> h :: acc) normals []
+  History.Tbl.fold (fun h () acc -> h :: acc) normals []
 
 let rec reduce_greedy ~kinds h =
   match step ~kinds h with

@@ -32,6 +32,20 @@ let rec pp_compact ppf = function
 
 let to_string t = Format.asprintf "%a" pp_compact t
 
+(* Structural hash compatible with [equal].  Unlike the polymorphic
+   [Hashtbl.hash], this folds the whole value — the default's node limit
+   would collapse deep round-tagged inputs onto a handful of buckets. *)
+let rec hash = function
+  | Nil -> 3
+  | Unit -> 5
+  | Bool false -> 7
+  | Bool true -> 11
+  | Int i -> i lxor 0x2545f491
+  | Str s -> Hashtbl.hash s
+  | Pair (a, b) -> (((hash a * 0x01000193) lxor hash b) * 0x01000193) lxor 13
+  | List xs ->
+      List.fold_left (fun acc v -> (acc * 0x01000193) lxor hash v) 17 xs
+
 let as_int = function Int i -> Some i | _ -> None
 let as_str = function Str s -> Some s | _ -> None
 let as_pair = function Pair (a, b) -> Some (a, b) | _ -> None

@@ -28,6 +28,10 @@ val list : t list -> t
 val to_string : t -> string
 (** Compact human-readable rendering (also used as a stable map key). *)
 
+val hash : t -> int
+(** Structural hash compatible with {!equal}; folds the whole value (no
+    node limit), so deep round-tagged inputs spread across buckets. *)
+
 val pp_compact : Format.formatter -> t -> unit
 
 (** Partial projections; [None] on shape mismatch. *)

@@ -1,0 +1,134 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* signals workers: new epoch or shutdown *)
+  donec : Condition.t;  (* signals the caller: all workers finished *)
+  mutable epoch : int;
+  mutable job : (unit -> unit) option;
+  mutable running : int;  (* workers still inside the current job *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let clamp lo hi v = max lo (min hi v)
+
+let default_domains () =
+  match Sys.getenv_opt "JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> clamp 1 64 n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let size t = t.size
+
+let worker t =
+  let my_epoch = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    while (not t.stopped) && t.epoch = !my_epoch do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      continue := false
+    end
+    else begin
+      my_epoch := t.epoch;
+      let job = t.job in
+      Mutex.unlock t.mutex;
+      (match job with Some f -> f () | None -> ());
+      Mutex.lock t.mutex;
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.broadcast t.donec;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_stopped = t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  if not was_stopped then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let create ?domains () =
+  let size =
+    match domains with
+    | Some n -> clamp 1 64 n
+    | None -> default_domains ()
+  in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      donec = Condition.create ();
+      epoch = 0;
+      job = None;
+      running = 0;
+      stopped = false;
+      workers = [];
+    }
+  in
+  (* The caller's domain participates in every [map], so spawn one fewer. *)
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  at_exit (fun () -> shutdown t);
+  t
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let error = Atomic.make None in
+      let body () =
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else if Option.is_none (Atomic.get error) then
+            try results.(i) <- Some (f items.(i))
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set error None (Some (e, bt)))
+        done
+      in
+      if t.size <= 1 then body ()
+      else begin
+        Mutex.lock t.mutex;
+        t.job <- Some body;
+        t.epoch <- t.epoch + 1;
+        t.running <- t.size - 1;
+        Condition.broadcast t.work;
+        Mutex.unlock t.mutex;
+        body ();
+        Mutex.lock t.mutex;
+        while t.running > 0 do
+          Condition.wait t.donec t.mutex
+        done;
+        t.job <- None;
+        Mutex.unlock t.mutex
+      end;
+      (match Atomic.get error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list
+        (Array.map
+           (function
+             | Some r -> r
+             | None -> invalid_arg "Xpar.Pool.map: missing result")
+           results)
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

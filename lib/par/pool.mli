@@ -1,0 +1,38 @@
+(** A fixed-size domain pool for shared-nothing fan-out.
+
+    Every simulation in this code base owns its engine, environment and
+    RNG, so independent runs (seed sweeps, qcheck batches) can execute on
+    separate domains with no coordination beyond handing out work items.
+    [map] preserves input order, so parallel sweeps print byte-identical
+    tables to sequential ones. *)
+
+type t
+
+val default_domains : unit -> int
+(** Pool size used when [create] is not given [~domains]: the [JOBS]
+    environment variable if set to a positive integer (clamped to 64),
+    otherwise {!Domain.recommended_domain_count}. *)
+
+val create : ?domains:int -> unit -> t
+(** Spawn a pool of [domains] workers (at least 1; the caller's domain
+    counts as one worker, so [domains = 1] means purely sequential).
+    Workers idle on a condition variable between calls.  The pool is
+    shut down automatically at program exit. *)
+
+val size : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] applies [f] to every element of [xs], distributing
+    items over the pool's domains, and returns the results in the order
+    of [xs] (same observable behaviour as [List.map f xs] when [f] is
+    pure per-item).  If any application raises, the first exception
+    (in item order of observation) is re-raised in the caller after all
+    workers go idle.  Not re-entrant: do not call [map] on the same pool
+    from within [f]. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; called automatically at exit. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a freshly created pool and shuts it down
+    afterwards, even if [f] raises. *)

@@ -12,7 +12,10 @@ type t = {
   m : metrics;
 }
 
-let rid_counter = ref 0
+(* Atomic: clients in simulations running on parallel domains must draw
+   distinct request ids.  Within one simulation the client is sequential,
+   so the rids it observes are strictly increasing either way. *)
+let rid_counter = Atomic.make 0
 
 let pending_ivar t rid =
   match Hashtbl.find_opt t.pending rid with
@@ -58,9 +61,7 @@ let addr t = t.c_addr
 let proc t = t.c_proc
 let metrics t = t.m
 
-let fresh_rid _t =
-  incr rid_counter;
-  !rid_counter
+let fresh_rid _t = Atomic.fetch_and_add rid_counter 1 + 1
 
 let request t ~action ~kind ~input =
   Xsm.Request.make ~rid:(fresh_rid t) ~action ~kind ~input

@@ -1,10 +1,11 @@
 type t = { id : int; name : string; mutable alive : bool }
 
-let counter = ref 0
+(* Atomic so that engines running in parallel domains (Xpar pools) can
+   create processes concurrently.  Ids are unique across domains; within
+   one engine creation is sequential, so per-run ids stay deterministic. *)
+let counter = Atomic.make 0
 
-let create ~name =
-  incr counter;
-  { id = !counter; name; alive = true }
+let create ~name = { id = Atomic.fetch_and_add counter 1 + 1; name; alive = true }
 
 let name t = t.name
 let id t = t.id

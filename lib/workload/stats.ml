@@ -14,15 +14,36 @@ let stddev = function
       in
       sqrt var
 
-let percentile p = function
-  | [] -> 0.0
-  | xs ->
-      let sorted = List.sort Float.compare xs in
-      let n = List.length sorted in
-      let rank =
-        int_of_float (ceil (p *. float_of_int n)) |> max 1 |> min n
-      in
-      List.nth sorted (rank - 1)
+let sorted_of_list xs =
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  a
+
+(* Nearest-rank percentile on an already-sorted array. *)
+let percentile_sorted p a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p *. float_of_int n)) |> max 1 |> min n in
+    a.(rank - 1)
+
+let percentile p xs = percentile_sorted p (sorted_of_list xs)
+
+type summary = { n : int; mean : float; p50 : float; p95 : float; p99 : float }
+
+let summarize xs =
+  let a = sorted_of_list xs in
+  {
+    n = Array.length a;
+    mean = mean xs;
+    p50 = percentile_sorted 0.50 a;
+    p95 = percentile_sorted 0.95 a;
+    p99 = percentile_sorted 0.99 a;
+  }
+
+let p50 xs = percentile 0.50 xs
+let p95 xs = percentile 0.95 xs
+let p99 xs = percentile 0.99 xs
 
 let min_max = function
   | [] -> (0.0, 0.0)

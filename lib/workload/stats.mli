@@ -7,9 +7,29 @@ val mean_int : int list -> float
 
 val stddev : float list -> float
 
+val sorted_of_list : float list -> float array
+(** Fresh sorted array of the elements. *)
+
+val percentile_sorted : float -> float array -> float
+(** Nearest-rank percentile of an {e already sorted} array; 0.0 on the
+    empty array.  Sort once with {!sorted_of_list} and reuse the array
+    when extracting several percentiles. *)
+
 val percentile : float -> float list -> float
 (** [percentile 0.5 xs] is the median (nearest-rank on the sorted list);
-    0.0 on the empty list. *)
+    0.0 on the empty list.  Sorts per call — prefer {!summarize} or
+    {!percentile_sorted} for repeated queries on the same data. *)
+
+val p50 : float list -> float
+
+val p95 : float list -> float
+
+val p99 : float list -> float
+
+type summary = { n : int; mean : float; p50 : float; p95 : float; p99 : float }
+
+val summarize : float list -> summary
+(** All of the above in one pass over one sorted copy. *)
 
 val min_max : float list -> float * float
 

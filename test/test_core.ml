@@ -772,6 +772,388 @@ let prop_analyzer_complete_on_protocol =
       in
       fast && slow)
 
+(* ------------------------------------------------------------------ *)
+(* Reference reducer: a verbatim copy of the pre-optimization
+   implementation of lib/core/reduction.ml (string-keyed dedup, full
+   array scans per rule).  The optimized engine must agree with it
+   exactly — same successor sets, same verdicts. *)
+
+module Reference = struct
+  type rule = R_idempotent | R_cancel | R_commit
+
+  let starts_of arr name iv =
+    let acc = ref [] in
+    Array.iteri
+      (fun i e ->
+        match e with
+        | Event.S (a, iv') when Action.equal_name a name && Value.equal iv iv'
+          ->
+            acc := i :: !acc
+        | _ -> ())
+      arr;
+    List.rev !acc
+
+  let completions_of arr name iv =
+    let acc = ref [] in
+    Array.iteri
+      (fun i e ->
+        match e with
+        | Event.C (a, iv', ov)
+          when Action.equal_name a name && Value.equal iv iv' ->
+            acc := (i, ov) :: !acc
+        | _ -> ())
+      arr;
+    List.rev !acc
+
+  let instances arr =
+    let seen = Hashtbl.create 16 in
+    let acc = ref [] in
+    Array.iter
+      (fun e ->
+        match e with
+        | Event.S (a, iv) ->
+            let key = (a, Value.to_string iv) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              acc := (a, iv) :: !acc
+            end
+        | Event.C _ -> ())
+      arr;
+    List.rev !acc
+
+  let any_start_before arr name iv bound =
+    let found = ref false in
+    for i = 0 to bound - 1 do
+      (match arr.(i) with
+      | Event.S (a, iv') when Action.equal_name a name && Value.equal iv iv' ->
+          found := true
+      | _ -> ())
+    done;
+    !found
+
+  let any_start_in_leftover arr name iv ~lo ~hi removed =
+    let found = ref false in
+    for i = lo to hi do
+      if not (List.mem i removed) then
+        match arr.(i) with
+        | Event.S (a, iv') when Action.equal_name a name && Value.equal iv iv'
+          ->
+            found := true
+        | _ -> ()
+    done;
+    !found
+
+  let rebuild arr removed insert_pair =
+    let n = Array.length arr in
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      (match insert_pair with
+      | Some (pos, events) when pos = i -> out := events @ !out
+      | _ -> ());
+      if not (List.mem i removed) then out := arr.(i) :: !out
+    done;
+    !out
+
+  let rule18_for arr name iv =
+    let starts = starts_of arr name iv in
+    let comps = completions_of arr name iv in
+    let results = ref [] in
+    List.iter
+      (fun is2 ->
+        List.iter
+          (fun (jc2, ov) ->
+            if jc2 > is2 then
+              List.iter
+                (fun i1 ->
+                  if i1 <> is2 && i1 < is2 && i1 < jc2 then begin
+                    let removed = [ i1 ] in
+                    results :=
+                      rebuild arr (is2 :: jc2 :: removed)
+                        (Some
+                           ( jc2,
+                             [ Event.S (name, iv); Event.C (name, iv, ov) ] ))
+                      :: !results;
+                    List.iter
+                      (fun (ic1, ov1) ->
+                        if
+                          ic1 > i1 && ic1 <> is2 && ic1 <> jc2 && ic1 < jc2
+                          && Value.equal ov1 ov
+                        then
+                          results :=
+                            rebuild arr [ i1; ic1; is2; jc2 ]
+                              (Some
+                                 ( jc2,
+                                   [
+                                     Event.S (name, iv); Event.C (name, iv, ov);
+                                   ] ))
+                            :: !results)
+                      comps
+                  end)
+                starts)
+          comps)
+      starts;
+    !results
+
+  let rule19_for arr name iv =
+    let cancel = Action.cancel_name name in
+    let commit = Action.commit_name name in
+    let a_starts = starts_of arr name iv in
+    let a_comps = completions_of arr name iv in
+    let c_starts = starts_of arr cancel iv in
+    let c_comps = completions_of arr cancel iv in
+    let results = ref [] in
+    let leftover_ok ~lo ~hi removed =
+      not (any_start_in_leftover arr commit iv ~lo ~hi removed)
+    in
+    List.iter
+      (fun is2 ->
+        List.iter
+          (fun (jc2, ov) ->
+            if jc2 > is2 && Value.equal ov Value.nil then begin
+              if not (any_start_before arr name iv jc2) then begin
+                let removed = [ is2; jc2 ] in
+                if leftover_ok ~lo:is2 ~hi:jc2 removed then
+                  results := rebuild arr removed None :: !results
+              end;
+              List.iter
+                (fun i1 ->
+                  if i1 < is2 && not (any_start_before arr name iv i1) then begin
+                    let removed = [ i1; is2; jc2 ] in
+                    if leftover_ok ~lo:i1 ~hi:jc2 removed then
+                      results := rebuild arr removed None :: !results
+                  end)
+                a_starts;
+              List.iter
+                (fun i1 ->
+                  List.iter
+                    (fun (ic1, _ov1) ->
+                      if
+                        i1 < is2 && ic1 > i1 && ic1 < jc2 && ic1 <> is2
+                        && not (any_start_before arr name iv i1)
+                      then begin
+                        let removed = [ i1; ic1; is2; jc2 ] in
+                        if leftover_ok ~lo:i1 ~hi:jc2 removed then
+                          results := rebuild arr removed None :: !results
+                      end)
+                    a_comps)
+                a_starts
+            end)
+          c_comps)
+      c_starts;
+    !results
+
+  let rule20_for arr name iv =
+    let commit = Action.commit_name name in
+    let m_starts = starts_of arr commit iv in
+    let m_comps = completions_of arr commit iv in
+    let results = ref [] in
+    List.iter
+      (fun is2 ->
+        List.iter
+          (fun (jc2, ov) ->
+            if jc2 > is2 && Value.equal ov Value.nil then
+              List.iter
+                (fun i1 ->
+                  if i1 < is2 then begin
+                    let removed = [ i1; is2; jc2 ] in
+                    if
+                      not
+                        (any_start_in_leftover arr name iv ~lo:i1 ~hi:jc2
+                           removed)
+                    then
+                      results :=
+                        rebuild arr removed
+                          (Some
+                             ( jc2,
+                               [
+                                 Event.S (commit, iv);
+                                 Event.C (commit, iv, Value.nil);
+                               ] ))
+                        :: !results;
+                    List.iter
+                      (fun (ic1, ov1) ->
+                        if
+                          ic1 > i1 && ic1 < jc2 && ic1 <> is2
+                          && Value.equal ov1 Value.nil
+                        then begin
+                          let removed = [ i1; ic1; is2; jc2 ] in
+                          if
+                            not
+                              (any_start_in_leftover arr name iv ~lo:i1 ~hi:jc2
+                                 removed)
+                          then
+                            results :=
+                              rebuild arr removed
+                                (Some
+                                   ( jc2,
+                                     [
+                                       Event.S (commit, iv);
+                                       Event.C (commit, iv, Value.nil);
+                                     ] ))
+                              :: !results
+                        end)
+                      m_comps
+                  end)
+                m_starts)
+          m_comps)
+      m_starts;
+    !results
+
+  let step ~kinds h =
+    let arr = Array.of_list h in
+    let out = ref [] in
+    let add rule hs = List.iter (fun h' -> out := (rule, h') :: !out) hs in
+    List.iter
+      (fun (name, iv) ->
+        let base, variant = Action.split name in
+        match (variant, kinds base) with
+        | Action.Exec, Some Action.Idempotent ->
+            add R_idempotent (rule18_for arr name iv)
+        | Action.Exec, Some Action.Undoable ->
+            add R_cancel (rule19_for arr base iv);
+            add R_commit (rule20_for arr base iv)
+        | Action.Cancel, Some Action.Undoable ->
+            add R_idempotent (rule18_for arr name iv);
+            add R_cancel (rule19_for arr base iv)
+        | Action.Commit, Some Action.Undoable ->
+            add R_commit (rule20_for arr base iv)
+        | _ -> ())
+      (instances arr);
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun (_, h') ->
+        let key = History.to_string h' in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      (List.rev !out)
+
+  let reduces_to ~kinds ?(max_visited = 200_000) h ~goal =
+    let visited = Hashtbl.create 256 in
+    let budget = ref max_visited in
+    let exception Found of History.t in
+    let rec dfs h =
+      if !budget <= 0 then ()
+      else begin
+        let key = History.to_string h in
+        if not (Hashtbl.mem visited key) then begin
+          Hashtbl.replace visited key ();
+          decr budget;
+          if goal h then raise (Found h);
+          List.iter (fun (_, h') -> dfs h') (step ~kinds h)
+        end
+      end
+    in
+    try
+      dfs h;
+      None
+    with Found w -> Some w
+end
+
+(* The optimized step must produce the same successor set as the
+   reference — compared as sorted (rule, history) lists, i.e. as
+   multisets (both engines deduplicate, so sets). *)
+let norm_new succs =
+  List.sort compare
+    (List.map
+       (fun (r, h') ->
+         ( (match r with
+           | Reduction.R_idempotent -> 0
+           | Reduction.R_cancel -> 1
+           | Reduction.R_commit -> 2),
+           h' ))
+       succs)
+
+let norm_ref succs =
+  List.sort compare
+    (List.map
+       (fun (r, h') ->
+         ( (match r with
+           | Reference.R_idempotent -> 0
+           | Reference.R_cancel -> 1
+           | Reference.R_commit -> 2),
+           h' ))
+       succs)
+
+let prop_fastpath_step_soups =
+  QCheck.Test.make ~name:"optimized step = reference step (event soups)"
+    ~count:400 soup_arb
+    (fun h -> norm_new (Reduction.step ~kinds h) = norm_ref (Reference.step ~kinds h))
+
+let prop_fastpath_step_instance_soups =
+  QCheck.Test.make
+    ~name:"optimized step = reference step (one-instance soups)" ~count:250
+    (QCheck.make ~print:History.to_string instance_soup_gen)
+    (fun h -> norm_new (Reduction.step ~kinds h) = norm_ref (Reference.step ~kinds h))
+
+let prop_fastpath_verdicts_undoable =
+  QCheck.Test.make
+    ~name:"optimized reduces_to = reference = analyzer (undoable streams)"
+    ~count:60
+    QCheck.(triple (int_bound 2) (int_bound 2) bool)
+    (fun (aborted_rounds, failed_attempts, truncated) ->
+      let round r committed =
+        let se = Event.S ("book", riv r) and ce = Event.C ("book", riv r, v42) in
+        let cn1 = Event.S (cn, riv r) and cn2 = Event.C (cn, riv r, Value.nil) in
+        let cm1 = Event.S (cm, riv r) and cm2 = Event.C (cm, riv r, Value.nil) in
+        let attempts =
+          List.concat (List.init failed_attempts (fun _ -> [ se; cn1; cn2 ]))
+        in
+        attempts @ [ se; ce ] @ if committed then [ cm1; cm2 ] else [ cn1; cn2 ]
+      in
+      let full =
+        List.concat (List.init aborted_rounds (fun r -> round (r + 1) false))
+        @ round (aborted_rounds + 1) true
+      in
+      let h =
+        if truncated then List.filteri (fun i _ -> i <> List.length full - 1) full
+        else full
+      in
+      let goal h' =
+        Xable.failure_free Action.Undoable "book"
+          ~iv:(riv (aborted_rounds + 1))
+          h'
+      in
+      let optimized = Option.is_some (Reduction.reduces_to ~kinds h ~goal) in
+      let reference = Option.is_some (Reference.reduces_to ~kinds h ~goal) in
+      let analyzer =
+        match
+          Analyzer.analyze_undoable ~action:"book" ~logical_of ~round_of
+            ~logical:iv h
+        with
+        | Analyzer.Xable _ -> true
+        | Analyzer.Not_xable _ -> false
+      in
+      optimized = reference && optimized = analyzer
+      && optimized = not truncated)
+
+let prop_fastpath_verdicts_idempotent =
+  QCheck.Test.make
+    ~name:"optimized reduces_to = reference = analyzer (idempotent streams)"
+    ~count:60
+    QCheck.(pair (int_bound 4) bool)
+    (fun (retries, truncated) ->
+      let full =
+        List.concat (List.init retries (fun _ -> [ s "get" ]))
+        @ [ s "get"; c "get" v42 ]
+      in
+      let h =
+        if truncated then List.filteri (fun i _ -> i <> List.length full - 1) full
+        else full
+      in
+      let goal h' = Xable.failure_free Action.Idempotent "get" ~iv h' in
+      let optimized = Option.is_some (Reduction.reduces_to ~kinds h ~goal) in
+      let reference = Option.is_some (Reference.reduces_to ~kinds h ~goal) in
+      let analyzer =
+        match Analyzer.analyze_idempotent ~action:"get" ~iv h with
+        | Analyzer.Xable _ -> true
+        | Analyzer.Not_xable _ -> false
+      in
+      optimized = reference && optimized = analyzer
+      && optimized = not truncated)
+
 let test_checker_engines_agree () =
   let h =
     [ Event.S ("get", Value.int 1); Event.S ("get", Value.int 1);
@@ -888,5 +1270,12 @@ let () =
           tc "checker engines agree" test_checker_engines_agree;
           qcheck prop_analyzer_sound;
           qcheck prop_analyzer_complete_on_protocol;
+        ] );
+      ( "reduction-fastpath",
+        [
+          qcheck prop_fastpath_step_soups;
+          qcheck prop_fastpath_step_instance_soups;
+          qcheck prop_fastpath_verdicts_undoable;
+          qcheck prop_fastpath_verdicts_idempotent;
         ] );
     ]

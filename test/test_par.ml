@@ -1,0 +1,105 @@
+(* Tests for the Xpar domain pool: order preservation, exception
+   propagation, and — the property the bench harness relies on —
+   determinism of parallel seed sweeps over real protocol runs. *)
+
+module Pool = Xpar.Pool
+module Runner = Xworkload.Runner
+module Workloads = Xworkload.Workloads
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_map_order () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "order preserved" (List.map (fun x -> x * x) xs)
+        (Pool.map pool (fun x -> x * x) xs))
+
+let test_map_empty_and_singleton () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 42 ]
+        (Pool.map pool (fun x -> x + 41) [ 1 ]))
+
+let test_map_reusable () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      for i = 1 to 5 do
+        checki "reused pool"
+          (List.fold_left ( + ) 0 (List.init 20 (fun j -> (i * j) + 1)))
+          (List.fold_left ( + ) 0
+             (Pool.map pool (fun j -> (i * j) + 1) (List.init 20 Fun.id)))
+      done)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      match Pool.map pool (fun x -> if x = 7 then raise (Boom x) else x)
+              (List.init 20 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 7 -> ())
+
+let test_size_clamped () =
+  Pool.with_pool ~domains:0 (fun pool -> checki "min 1" 1 (Pool.size pool));
+  Pool.with_pool ~domains:3 (fun pool -> checki "as asked" 3 (Pool.size pool))
+
+(* Determinism: a parallel sweep of real protocol simulations returns
+   exactly what the sequential sweep returns, at every pool size.  Each
+   run owns its engine/environment/RNG, so the only way this can fail is
+   cross-run shared state — which is what this test is standing guard
+   over. *)
+
+let protocol_fingerprint seed =
+  let spec =
+    {
+      Runner.default_spec with
+      seed = 1 + (seed * 7919);
+      crashes = [ (150, 0) ];
+      noise = Some (0.06, 150, 6_000);
+      time_limit = 3_000_000;
+      quiesce_grace = 20_000;
+    }
+  in
+  let r, _ =
+    Runner.run ~spec ~setup:Workloads.setup_all
+      ~workload:(fun _ c s -> Workloads.sequence Mixed ~n:3 c s)
+      ()
+  in
+  ( Runner.ok r,
+    r.Runner.history_length,
+    r.Runner.end_time,
+    List.length r.Runner.submissions,
+    r.Runner.rounds_per_request,
+    r.Runner.duplicate_effects )
+
+let test_protocol_sweep_deterministic () =
+  let seeds = List.init 6 Fun.id in
+  let sequential = List.map protocol_fingerprint seeds in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let parallel = Pool.map pool protocol_fingerprint seeds in
+          checkb
+            (Printf.sprintf "pool of %d = sequential" domains)
+            true (parallel = sequential)))
+    [ 1; 2; 3; 4 ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "xpar"
+    [
+      ( "pool",
+        [
+          tc "map preserves order" test_map_order;
+          tc "empty and singleton" test_map_empty_and_singleton;
+          tc "pool reusable across maps" test_map_reusable;
+          tc "exception propagates" test_exception_propagates;
+          tc "size clamped" test_size_clamped;
+        ] );
+      ( "determinism",
+        [ tc "protocol sweep = sequential" test_protocol_sweep_deterministic ]
+      );
+    ]

@@ -566,19 +566,24 @@ let test_state_context_across_requests () =
   checkb "get observes the put's state" true
     (match !got with Some v -> Value.equal v (Value.str "teal") | None -> false)
 
+(* Each trial fans the three crash configurations for one generated seed
+   over a shared domain pool (Xpar); 8 trials x 3 configs keeps the total
+   sampled fault space the size it was when each trial drew one random
+   configuration out of 25. *)
+let e1_pool = lazy (Xpar.Pool.create ())
+
 let prop_e1_xability =
   QCheck.Test.make ~name:"E1: protocol runs are x-able under random faults"
-    ~count:25
-    QCheck.(
-      quad (int_bound 10_000) (int_bound 2) (int_bound 1) (int_bound 1))
-    (fun (seed, crash_config, noise_on, failures_on) ->
-      let crashes =
-        match crash_config with
-        | 0 -> []
-        | 1 -> [ (150 + (seed mod 300), 0) ]
-        | _ -> [ (150 + (seed mod 300), 0); (800 + (seed mod 500), 1) ]
-      in
-      let spec =
+    ~count:8
+    QCheck.(triple (int_bound 10_000) (int_bound 1) (int_bound 1))
+    (fun (seed, noise_on, failures_on) ->
+      let spec_of crash_config =
+        let crashes =
+          match crash_config with
+          | 0 -> []
+          | 1 -> [ (150 + (seed mod 300), 0) ]
+          | _ -> [ (150 + (seed mod 300), 0); (800 + (seed mod 500), 1) ]
+        in
         {
           base_spec with
           seed = seed + 1;
@@ -592,11 +597,21 @@ let prop_e1_xability =
           quiesce_grace = 20_000;
         }
       in
-      let r, _ = run ~spec (mixed_workload 4) in
-      if not (Runner.ok r) then
-        QCheck.Test.fail_reportf "seed=%d crashes=%d noise=%d fails=%d:\n%s"
-          seed crash_config noise_on failures_on
-          (String.concat "\n" (Runner.failures r));
+      let results =
+        Xpar.Pool.map (Lazy.force e1_pool)
+          (fun crash_config ->
+            let r, _ = run ~spec:(spec_of crash_config) (mixed_workload 4) in
+            (crash_config, Runner.ok r, Runner.failures r))
+          [ 0; 1; 2 ]
+      in
+      List.iter
+        (fun (crash_config, ok, failures) ->
+          if not ok then
+            QCheck.Test.fail_reportf
+              "seed=%d crashes=%d noise=%d fails=%d:\n%s" seed crash_config
+              noise_on failures_on
+              (String.concat "\n" failures))
+        results;
       true)
 
 let tc name f = Alcotest.test_case name `Quick f
