@@ -141,6 +141,7 @@ let json_to_string j =
 let exp_times : (string * float) list ref = ref []
 let e7_rows : json list ref = ref []
 let micro_rows : json list ref = ref []
+let explore_rows : json list ref = ref []
 let calibration : json ref = ref (J_obj [])
 
 let timed_exp name f =
@@ -1026,6 +1027,70 @@ let e9 () =
      crash-path latency only@."
 
 (* ------------------------------------------------------------------ *)
+(* E10: adversarial schedule search — explorer throughput on the real
+   protocol, plus detection of each planted protocol mutation. *)
+
+let e10 () =
+  header
+    "E10 Adversarial schedule search (lib/explore)  [paper: section 5 \
+     requirements as monitored properties]";
+  let open Xexplore in
+  let scenario = Explorer.booking () in
+  let scenario =
+    {
+      scenario with
+      Explorer.spec =
+        { scenario.Explorer.spec with noise = Some (0.25, 150, 10_000) };
+    }
+  in
+  let push_row ~strategy ~mutation ~(v : Explorer.verdict) wall =
+    let rate = if wall > 0.0 then float_of_int v.Explorer.explored /. wall else 0.0 in
+    explore_rows :=
+      J_obj
+        [
+          ("strategy", J_str strategy);
+          ("mutation", J_str (Xreplication.Mutation.to_string mutation));
+          ("explored", J_int v.Explorer.explored);
+          ("violating", J_int (List.length v.Explorer.violating));
+          ("choice_points", J_int v.Explorer.choice_points);
+          ("wall_s", J_float wall);
+          ("schedules_per_s", J_float rate);
+        ]
+      :: !explore_rows;
+    rate
+  in
+  row "%-14s %-12s %-10s %-11s %-10s %-16s@." "strategy" "mutation" "explored"
+    "violating" "wall (s)" "schedules/s";
+  let sweep strategy_name strategy mutation =
+    let t0 = Unix.gettimeofday () in
+    let v = Explorer.explore ~mutation scenario strategy in
+    let wall = Unix.gettimeofday () -. t0 in
+    let rate = push_row ~strategy:strategy_name ~mutation ~v wall in
+    row "%-14s %-12s %-10d %-11d %-10.2f %-16.0f@." strategy_name
+      (Xreplication.Mutation.to_string mutation)
+      v.Explorer.explored
+      (List.length v.Explorer.violating)
+      wall rate;
+    v
+  in
+  let trials = if quick then 300 else 2_000 in
+  ignore
+    (sweep "random-walk"
+       (Strategy.random_walk ~trials ())
+       Xreplication.Mutation.Faithful);
+  ignore
+    (sweep "delay-dfs"
+       (Strategy.delay_dfs ~budget:(if quick then 150 else 600) ())
+       Xreplication.Mutation.Faithful);
+  List.iter
+    (fun m ->
+      ignore (sweep "random-walk" (Strategy.random_walk ~trials:64 ()) m))
+    Xreplication.Mutation.all;
+  row
+    "expected shape: faithful protocol survives every explored schedule; \
+     every mutation yields violating schedules within a 64-trial walk@."
+
+(* ------------------------------------------------------------------ *)
 (* Parallel speedup calibration: one fixed sweep, sequential vs pool. *)
 
 let calibrate () =
@@ -1186,6 +1251,7 @@ let write_json path =
         ("jobs", J_int (Pool.size pool));
         ("experiments", J_list experiments);
         ("e7_reduction", J_list (List.rev !e7_rows));
+        ("e10_explore", J_list (List.rev !explore_rows));
         ("calibration", !calibration);
         ("microbench", J_list (List.rev !micro_rows));
       ]
@@ -1209,6 +1275,7 @@ let () =
   timed_exp "e7" e7;
   timed_exp "e8" e8;
   timed_exp "e9" e9;
+  timed_exp "e10" e10;
   timed_exp "calibration" calibrate;
   timed_exp "microbench" microbench;
   (match !json_arg with Some path -> write_json path | None -> ());

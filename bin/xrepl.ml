@@ -1,15 +1,21 @@
 (* xrepl: command-line driver for the x-ability replication simulator.
 
    Subcommands:
-     run    — run one scenario and print the verdict (R1-R4 checks)
-     sweep  — sweep false-suspicion rates and print the behaviour spectrum
-     trace  — run a small scenario and dump the environment history
+     run     — run one scenario and print the verdict (R1-R4 checks)
+     sweep   — sweep false-suspicion rates and print the behaviour spectrum
+     trace   — run a small scenario and dump the environment history
+     explore — search the schedule space for x-ability violations
+     replay  — re-run a schedule printed by explore, byte-identically
 
    Examples:
      xrepl run --requests 6 --mix mixed --crash 150:0 --noise 0.08:150:6000
      xrepl run --backend paxos --detector heartbeat --seed 9
      xrepl sweep --points 6 --seeds 5
-     xrepl trace --mix undoable --crash 200:0 *)
+     xrepl trace --mix undoable --crash 200:0
+     xrepl trace --json --requests 2
+     xrepl explore --strategy walk --trials 500 --noise 0.25:150:10000
+     xrepl explore --mutation skip-undo --expect-violation
+     xrepl replay --schedule 'v1 seed=43 win=4 mut=skip-undo ...' *)
 
 open Cmdliner
 module Runner = Xworkload.Runner
@@ -291,37 +297,303 @@ let sweep_cmd =
 
 let trace_cmd =
   let doc = "Run a small scenario and dump the environment event history." in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the full engine trace as JSON Lines on stdout (one object \
+             per entry) instead of the human-readable history.")
+  in
   let trace seed n crashes noise fail_prob backend detector requests mix
-      client_crash =
+      client_crash json =
     let spec =
       make_spec seed n crashes noise fail_prob backend detector client_crash
     in
     let env_ref = ref None in
+    let eng_ref = ref None in
+    let prepare eng _env =
+      eng_ref := Some eng;
+      if json then Xsim.Trace.set_enabled (Xsim.Engine.trace eng) true
+    in
     let r, _ =
-      Runner.run ~spec
+      Runner.run ~spec ~prepare
         ~setup:(fun env ->
           env_ref := Some env;
           Workloads.setup_all env)
         ~workload:(fun _ c s -> Workloads.sequence mix ~n:requests c s)
         ()
     in
-    Format.printf "=== environment history (%d events) ===@."
-      r.Runner.history_length;
-    (match !env_ref with
-    | Some env ->
-        List.iter
-          (fun e -> Format.printf "  %a@." Xability.Event.pp_compact e)
-          (Xsm.Environment.history env)
-    | None -> ());
-    print_result r
+    if json then begin
+      (match !eng_ref with
+      | Some eng -> Format.printf "%a" Xsim.Trace.pp_jsonl (Xsim.Engine.trace eng)
+      | None -> ());
+      if Runner.ok r then 0 else 1
+    end
+    else begin
+      Format.printf "=== environment history (%d events) ===@."
+        r.Runner.history_length;
+      (match !env_ref with
+      | Some env ->
+          List.iter
+            (fun e -> Format.printf "  %a@." Xability.Event.pp_compact e)
+            (Xsm.Environment.history env)
+      | None -> ());
+      print_result r
+    end
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const trace $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
       $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
-      $ client_crash_arg)
+      $ client_crash_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explore / replay *)
+
+module Explorer = Xexplore.Explorer
+module Schedule = Xexplore.Schedule
+module Strategy = Xexplore.Strategy
+module Mutation = Xreplication.Mutation
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt (enum [ ("booking", `Booking); ("mixed", `Mixed) ]) `Booking
+    & info [ "scenario" ] ~docv:"S"
+        ~doc:"Explorer workload: $(b,booking) or $(b,mixed).")
+
+let mutation_conv =
+  let parse s =
+    match Mutation.of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown mutation %S (faithful, skip-undo, dup-exec, \
+                early-reply)"
+               s))
+  in
+  Arg.conv (parse, Mutation.pp)
+
+let mutation_arg =
+  Arg.(
+    value
+    & opt mutation_conv Mutation.Faithful
+    & info [ "mutation" ] ~docv:"M"
+        ~doc:
+          "Protocol variant under test: $(b,faithful) (default), \
+           $(b,skip-undo), $(b,dup-exec), or $(b,early-reply).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains (default: the $(b,JOBS) environment variable). \
+           Results are byte-identical whatever the pool size.")
+
+let make_scenario scenario requests seed noise =
+  let scen =
+    match scenario with
+    | `Booking -> Explorer.booking ~requests ()
+    | `Mixed -> Explorer.mixed ~requests ()
+  in
+  { scen with Explorer.spec = { scen.Explorer.spec with Runner.seed; noise } }
+
+let explore_cmd =
+  let doc = "Search the schedule space for x-ability violations." in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("walk", `Walk); ("dfs", `Dfs); ("faults", `Faults); ("all", `All) ])
+          `All
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:
+            "$(b,walk) (replayable random walk), $(b,dfs) (delay-bounded \
+             systematic), $(b,faults) (crash-time enumeration), or $(b,all).")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "trials" ] ~docv:"N" ~doc:"Random-walk trials.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~docv:"N" ~doc:"Delay-DFS schedule budget.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "window" ] ~docv:"N" ~doc:"Scheduling ready-window width.")
+  in
+  let expect_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-violation" ]
+          ~doc:
+            "Exit 0 iff a violation was found (mutation self-test mode); \
+             default is the opposite.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Append verdicts and counterexamples as JSON Lines to FILE.")
+  in
+  let explore scenario requests seed noise mutation strategy trials budget
+      window jobs expect out =
+    let scen = make_scenario scenario requests seed noise in
+    let strategies =
+      let walk = Strategy.random_walk ~trials ~window () in
+      let dfs = Strategy.delay_dfs ~budget ~window () in
+      let faults =
+        Strategy.fault_enum ?noise
+          ~times:(List.init 12 (fun i -> 50 + (100 * i)))
+          ~replicas:(List.init 3 (fun i -> i))
+          ()
+      in
+      match strategy with
+      | `Walk -> [ walk ]
+      | `Dfs -> [ dfs ]
+      | `Faults -> [ faults ]
+      | `All -> [ walk; dfs; faults ]
+    in
+    let emit =
+      match out with
+      | None -> fun _ -> ()
+      | Some file ->
+          let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+          at_exit (fun () -> close_out_noerr oc);
+          fun line -> output_string oc (line ^ "\n")
+    in
+    let found = ref None in
+    List.iter
+      (fun strategy ->
+        if !found = None then begin
+          let v =
+            Explorer.explore ?jobs ~stop_on_first:true ~mutation scen strategy
+          in
+          Format.printf "%a@." Explorer.pp_verdict v;
+          emit (Explorer.verdict_to_json v);
+          match v.Explorer.violating with
+          | o :: _ -> found := Some (v, o)
+          | [] -> ()
+        end)
+      strategies;
+    match !found with
+    | None ->
+        Format.printf "no violating schedule found@.";
+        if expect then 1 else 0
+    | Some (v, o) ->
+        let shrunk, runs = Explorer.shrink scen o in
+        let cx =
+          {
+            Explorer.cx_scenario = scen.Explorer.name;
+            cx_strategy = v.Explorer.v_strategy;
+            cx_explored = v.Explorer.explored;
+            cx_original = o.Explorer.schedule;
+            cx_original_violations = o.Explorer.violations;
+            cx_shrunk = shrunk.Explorer.schedule;
+            cx_violations = shrunk.Explorer.violations;
+            cx_shrink_runs = runs;
+            cx_steps = shrunk.Explorer.steps;
+            cx_events = shrunk.Explorer.events;
+          }
+        in
+        Format.printf "violating schedule (original):@.  %a@." Schedule.pp
+          o.Explorer.schedule;
+        Format.printf "shrunk (%d replays):@.  %a@." runs Schedule.pp
+          shrunk.Explorer.schedule;
+        List.iter
+          (Format.printf "  violation: %s@.")
+          shrunk.Explorer.violations;
+        emit (Explorer.counterexample_to_json cx);
+        if expect then 0 else 1
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const explore $ scenario_arg $ requests_arg $ seed_arg $ noise_arg
+      $ mutation_arg $ strategy_arg $ trials_arg $ budget_arg $ window_arg
+      $ jobs_arg $ expect_arg $ out_arg)
+
+let replay_cmd =
+  let doc = "Replay a schedule printed by $(b,xrepl explore)." in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"LINE"
+          ~doc:"The schedule line (as printed by explore).")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Read the schedule line from FILE (first line).")
+  in
+  let dump_trace_arg =
+    Arg.(
+      value & flag
+      & info [ "dump-trace" ]
+          ~doc:"Also dump the engine trace of the replay as JSON Lines.")
+  in
+  let replay scenario requests noise schedule file dump_trace =
+    let line =
+      match (schedule, file) with
+      | Some s, _ -> Some s
+      | None, Some f ->
+          let ic = open_in f in
+          let l = try Some (input_line ic) with End_of_file -> None in
+          close_in ic;
+          l
+      | None, None -> None
+    in
+    match Option.bind line Schedule.of_string with
+    | None ->
+        Format.eprintf "cannot parse schedule (pass --schedule or --file)@.";
+        2
+    | Some sch ->
+        (* The schedule overrides seed/faults; the base scenario supplies
+           the workload and must match the exploring invocation. *)
+        let scen = make_scenario scenario requests sch.Schedule.seed noise in
+        let o, r, trace =
+          Explorer.replay ~with_trace:dump_trace scen sch
+        in
+        Format.printf "schedule: %a@." Schedule.pp sch;
+        Format.printf
+          "choice points=%d events=%d end=%d online-abort=%b@."
+          o.Explorer.steps o.Explorer.events o.Explorer.end_time
+          o.Explorer.online_abort;
+        if dump_trace then Format.printf "%a" Xsim.Trace.pp_jsonl trace;
+        if Explorer.violating o then begin
+          List.iter
+            (Format.printf "violation: %s@.")
+            o.Explorer.violations;
+          Format.printf "verdict: VIOLATING@.";
+          1
+        end
+        else begin
+          ignore r;
+          Format.printf "verdict: clean@.";
+          0
+        end
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const replay $ scenario_arg $ requests_arg $ noise_arg $ schedule_arg
+      $ file_arg $ dump_trace_arg)
 
 let () =
   let doc = "x-ability replication simulator (Frolund & Guerraoui, 2000)" in
   let info = Cmd.info "xrepl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; sweep_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ run_cmd; sweep_cmd; trace_cmd; explore_cmd; replay_cmd ]))

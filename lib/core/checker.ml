@@ -54,8 +54,19 @@ let group_goal ~logical_of exp h =
 
 type engine = [ `Search | `Fast | `Hybrid ]
 
+(* Per-group persistent searchers.  The goal of a group's search depends
+   only on the group's expectation, so a searcher created once can serve
+   every re-check of that group as its history grows — and, because the
+   explorer's runs draw deterministic request ids, every re-check of the
+   same group across thousands of explored schedules.  Keyed by the
+   group key; the [Reduction.searcher] memo inside each entry is what
+   makes incremental and repeated checking cheap. *)
+type cache = (string, Reduction.search) Hashtbl.t
+
+let create_cache () : cache = Hashtbl.create 64
+
 let check ~kinds ~logical_of ?(round_of = fun _ -> None)
-    ?(engine = (`Hybrid : engine)) ?(check_order = true) ~expected h =
+    ?(engine = (`Hybrid : engine)) ?(check_order = true) ?cache ~expected h =
   let indexed = List.mapi (fun i e -> (i, e)) h in
   (* Partition events into logical groups. *)
   let groups_tbl : (string, (int * Event.t) list ref) Hashtbl.t =
@@ -100,8 +111,24 @@ let check ~kinds ~logical_of ?(round_of = fun _ -> None)
           }
         else
           let search () =
-            Reduction.reduces_to ~kinds events
-              ~goal:(group_goal ~logical_of exp)
+            match cache with
+            | None ->
+                Reduction.reduces_to ~kinds events
+                  ~goal:(group_goal ~logical_of exp)
+            | Some cache ->
+                let run =
+                  match Hashtbl.find_opt cache key with
+                  | Some run -> run
+                  | None ->
+                      let run =
+                        Reduction.searcher ~kinds
+                          ~goal:(group_goal ~logical_of exp)
+                          ()
+                      in
+                      Hashtbl.replace cache key run;
+                      run
+                in
+                run events
           in
           let fast () =
             match
@@ -207,6 +234,129 @@ let check ~kinds ~logical_of ?(round_of = fun _ -> None)
     order_ok = order_viols = [];
     violations;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Online checking.  A growing history cannot be judged not-x-able in
+   general — a pending round may still be cancelled, a missing completion
+   may still arrive.  What CAN be decided online are the irrevocable
+   patterns: event shapes no future suffix and no reduction rule can
+   repair.  The incremental checker watches for exactly those, so a
+   monitor can abort a doomed run the moment the history is lost. *)
+
+module Incremental = struct
+  type group = {
+    g_action : Action.name;
+    g_logical : Value.t;
+    g_kind : Action.kind option;
+    (* Outputs of completed base-action executions, with their retry
+       round (None when the input carries no round tag). *)
+    mutable exec_outputs : (int option * Value.t) list;
+    mutable committed_rounds : int option list;  (* distinct *)
+    mutable n_events : int;
+  }
+
+  type t = {
+    i_kinds : Reduction.kinds;
+    i_logical_of : Action.name -> Value.t -> Value.t;
+    i_round_of : Value.t -> int option;
+    groups : (string, group) Hashtbl.t;
+    mutable first_violation : string option;
+    mutable n_fed : int;
+  }
+
+  let create ~kinds ~logical_of ?(round_of = fun _ -> None) () =
+    {
+      i_kinds = kinds;
+      i_logical_of = logical_of;
+      i_round_of = round_of;
+      groups = Hashtbl.create 32;
+      first_violation = None;
+      n_fed = 0;
+    }
+
+  let group_of t base logical =
+    let key = group_key base logical in
+    match Hashtbl.find_opt t.groups key with
+    | Some g -> g
+    | None ->
+        let g =
+          {
+            g_action = base;
+            g_logical = logical;
+            g_kind = t.i_kinds base;
+            exec_outputs = [];
+            committed_rounds = [];
+            n_events = 0;
+          }
+        in
+        Hashtbl.replace t.groups key g;
+        g
+
+  let flag t g msg =
+    if t.first_violation = None then
+      t.first_violation <-
+        Some
+          (Printf.sprintf "%s on %s: %s" g.g_action
+             (Value.to_string g.g_logical) msg)
+
+  let feed t e =
+    t.n_fed <- t.n_fed + 1;
+    let name = Event.action e in
+    let base = Action.base name in
+    let logical = t.i_logical_of base (Event.input e) in
+    let g = group_of t base logical in
+    g.n_events <- g.n_events + 1;
+    match (e, Action.variant_of name, g.g_kind) with
+    | Event.C (_, _, ov), Action.Exec, Some Action.Idempotent ->
+        (* Rule 18 absorbs a duplicate completion only when the outputs
+           agree; two different completed outputs are beyond repair. *)
+        (match g.exec_outputs with
+        | (_, ov') :: _ when not (Value.equal ov ov') ->
+            flag t g
+              (Printf.sprintf
+                 "idempotent executions completed with conflicting outputs \
+                  %s vs %s"
+                 (Value.to_string ov') (Value.to_string ov))
+        | _ -> ());
+        g.exec_outputs <- (None, ov) :: g.exec_outputs
+    | Event.C (_, iv, ov), Action.Exec, Some Action.Undoable ->
+        g.exec_outputs <- (t.i_round_of iv, ov) :: g.exec_outputs
+    | Event.C (_, iv, _), Action.Commit, Some Action.Undoable ->
+        let round = t.i_round_of iv in
+        if not (List.mem round g.committed_rounds) then begin
+          g.committed_rounds <- round :: g.committed_rounds;
+          (* Commits are permanent.  Rule 20 deduplicates commits of one
+             round; commits of two different rounds both survive, so the
+             group can never again reduce to a single execution. *)
+          if List.length g.committed_rounds >= 2 then
+            flag t g "two retry rounds committed (permanent duplicate effect)"
+        end
+    | _ -> ()
+
+  let events_fed t = t.n_fed
+  let violation t = t.first_violation
+
+  (* The output the group's effect settled on: for an idempotent action
+     the (first) completed output, for an undoable action the completed
+     output of the committed round.  [None] while unsettled. *)
+  let settled_output t ~action ~logical =
+    match Hashtbl.find_opt t.groups (group_key action logical) with
+    | None -> None
+    | Some g -> (
+        match g.g_kind with
+        | Some Action.Idempotent -> (
+            match List.rev g.exec_outputs with
+            | (_, ov) :: _ -> Some ov
+            | [] -> None)
+        | Some Action.Undoable -> (
+            match g.committed_rounds with
+            | [ round ] ->
+                List.find_map
+                  (fun (r, ov) -> if r = round then Some ov else None)
+                  g.exec_outputs
+            | _ -> None)
+        | None -> None)
+end
 
 let pp_report ppf r =
   Format.fprintf ppf "x-able: %b@," r.ok;

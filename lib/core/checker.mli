@@ -49,12 +49,23 @@ type engine =
   | `Fast  (** the linear {!Analyzer} only (protocol-shaped histories) *)
   | `Hybrid  (** fast path first, search on rejection (default) *) ]
 
+type cache
+(** Persistent per-group reduction searchers (see {!Reduction.searcher}).
+    Pass the same cache to successive {!check} calls — over a growing
+    history, or over the many runs of a schedule exploration — and the
+    search-path work of already-judged group states is not repeated.
+    Sound as long as the [kinds] and [logical_of] arguments do not change
+    between calls sharing a cache. *)
+
+val create_cache : unit -> cache
+
 val check :
   kinds:Reduction.kinds ->
   logical_of:(Action.name -> Value.t -> Value.t) ->
   ?round_of:(Value.t -> int option) ->
   ?engine:engine ->
   ?check_order:bool ->
+  ?cache:cache ->
   expected:expected list ->
   History.t ->
   report
@@ -68,5 +79,44 @@ val check :
     search.  When a group is accepted by the fast engine, the witness in
     [reduced] is the synthesized failure-free history (same shape, the
     logical input standing in for the round-tagged one). *)
+
+(** Online (event-at-a-time) checking.
+
+    A prefix of a run cannot be rejected just because it is not yet
+    x-able — a pending round may still be cancelled.  What can be decided
+    early are the {e irrevocable} violations: patterns that no future
+    events and no reduction rule can repair.  Feeding every environment
+    event to an [Incremental.t] lets a monitor abort a doomed schedule at
+    the first such pattern instead of running it to completion:
+
+    - an idempotent action completing with two {e different} outputs
+      (rule 18 only absorbs equal-output duplicates);
+    - two different retry rounds of one undoable request both committing
+      (commits are permanent; rule 20 only deduplicates one round's). *)
+module Incremental : sig
+  type t
+
+  val create :
+    kinds:Reduction.kinds ->
+    logical_of:(Action.name -> Value.t -> Value.t) ->
+    ?round_of:(Value.t -> int option) ->
+    unit ->
+    t
+
+  val feed : t -> Event.t -> unit
+  (** Observe the next history event, in history order. *)
+
+  val events_fed : t -> int
+
+  val violation : t -> string option
+  (** The first irrevocable violation observed, if any.  Once set it
+      never clears. *)
+
+  val settled_output : t -> action:Action.name -> logical:Value.t -> Value.t option
+  (** The output the group's effect has settled on — the completed output
+      of an idempotent execution, or of the unique committed round of an
+      undoable request.  [None] while unsettled.  A monitor compares this
+      against the reply the client accepted (requirement R4's teeth). *)
+end
 
 val pp_report : Format.formatter -> report -> unit

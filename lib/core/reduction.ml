@@ -298,6 +298,36 @@ let reduces_to ~kinds ?(max_visited = 200_000) ?visited_count h ~goal =
     finish None
   with Found w -> finish (Some w)
 
+(* A persistent goal-directed searcher.  The [dead] table records
+   histories whose whole reduction graph was explored without reaching
+   the goal; because reductions strictly decrease length the graph is a
+   DAG, so a history is marked dead only after all its successors have
+   been, and the verdict is stable across calls.  Online monitors and
+   schedule explorers re-check the same (or overlapping) group histories
+   thousands of times; sharing the dead set across calls turns most
+   re-checks into table hits.  Post-order marking keeps the table sound
+   when a search is cut short by [Found] or by the visit budget: a
+   history is marked only once fully explored. *)
+type search = History.t -> History.t option
+
+let searcher ~kinds ?(max_visited = 200_000) ~goal () : search =
+  let dead = History.Tbl.create 256 in
+  fun h ->
+    let budget = ref max_visited in
+    let exception Found of History.t in
+    let rec dfs h =
+      if !budget > 0 && not (History.Tbl.mem dead h) then begin
+        decr budget;
+        if goal h then raise (Found h);
+        List.iter (fun (_, h') -> dfs h') (step ~kinds h);
+        if !budget > 0 then History.Tbl.replace dead h ()
+      end
+    in
+    try
+      dfs h;
+      None
+    with Found w -> Some w
+
 let normal_forms ~kinds ?(max_visited = 200_000) h =
   let visited = History.Tbl.create 256 in
   let normals = History.Tbl.create 16 in

@@ -1,0 +1,422 @@
+(* The schedule-space explorer: drive the deterministic simulator as a
+   model-checker-style harness.  A scenario fixes the workload; a
+   strategy proposes schedules; each schedule runs with a scheduling
+   chooser and an online x-ability monitor installed, so violating runs
+   abort early; violations are shrunk to minimal counterexamples.
+
+   Parallelism: schedules are independent deterministic runs, so they
+   fan out over [Xpar.Pool] domains.  Work is cut into fixed-size chunks
+   whose layout does NOT depend on the pool size — each chunk shares one
+   reduction-search cache, and results merge in order — so a sweep's
+   output is byte-identical for any [JOBS] value. *)
+
+open Xability
+module Runner = Xworkload.Runner
+module Workloads = Xworkload.Workloads
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios *)
+
+type scenario = {
+  name : string;
+  spec : Runner.spec;
+  requests : int;
+  workload :
+    Workloads.services ->
+    Xreplication.Client.t ->
+    (Xsm.Request.t -> Value.t) ->
+    unit;
+}
+
+(* Booking is the canonical explorer workload: [reserve] is undoable and
+   its output (the seat) is drawn fresh on each retry round, so a
+   protocol that lets two rounds survive — or replies with an aborted
+   round's seat — produces an observable value conflict, not a silent
+   duplicate. *)
+let booking ?(requests = 3) () =
+  {
+    name = "booking";
+    spec =
+      { Runner.default_spec with time_limit = 400_000; quiesce_grace = 6_000 };
+    requests;
+    workload =
+      (fun _svcs client submit ->
+        for i = 1 to requests do
+          ignore
+            (submit
+               (Workloads.reserve client ~passenger:(Printf.sprintf "p%d" i)))
+        done);
+  }
+
+let mixed ?(requests = 4) () =
+  {
+    name = "mixed";
+    spec =
+      { Runner.default_spec with time_limit = 400_000; quiesce_grace = 6_000 };
+    requests;
+    workload =
+      (fun _svcs client submit ->
+        Workloads.sequence Workloads.Mixed ~n:requests client submit);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Running one schedule *)
+
+type outcome = {
+  schedule : Schedule.t;
+  violations : string list;  (** empty = the run is clean *)
+  online_abort : bool;  (** the monitor stopped the run early *)
+  steps : int;  (** choice points offered to the chooser *)
+  events : int;  (** environment history length *)
+  end_time : int;  (** virtual end time *)
+}
+
+let violating o = o.violations <> []
+
+let apply scenario (sch : Schedule.t) : Runner.spec =
+  let sc = scenario.spec.Runner.service_config in
+  let replica =
+    { sc.Xreplication.Service.replica with mutation = sch.Schedule.mutation }
+  in
+  {
+    scenario.spec with
+    Runner.seed = sch.Schedule.seed;
+    crashes = sch.Schedule.crashes;
+    client_crash_at = sch.Schedule.client_crash_at;
+    noise = sch.Schedule.noise;
+    service_config = { sc with Xreplication.Service.replica };
+  }
+
+(* Run a schedule with chooser [choose] installed; [sch] is the identity
+   recorded in the outcome (for the random walk, its shifts are filled in
+   by the recording chooser only after the run). *)
+let run_with ?cache ?(with_trace = false) scenario sch
+    ~(choose : Xsim.Engine.chooser) =
+  let spec = apply scenario sch in
+  let eng_ref = ref None in
+  let mon_ref = ref None in
+  let prepare eng env =
+    eng_ref := Some eng;
+    if with_trace then Xsim.Trace.set_enabled (Xsim.Engine.trace eng) true;
+    Xsim.Engine.set_chooser eng ~window:sch.Schedule.window (Some choose);
+    mon_ref := Some (Monitor.install ~eng ~env ())
+  in
+  let aborted () =
+    match !mon_ref with Some m -> Monitor.aborted m | None -> false
+  in
+  let result, _run =
+    Runner.run ~spec ~prepare ~aborted ?cache
+      ~setup:(fun env -> Workloads.setup_all env)
+      ~workload:(fun svcs client submit -> scenario.workload svcs client submit)
+      ()
+  in
+  let monitor = Option.get !mon_ref in
+  let eng = Option.get !eng_ref in
+  let violations =
+    match Monitor.reason monitor with
+    | Some r -> [ r ]
+    | None -> if Runner.ok result then [] else Runner.failures result
+  in
+  let outcome =
+    {
+      schedule = sch;
+      violations;
+      online_abort = Monitor.aborted monitor;
+      steps = Xsim.Engine.choice_points eng;
+      events = result.Runner.history_length;
+      end_time = result.Runner.end_time;
+    }
+  in
+  (outcome, result, eng)
+
+let run_schedule ?cache scenario sch =
+  let outcome, _, _ =
+    run_with ?cache scenario sch ~choose:(Schedule.chooser sch)
+  in
+  outcome
+
+let replay ?cache ?(with_trace = false) scenario sch =
+  let outcome, result, eng =
+    run_with ?cache ~with_trace scenario sch ~choose:(Schedule.chooser sch)
+  in
+  (outcome, result, Xsim.Engine.trace eng)
+
+(* A random-walk trial: run with a recording chooser, then return the
+   outcome under the replayable schedule it recorded. *)
+let run_recorded ?cache scenario (base : Schedule.t) ~p_defer ~walk_seed =
+  let rng = Xsim.Rng.create walk_seed in
+  let recorded = ref [] in
+  let choose ~step ~ready =
+    let n = Array.length ready in
+    if n <= 1 then 0
+    else if Xsim.Rng.chance rng p_defer then begin
+      let k = 1 + Xsim.Rng.int rng (n - 1) in
+      recorded := (step, k) :: !recorded;
+      k
+    end
+    else 0
+  in
+  let outcome, _, _ = run_with ?cache scenario base ~choose in
+  let sch = { base with Schedule.shifts = List.rev !recorded } in
+  { outcome with schedule = sch }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweeps *)
+
+let chunk_list size xs =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: xs ->
+        if n = size then go (List.rev cur :: acc) [ x ] 1 xs
+        else go acc (x :: cur) (n + 1) xs
+  in
+  go [] [] 0 xs
+
+(* Map over the pool in chunks of fixed size, one reduction cache per
+   chunk.  Chunk layout is independent of the pool size, so the result
+   list is identical whatever [JOBS] is. *)
+let pool_map pool ~chunk f xs =
+  List.concat
+    (Xpar.Pool.map pool
+       (fun c ->
+         let cache = Checker.create_cache () in
+         List.map (f ~cache) c)
+       (chunk_list chunk xs))
+
+type verdict = {
+  v_scenario : string;
+  v_strategy : string;
+  v_mutation : Xreplication.Mutation.t;
+  explored : int;
+  violating : outcome list;  (** discovery order *)
+  choice_points : int;  (** summed over explored runs *)
+  events_total : int;
+}
+
+let empty_verdict scenario strategy mutation =
+  {
+    v_scenario = scenario.name;
+    v_strategy = Strategy.name strategy;
+    v_mutation = mutation;
+    explored = 0;
+    violating = [];
+    choice_points = 0;
+    events_total = 0;
+  }
+
+let fold_outcomes v outcomes =
+  List.fold_left
+    (fun v o ->
+      {
+        v with
+        explored = v.explored + 1;
+        violating = (if violating o then v.violating @ [ o ] else v.violating);
+        choice_points = v.choice_points + o.steps;
+        events_total = v.events_total + o.events;
+      })
+    v outcomes
+
+let base_schedule scenario ~mutation ~window ~seed =
+  Schedule.make ~window ~mutation ~crashes:scenario.spec.Runner.crashes
+    ?client_crash_at:scenario.spec.Runner.client_crash_at
+    ?noise:scenario.spec.Runner.noise ~seed ()
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+let drop n xs = List.filteri (fun i _ -> i >= n) xs
+
+let explore ?jobs ?(chunk = 16) ?(stop_on_first = false)
+    ?(mutation = Xreplication.Mutation.Faithful) scenario
+    (strategy : Strategy.t) =
+  let pool = Xpar.Pool.create ?domains:jobs () in
+  let verdict = ref (empty_verdict scenario strategy mutation) in
+  let stop () = stop_on_first && !verdict.violating <> [] in
+  (* Fixed-size waves (independent of pool size) so [stop_on_first] stops
+     at a deterministic point. *)
+  let wave = 4 * chunk in
+  let run_list f xs =
+    List.iter
+      (fun w ->
+        if not (stop ()) then
+          verdict := fold_outcomes !verdict (pool_map pool ~chunk f w))
+      (chunk_list wave xs)
+  in
+  (match strategy with
+  | Strategy.Random_walk { trials; p_defer; window } ->
+      run_list
+        (fun ~cache (base, walk_seed) ->
+          run_recorded ~cache scenario base ~p_defer ~walk_seed)
+        (List.init trials (fun i ->
+             let seed = scenario.spec.Runner.seed + i in
+             ( base_schedule scenario ~mutation ~window ~seed,
+               seed lxor 0x2545F4914F6CDD )))
+  | Strategy.Fault_enum { times; replicas; noise; pair_crashes } ->
+      let seed = scenario.spec.Runner.seed in
+      let singles =
+        List.concat_map (fun t -> List.map (fun r -> (t, r)) replicas) times
+      in
+      let plans =
+        List.map (fun c -> [ c ]) singles
+        @
+        if not pair_crashes then []
+        else
+          List.concat_map
+            (fun c1 ->
+              List.filter_map
+                (fun c2 -> if c1 < c2 then Some [ c1; c2 ] else None)
+                singles)
+            singles
+      in
+      run_list
+        (fun ~cache sch -> run_schedule ~cache scenario sch)
+        (List.map
+           (fun crashes ->
+             let base = base_schedule scenario ~mutation ~window:1 ~seed in
+             { base with Schedule.crashes; noise })
+           plans)
+  | Strategy.Delay_dfs { budget; max_delays; horizon; window } ->
+      let seed = scenario.spec.Runner.seed in
+      let root = base_schedule scenario ~mutation ~window ~seed in
+      (* A schedule with d deferrals spawns children with d+1 (one more
+         deferral strictly after its last), bounded by the choice points
+         its own run actually offered (and [horizon]).  The frontier is a
+         FIFO over generations, so all depth-1 schedules run before any
+         depth-2 one. *)
+      let children (o : outcome) =
+        let sch = o.schedule in
+        if List.length sch.Schedule.shifts >= max_delays then []
+        else
+          let first =
+            match List.rev sch.Schedule.shifts with
+            | (last, _) :: _ -> last + 1
+            | [] -> 0
+          in
+          let upto = min o.steps horizon in
+          List.concat_map
+            (fun step ->
+              List.map
+                (fun k ->
+                  { sch with Schedule.shifts = sch.Schedule.shifts @ [ (step, k) ] })
+                (List.init (max 0 (window - 1)) (fun i -> i + 1)))
+            (List.init (max 0 (upto - first)) (fun i -> first + i))
+      in
+      let remaining = ref budget in
+      let frontier = ref [ root ] in
+      while !frontier <> [] && !remaining > 0 && not (stop ()) do
+        let batch = take (min !remaining wave) !frontier in
+        frontier := drop (List.length batch) !frontier;
+        remaining := !remaining - List.length batch;
+        let outs =
+          pool_map pool ~chunk
+            (fun ~cache sch -> run_schedule ~cache scenario sch)
+            batch
+        in
+        verdict := fold_outcomes !verdict outs;
+        frontier := !frontier @ List.concat_map children outs
+      done);
+  Xpar.Pool.shutdown pool;
+  !verdict
+
+(* ------------------------------------------------------------------ *)
+(* Finding, shrinking and dumping counterexamples *)
+
+type counterexample = {
+  cx_scenario : string;
+  cx_strategy : string;
+  cx_explored : int;
+  cx_original : Schedule.t;
+  cx_original_violations : string list;
+  cx_shrunk : Schedule.t;
+  cx_violations : string list;  (** violations of the shrunk replay *)
+  cx_shrink_runs : int;
+  cx_steps : int;
+  cx_events : int;
+}
+
+let shrink ?cache scenario (o : outcome) =
+  let cache = match cache with Some c -> c | None -> Checker.create_cache () in
+  let reproduces sch = violating (run_schedule ~cache scenario sch) in
+  let shrunk, runs = Shrink.shrink ~reproduces o.schedule in
+  let final = run_schedule ~cache scenario shrunk in
+  (final, runs)
+
+let hunt ?jobs ?chunk ?mutation scenario strategies =
+  let rec go explored = function
+    | [] -> (explored, None)
+    | strategy :: rest -> (
+        let v =
+          explore ?jobs ?chunk ~stop_on_first:true ?mutation scenario strategy
+        in
+        let explored = explored + v.explored in
+        match v.violating with
+        | o :: _ ->
+            let final, runs = shrink scenario o in
+            ( explored,
+              Some
+                {
+                  cx_scenario = scenario.name;
+                  cx_strategy = v.v_strategy;
+                  cx_explored = explored;
+                  cx_original = o.schedule;
+                  cx_original_violations = o.violations;
+                  cx_shrunk = final.schedule;
+                  cx_violations = final.violations;
+                  cx_shrink_runs = runs;
+                  cx_steps = final.steps;
+                  cx_events = final.events;
+                } )
+        | [] -> go explored rest)
+  in
+  go 0 strategies
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let string_list_json xs =
+  "[" ^ String.concat "," (List.map (fun s -> "\"" ^ json_escape s ^ "\"") xs) ^ "]"
+
+let counterexample_to_json cx =
+  Printf.sprintf
+    "{\"scenario\":\"%s\",\"strategy\":\"%s\",\"mutation\":\"%s\",\"explored\":%d,\"original\":%s,\"original_violations\":%s,\"shrunk\":%s,\"shrunk_line\":\"%s\",\"violations\":%s,\"shrink_runs\":%d,\"steps\":%d,\"events\":%d}"
+    (json_escape cx.cx_scenario) (json_escape cx.cx_strategy)
+    (Xreplication.Mutation.to_string cx.cx_shrunk.Schedule.mutation)
+    cx.cx_explored
+    (Schedule.to_json cx.cx_original)
+    (string_list_json cx.cx_original_violations)
+    (Schedule.to_json cx.cx_shrunk)
+    (json_escape (Schedule.to_string cx.cx_shrunk))
+    (string_list_json cx.cx_violations)
+    cx.cx_shrink_runs cx.cx_steps cx.cx_events
+
+let verdict_to_json v =
+  Printf.sprintf
+    "{\"scenario\":\"%s\",\"strategy\":\"%s\",\"mutation\":\"%s\",\"explored\":%d,\"violating\":%d,\"choice_points\":%d,\"events\":%d,\"schedules\":%s}"
+    (json_escape v.v_scenario) (json_escape v.v_strategy)
+    (Xreplication.Mutation.to_string v.v_mutation)
+    v.explored
+    (List.length v.violating)
+    v.choice_points v.events_total
+    (string_list_json
+       (List.map (fun o -> Schedule.to_string o.schedule) v.violating))
+
+let pp_verdict ppf v =
+  Format.fprintf ppf
+    "scenario=%s strategy=%s mutation=%s explored=%d violating=%d \
+     choice-points=%d events=%d"
+    v.v_scenario v.v_strategy
+    (Xreplication.Mutation.to_string v.v_mutation)
+    v.explored
+    (List.length v.violating)
+    v.choice_points v.events_total

@@ -1,0 +1,52 @@
+(* Online x-ability monitor: rides the environment's event stream and
+   aborts the run at the first irrevocable violation, instead of letting
+   the schedule play out and failing the post-hoc R3 check.  Most of the
+   judgement lives in [Checker.Incremental]; this module is the glue that
+   wires it to a live engine + environment pair and pulls the brake. *)
+
+open Xability
+
+type t = {
+  inc : Checker.Incremental.t;
+  eng : Xsim.Engine.t;
+  env : Xsm.Environment.t;
+  mutable env_violations_seen : int;
+  mutable reason : string option;
+}
+
+let flag t reason =
+  if t.reason = None then begin
+    t.reason <- Some reason;
+    (* Ends the current [Engine.run] slice; the runner's [aborted]
+       callback keeps further slices from starting. *)
+    Xsim.Engine.request_stop t.eng
+  end
+
+let install ~eng ~env () =
+  let inc =
+    Checker.Incremental.create
+      ~kinds:(Xsm.Environment.kind_of env)
+      ~logical_of:Xsm.Request.logical_of_env_iv
+      ~round_of:Xsm.Request.round_of_env_iv ()
+  in
+  let t = { inc; eng; env; env_violations_seen = 0; reason = None } in
+  Xsm.Environment.on_event env (fun e ->
+      Checker.Incremental.feed inc e;
+      (match Checker.Incremental.violation inc with
+      | Some v -> flag t ("online R3: " ^ v)
+      | None -> ());
+      (* Environment-level violations (execution attempt after commit,
+         commit without tentative effect, ...) are just as final. *)
+      let viols = Xsm.Environment.violations env in
+      let n = List.length viols in
+      if n > t.env_violations_seen && t.reason = None then begin
+        t.env_violations_seen <- n;
+        match List.nth_opt viols (n - 1) with
+        | Some v -> flag t ("online env: " ^ v)
+        | None -> ()
+      end);
+  t
+
+let aborted t = t.reason <> None
+let reason t = t.reason
+let events_fed t = Checker.Incremental.events_fed t.inc

@@ -1,0 +1,23 @@
+(** Online x-ability monitor.
+
+    Hooks {!Xability.Checker.Incremental} onto a live environment's event
+    stream ({!Xsm.Environment.on_event}) and requests an engine stop at
+    the first {e irrevocable} violation — conflicting idempotent outputs,
+    a second committed round, or an environment-level violation such as
+    an execution attempt after commit.  Violating schedules thus abort
+    within a few events of the damage instead of running to quiescence,
+    which is what makes large explorations affordable. *)
+
+type t
+
+val install : eng:Xsim.Engine.t -> env:Xsm.Environment.t -> unit -> t
+(** Register the monitor on [env]; call from a runner's [prepare] hook
+    (before any service records events). *)
+
+val aborted : t -> bool
+(** True once a violation was flagged; pass as the runner's [aborted]. *)
+
+val reason : t -> string option
+(** The first violation flagged (sticky). *)
+
+val events_fed : t -> int

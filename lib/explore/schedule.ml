@@ -1,0 +1,156 @@
+(* A schedule is everything that makes one explored run different from
+   another: the RNG seed, the protocol variant, the fault plan, and the
+   scheduling decisions (choice-point shifts).  Replaying a schedule on
+   the same workload reproduces the run byte-for-byte — same virtual
+   times, same request ids, same history, same verdict — which is what
+   makes shrinking and counterexample dumps trustworthy. *)
+
+type t = {
+  seed : int;  (** engine RNG seed *)
+  window : int;  (** ready-window width offered to the chooser *)
+  mutation : Xreplication.Mutation.t;
+  crashes : (int * int) list;  (** (virtual time, replica index) *)
+  client_crash_at : int option;
+  noise : (float * int * int) option;
+      (** oracle false-suspicion noise: (probability, duration, until) *)
+  shifts : (int * int) list;
+      (** sparse scheduling decisions: at choice point [step], pick ready
+          entry [k] (> 0) instead of the default front of the queue;
+          sorted by step, each shift in [1, window) *)
+}
+
+let make ?(window = 4) ?(mutation = Xreplication.Mutation.Faithful)
+    ?(crashes = []) ?client_crash_at ?noise ?(shifts = []) ~seed () =
+  {
+    seed;
+    window;
+    mutation;
+    crashes;
+    client_crash_at;
+    noise;
+    shifts = List.sort (fun (a, _) (b, _) -> Int.compare a b) shifts;
+  }
+
+let equal a b = a = b
+
+(* The replay chooser: look the choice point up in the shift table,
+   default to the front of the queue.  Total — steps beyond the recorded
+   ones take the default, so a shrunk schedule (fewer shifts) is still a
+   valid schedule of the same workload. *)
+let chooser t : Xsim.Engine.chooser =
+  let tbl = Hashtbl.create (List.length t.shifts) in
+  List.iter (fun (s, k) -> Hashtbl.replace tbl s k) t.shifts;
+  fun ~step ~ready:_ ->
+    match Hashtbl.find_opt tbl step with Some k -> k | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: one line of [key=value] tokens.  Floats go through
+   %h/float_of_string, which round-trips exactly.                      *)
+
+let string_of_pairs sep pairs =
+  if pairs = [] then "-"
+  else
+    String.concat ","
+      (List.map (fun (a, b) -> Printf.sprintf "%d%c%d" a sep b) pairs)
+
+let pairs_of_string sep s =
+  if s = "-" then Some []
+  else
+    let parse_pair tok =
+      match String.index_opt tok sep with
+      | None -> None
+      | Some i -> (
+          match
+            ( int_of_string_opt (String.sub tok 0 i),
+              int_of_string_opt
+                (String.sub tok (i + 1) (String.length tok - i - 1)) )
+          with
+          | Some a, Some b -> Some (a, b)
+          | _ -> None)
+    in
+    let toks = String.split_on_char ',' s in
+    let parsed = List.filter_map parse_pair toks in
+    if List.length parsed = List.length toks then Some parsed else None
+
+let to_string t =
+  let noise =
+    match t.noise with
+    | None -> "-"
+    | Some (p, dur, until) -> Printf.sprintf "%h:%d:%d" p dur until
+  in
+  Printf.sprintf "v1 seed=%d win=%d mut=%s crashes=%s ccrash=%s noise=%s shifts=%s"
+    t.seed t.window
+    (Xreplication.Mutation.to_string t.mutation)
+    (string_of_pairs ':' t.crashes)
+    (match t.client_crash_at with None -> "-" | Some at -> string_of_int at)
+    noise
+    (string_of_pairs ':' t.shifts)
+
+let of_string line =
+  let ( let* ) = Option.bind in
+  match String.split_on_char ' ' (String.trim line) with
+  | "v1" :: toks ->
+      let field key =
+        List.find_map
+          (fun tok ->
+            let prefix = key ^ "=" in
+            let pl = String.length prefix in
+            if
+              String.length tok >= pl
+              && String.equal (String.sub tok 0 pl) prefix
+            then Some (String.sub tok pl (String.length tok - pl))
+            else None)
+          toks
+      in
+      let* seed = Option.bind (field "seed") int_of_string_opt in
+      let* window = Option.bind (field "win") int_of_string_opt in
+      let* mutation = Option.bind (field "mut") Xreplication.Mutation.of_string in
+      let* crashes = Option.bind (field "crashes") (pairs_of_string ':') in
+      let* client_crash_at =
+        match field "ccrash" with
+        | Some "-" -> Some None
+        | Some s -> Option.map Option.some (int_of_string_opt s)
+        | None -> None
+      in
+      let* noise =
+        match field "noise" with
+        | Some "-" -> Some None
+        | Some s -> (
+            match String.split_on_char ':' s with
+            | [ p; dur; until ] -> (
+                match
+                  ( float_of_string_opt p,
+                    int_of_string_opt dur,
+                    int_of_string_opt until )
+                with
+                | Some p, Some dur, Some until -> Some (Some (p, dur, until))
+                | _ -> None)
+            | _ -> None)
+        | None -> None
+      in
+      let* shifts = Option.bind (field "shifts") (pairs_of_string ':') in
+      Some
+        (make ~window ~mutation ~crashes ?client_crash_at ?noise ~shifts ~seed
+           ())
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let to_json t =
+  let pairs ps =
+    "["
+    ^ String.concat "," (List.map (fun (a, b) -> Printf.sprintf "[%d,%d]" a b) ps)
+    ^ "]"
+  in
+  Printf.sprintf
+    "{\"seed\":%d,\"window\":%d,\"mutation\":%S,\"crashes\":%s,\"client_crash_at\":%s,\"noise\":%s,\"shifts\":%s}"
+    t.seed t.window
+    (Xreplication.Mutation.to_string t.mutation)
+    (pairs t.crashes)
+    (match t.client_crash_at with None -> "null" | Some at -> string_of_int at)
+    (match t.noise with
+    | None -> "null"
+    | Some (p, dur, until) ->
+        Printf.sprintf "{\"probability\":%.17g,\"duration\":%d,\"until\":%d}" p
+          dur until)
+    (pairs t.shifts)

@@ -1,0 +1,52 @@
+(** Compact, serializable identity of one explored run.
+
+    A schedule pins down every source of nondeterminism the explorer
+    controls: the engine seed, the protocol variant under test, the fault
+    plan (replica/client crashes, false-suspicion noise) and the sparse
+    scheduling decisions taken at engine choice points.  Replaying a
+    schedule against the same workload reproduces the run byte-for-byte,
+    so a schedule {e is} the counterexample. *)
+
+type t = {
+  seed : int;  (** engine RNG seed *)
+  window : int;  (** ready-window width offered to the chooser *)
+  mutation : Xreplication.Mutation.t;
+  crashes : (int * int) list;  (** (virtual time, replica index) *)
+  client_crash_at : int option;
+  noise : (float * int * int) option;
+      (** oracle false-suspicion noise: (probability, duration, until) *)
+  shifts : (int * int) list;
+      (** sparse scheduling decisions: at choice point [step] pick ready
+          entry [k] instead of the queue front; sorted, [0 < k < window] *)
+}
+
+val make :
+  ?window:int ->
+  ?mutation:Xreplication.Mutation.t ->
+  ?crashes:(int * int) list ->
+  ?client_crash_at:int ->
+  ?noise:float * int * int ->
+  ?shifts:(int * int) list ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults: window 4, faithful protocol, no faults, no shifts.
+    [shifts] is sorted by step. *)
+
+val equal : t -> t -> bool
+
+val chooser : t -> Xsim.Engine.chooser
+(** The replay chooser: shift-table lookup, default front-of-queue.
+    Choice points not in the table take the default, so removing shifts
+    (shrinking) always yields a runnable schedule. *)
+
+val to_string : t -> string
+(** One line, greppable. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}: [of_string (to_string t) = Some t]. *)
+
+val to_json : t -> string
+(** JSON object, for machine-readable counterexample dumps. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+(* ddmin-style counterexample shrinking over schedule components.
+
+   A violating schedule found by exploration typically carries noise:
+   scheduling shifts that did not matter, crashes that were never
+   reached.  We decompose the schedule into removable components —
+   individual crashes, the client crash, the noise block, individual
+   shifts — and run delta debugging (Zeller & Hildebrandt's ddmin) to
+   find a subset that still violates, then lower the surviving shift
+   values.  The seed, window and mutation are identity, not components:
+   they are never removed. *)
+
+type component =
+  | Crash of int * int
+  | Client_crash of int
+  | Noise of float * int * int
+  | Shift of int * int
+
+let components (s : Schedule.t) =
+  List.map (fun (t, r) -> Crash (t, r)) s.crashes
+  @ (match s.client_crash_at with Some at -> [ Client_crash at ] | None -> [])
+  @ (match s.noise with Some (p, d, u) -> [ Noise (p, d, u) ] | None -> [])
+  @ List.map (fun (st, k) -> Shift (st, k)) s.shifts
+
+let rebuild (base : Schedule.t) comps : Schedule.t =
+  let crashes =
+    List.filter_map (function Crash (t, r) -> Some (t, r) | _ -> None) comps
+  in
+  let client_crash_at =
+    List.find_map (function Client_crash at -> Some at | _ -> None) comps
+  in
+  let noise =
+    List.find_map (function Noise (p, d, u) -> Some (p, d, u) | _ -> None) comps
+  in
+  let shifts =
+    List.sort compare
+      (List.filter_map (function Shift (s, k) -> Some (s, k) | _ -> None) comps)
+  in
+  { base with crashes; client_crash_at; noise; shifts }
+
+(* Split [items] into [n] chunks of near-equal size. *)
+let chunks items n =
+  let len = List.length items in
+  let base = len / n and extra = len mod n in
+  let rec take k xs acc =
+    if k = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> (List.rev acc, [])
+      | x :: xs -> take (k - 1) xs (x :: acc)
+  in
+  let rec go i xs =
+    if i >= n || xs = [] then []
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take size xs [] in
+      if chunk = [] then go (i + 1) rest else chunk :: go (i + 1) rest
+  in
+  go 0 items
+
+let remove_chunk items chunk = List.filter (fun x -> not (List.memq x chunk)) items
+
+(* ddmin proper: smallest subset of [items] for which [test] still holds,
+   under the usual ddmin caveats (local minimum, monotonicity assumed). *)
+let ddmin ~test items =
+  let runs = ref 0 in
+  let test' xs =
+    incr runs;
+    test xs
+  in
+  let rec go items n =
+    if List.length items <= 1 then items
+    else
+      let cs = chunks items n in
+      match List.find_opt test' cs with
+      | Some c -> go c 2
+      | None -> (
+          let complements = List.map (remove_chunk items) cs in
+          match
+            List.find_opt (fun c -> List.length c < List.length items && test' c) complements
+          with
+          | Some c -> go c (max (n - 1) 2)
+          | None ->
+              let len = List.length items in
+              if n < len then go items (min len (2 * n)) else items)
+  in
+  let result = if test' [] then [] else go items 2 in
+  (result, !runs)
+
+(* Lower surviving shift values toward 1 (the least deferral). *)
+let minimize_shifts ~test (s : Schedule.t) =
+  let runs = ref 0 in
+  let try_one acc (step, k) =
+    if k <= 1 then acc
+    else
+      let lowered =
+        { s with shifts = List.map (fun (st, k') -> if st = step then (st, 1) else (st, k')) acc }
+      in
+      incr runs;
+      if test lowered then lowered.shifts else acc
+  in
+  let shifts = List.fold_left try_one s.shifts s.shifts in
+  ({ s with shifts }, !runs)
+
+let shrink ~(reproduces : Schedule.t -> bool) (s : Schedule.t) =
+  let comps = components s in
+  let minimal, runs1 = ddmin ~test:(fun cs -> reproduces (rebuild s cs)) comps in
+  let shrunk = rebuild s minimal in
+  let shrunk, runs2 = minimize_shifts ~test:reproduces shrunk in
+  (shrunk, runs1 + runs2)

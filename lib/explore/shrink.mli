@@ -1,0 +1,14 @@
+(** ddmin-style shrinking of violating schedules.
+
+    Decomposes a schedule into removable components (crashes, the client
+    crash, the noise block, individual scheduling shifts), runs delta
+    debugging to find a minimal subset that still reproduces a violation,
+    then lowers surviving shift values.  The seed, window and mutation
+    are never touched — they are the schedule's identity. *)
+
+val shrink :
+  reproduces:(Schedule.t -> bool) -> Schedule.t -> Schedule.t * int
+(** [shrink ~reproduces s] returns the shrunk schedule and the number of
+    replay runs spent.  [reproduces] must re-run the candidate and say
+    whether {e some} violation still occurs (not necessarily the same
+    one — any violation is a counterexample worth keeping). *)

@@ -1,0 +1,59 @@
+(* Exploration strategies.  A strategy is a recipe for which schedules to
+   run; the explorer interprets it.  Three families, per the classic
+   model-checking toolbox:
+
+   - [Random_walk]: replayable random scheduling.  Each trial runs with a
+     fresh engine seed and a chooser that defers the front of the ready
+     window with probability [p_defer]; the picks it makes are recorded,
+     so the trial's schedule replays byte-identically without the RNG.
+
+   - [Delay_dfs]: delay-bounded systematic search.  Starting from the
+     default schedule, extend schedules with one extra deferral at a
+     time — at choice point [step], run ready entry [k] instead of the
+     front — up to [max_delays] deferrals per schedule and [horizon]
+     choice points deep.  Small delay bounds cover a disproportionate
+     share of real concurrency bugs (the delay-bounding literature's
+     observation, which x-ability's own failure modes match: one
+     mistimed takeover or duplicate delivery suffices).
+
+   - [Fault_enum]: targeted fault-schedule enumeration.  No scheduling
+     shifts; instead sweep crash injection times across replicas, with
+     optional false-suspicion noise.  This searches the dimension the
+     paper's protocol is actually defensive about: which instant the
+     owner dies. *)
+
+type t =
+  | Random_walk of { trials : int; p_defer : float; window : int }
+  | Delay_dfs of { budget : int; max_delays : int; horizon : int; window : int }
+  | Fault_enum of {
+      times : int list;
+      replicas : int list;
+      noise : (float * int * int) option;
+      pair_crashes : bool;  (** also try all ordered pairs of crashes *)
+    }
+
+let random_walk ?(trials = 100) ?(p_defer = 0.15) ?(window = 4) () =
+  Random_walk { trials; p_defer; window }
+
+let delay_dfs ?(budget = 200) ?(max_delays = 2) ?(horizon = 64) ?(window = 4) ()
+    =
+  Delay_dfs { budget; max_delays; horizon; window }
+
+let fault_enum ?noise ?(pair_crashes = false) ~times ~replicas () =
+  Fault_enum { times; replicas; noise; pair_crashes }
+
+let name = function
+  | Random_walk _ -> "random-walk"
+  | Delay_dfs _ -> "delay-dfs"
+  | Fault_enum _ -> "fault-enum"
+
+let describe = function
+  | Random_walk { trials; p_defer; window } ->
+      Printf.sprintf "random-walk trials=%d p_defer=%g window=%d" trials
+        p_defer window
+  | Delay_dfs { budget; max_delays; horizon; window } ->
+      Printf.sprintf "delay-dfs budget=%d max_delays=%d horizon=%d window=%d"
+        budget max_delays horizon window
+  | Fault_enum { times; replicas; noise; pair_crashes } ->
+      Printf.sprintf "fault-enum times=%d replicas=%d noise=%b pairs=%b"
+        (List.length times) (List.length replicas) (noise <> None) pair_crashes

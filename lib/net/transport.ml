@@ -92,7 +92,13 @@ let send t ~src ~dst payload =
     else delay
   in
   t.sent <- t.sent + 1;
-  Xsim.Engine.schedule t.eng ~delay (fun () ->
+  (* Deliveries are labelled choice points: the explorer reorders or
+     defers them to cover message races the latency model alone would
+     never produce with a given seed. *)
+  Xsim.Engine.schedule t.eng
+    ~label:("net:" ^ Address.to_string dst)
+    ~delay
+    (fun () ->
       t.delivered <- t.delivered + 1;
       t.total_delay <- t.total_delay + delay;
       Xsim.Mailbox.put mbox { src; dst; payload })

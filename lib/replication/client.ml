@@ -9,13 +9,9 @@ type t = {
   c_proc : Xsim.Proc.t;
   pending : (int, Xability.Value.t Xsim.Ivar.t) Hashtbl.t;
   mutable i : int;
+  mutable rid_next : int;
   m : metrics;
 }
-
-(* Atomic: clients in simulations running on parallel domains must draw
-   distinct request ids.  Within one simulation the client is sequential,
-   so the rids it observes are strictly increasing either way. *)
-let rid_counter = Atomic.make 0
 
 let pending_ivar t rid =
   match Hashtbl.find_opt t.pending rid with
@@ -25,7 +21,13 @@ let pending_ivar t rid =
       Hashtbl.replace t.pending rid iv;
       iv
 
-let create ~eng ~transport ~detector ~replicas ~addr:c_addr ~proc:c_proc () =
+(* [rid_base] partitions the request-id space between clients.  Ids are
+   drawn deterministically (base + 1, base + 2, ...) so that a re-run of
+   the same simulation — a schedule replay in particular — produces the
+   same ids, making traces, histories and checker group keys byte-stable
+   across runs and across domains. *)
+let create ~eng ~transport ~detector ~replicas ~addr:c_addr ~proc:c_proc
+    ?(rid_base = 0) () =
   let mbox = Xnet.Transport.register transport c_addr ~proc:c_proc in
   let t =
     {
@@ -37,6 +39,7 @@ let create ~eng ~transport ~detector ~replicas ~addr:c_addr ~proc:c_proc () =
       c_proc;
       pending = Hashtbl.create 16;
       i = 0;
+      rid_next = rid_base;
       m = { submits = 0; failures = 0 };
     }
   in
@@ -61,7 +64,9 @@ let addr t = t.c_addr
 let proc t = t.c_proc
 let metrics t = t.m
 
-let fresh_rid _t = Atomic.fetch_and_add rid_counter 1 + 1
+let fresh_rid t =
+  t.rid_next <- t.rid_next + 1;
+  t.rid_next
 
 let request t ~action ~kind ~input =
   Xsm.Request.make ~rid:(fresh_rid t) ~action ~kind ~input

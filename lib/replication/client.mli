@@ -22,16 +22,21 @@ val create :
   replicas:Xnet.Address.t list ->
   addr:Xnet.Address.t ->
   proc:Xsim.Proc.t ->
+  ?rid_base:int ->
   unit ->
   t
 (** Registers the client on the transport.  [replicas] is the paper's
-    [replicas[n]] array; the rotation index [i] starts at 0. *)
+    [replicas[n]] array; the rotation index [i] starts at 0.  [rid_base]
+    (default 0) partitions the request-id space: the client's ids are
+    [rid_base + 1, rid_base + 2, ...], deterministically — give distinct
+    clients disjoint bases. *)
 
 val addr : t -> Xnet.Address.t
 val proc : t -> Xsim.Proc.t
 
 val fresh_rid : t -> int
-(** Globally unique request ids (unique across all clients). *)
+(** The client's next request id — deterministic ([rid_base + k] for the
+    [k]th call), unique across clients with disjoint bases. *)
 
 val request :
   t ->

@@ -1,0 +1,54 @@
+(* Deliberately buggy protocol variants, used as mutation self-tests for
+   the schedule explorer: if the explorer + online monitor cannot find a
+   violating schedule for these, its verdicts on the real protocol mean
+   nothing.  Each mutation removes one load-bearing line of Figures 6-7:
+
+   - [Skip_undo_on_takeover]: a cleaner that aborts a suspected owner's
+     round does not issue the cancellation, so a completed-but-unreported
+     execution of that round survives uncancelled while a later round
+     commits — the history keeps two effective executions and stops being
+     reducible (breaks the rule-19 discipline of section 5.4).
+
+   - [Unguarded_duplicate_execution]: the owner does not test whether it
+     already owns the delivered (request, round) and re-runs
+     execute-until-success on duplicate delivery.  A retry that lands
+     after the round committed re-executes a finished action — for an
+     undoable action the environment observes an attempt after commit
+     (irrevocable), the exactly-once illusion is gone.
+
+   - [Reply_before_consensus]: the owner replies to the client right
+     after its execution succeeds, before outcome-consensus.  If a
+     cleaner then aborts that round and a later round commits with a
+     different output, the client holds a reply that matches no surviving
+     execution (breaks R4's connection between reply and effect). *)
+
+type t =
+  | Faithful
+  | Skip_undo_on_takeover
+  | Unguarded_duplicate_execution
+  | Reply_before_consensus
+
+let all = [ Skip_undo_on_takeover; Unguarded_duplicate_execution; Reply_before_consensus ]
+
+let to_string = function
+  | Faithful -> "faithful"
+  | Skip_undo_on_takeover -> "skip-undo"
+  | Unguarded_duplicate_execution -> "dup-exec"
+  | Reply_before_consensus -> "early-reply"
+
+let of_string = function
+  | "faithful" | "none" -> Some Faithful
+  | "skip-undo" -> Some Skip_undo_on_takeover
+  | "dup-exec" -> Some Unguarded_duplicate_execution
+  | "early-reply" -> Some Reply_before_consensus
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b
+let pp ppf m = Format.pp_print_string ppf (to_string m)
+
+let describe = function
+  | Faithful -> "the paper's protocol, unmodified"
+  | Skip_undo_on_takeover -> "cleaner aborts a round without cancelling it"
+  | Unguarded_duplicate_execution ->
+      "owner re-executes on duplicate delivery (no owned-round guard)"
+  | Reply_before_consensus -> "owner replies before outcome-consensus decides"

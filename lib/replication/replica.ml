@@ -1,8 +1,13 @@
 open Xability
 
-type config = { cleaner_poll : int; veto_check : bool }
+type config = {
+  cleaner_poll : int;
+  veto_check : bool;
+  mutation : Mutation.t;
+}
 
-let default_config = { cleaner_poll = 200; veto_check = true }
+let default_config =
+  { cleaner_poll = 200; veto_check = true; mutation = Mutation.Faithful }
 
 type metrics = {
   mutable requests_seen : int;
@@ -140,7 +145,11 @@ let result_coordination t (req : Xsm.Request.t) value =
       in
       match Coord.propose t.coord ~member:t.r_addr ~inst proposal with
       | Pval.Outcome { outcome = Pval.Abort; _ } ->
-          ignore (finalize_until_success t (Xsm.Request.cancel_of req));
+          (* Mutation hook: the skip-undo variant terminates the round
+             without issuing the cancellation, leaving any completed
+             execution of the aborted round in effect. *)
+          if not (Mutation.equal t.cfg.mutation Mutation.Skip_undo_on_takeover)
+          then ignore (finalize_until_success t (Xsm.Request.cancel_of req));
           None
       | Pval.Outcome { outcome = Pval.Commit; result } ->
           ignore (finalize_until_success t (Xsm.Request.commit_of req));
@@ -199,11 +208,26 @@ let rec process_request t (req : Xsm.Request.t) client =
       rs.max_round <- max rs.max_round req'.round;
       if rs.client = None then rs.client <- Some client';
       if Xnet.Address.equal owner t.r_addr then begin
-        if not (Hashtbl.mem t.owned_rounds (req'.rid, req'.round)) then begin
+        (* Mutation hook: the dup-exec variant drops the owned-round test
+           (the "testable action" guard) and re-runs execution on every
+           delivery of the round. *)
+        if
+          (not (Hashtbl.mem t.owned_rounds (req'.rid, req'.round)))
+          || Mutation.equal t.cfg.mutation Mutation.Unguarded_duplicate_execution
+        then begin
           Hashtbl.replace t.owned_rounds (req'.rid, req'.round) ();
           t.m.rounds_owned <- t.m.rounds_owned + 1;
           tracef t "own %s round %d" (Xsm.Request.key req') req'.round;
           let res = execute_until_success t req' in
+          (* Mutation hook: the early-reply variant answers the client as
+             soon as its own execution succeeds, before outcome-consensus
+             has made that execution the round's agreed result. *)
+          (match res with
+          | Some v
+            when Mutation.equal t.cfg.mutation Mutation.Reply_before_consensus
+            ->
+              send_result t ~client:client' ~rid:req'.rid v
+          | _ -> ());
           let decided = result_coordination t req' res in
           match decided with
           | Some v ->

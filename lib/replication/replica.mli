@@ -29,6 +29,10 @@ type config = {
       (** period of the cleaner's periodic re-scan (safety net for
           suspicion onsets that arrive before the round is discoverable) *)
   veto_check : bool;  (** abandon execution of vetoed rounds *)
+  mutation : Mutation.t;
+      (** deliberately buggy protocol variant (default {!Mutation.Faithful});
+          see {!Mutation} — used to validate that the schedule explorer
+          can actually find x-ability violations *)
 }
 
 val default_config : config

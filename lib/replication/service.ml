@@ -86,10 +86,12 @@ let create eng env (cfg : config) =
   let replica_addrs = List.map fst replica_members in
   let clients =
     Array.of_list
-      (List.map
-         (fun (addr, proc) ->
+      (List.mapi
+         (fun i (addr, proc) ->
+           (* Disjoint deterministic rid spaces per client, so re-running
+              the same configuration reproduces the same request ids. *)
            Client.create ~eng ~transport:s_transport ~detector:s_detector
-             ~replicas:replica_addrs ~addr ~proc ())
+             ~replicas:replica_addrs ~addr ~proc ~rid_base:(i * 1_000_000) ())
          client_members)
   in
   {

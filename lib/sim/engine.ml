@@ -9,15 +9,25 @@ type _ Effect.t += Suspend : ((('a, exn) result -> bool) -> unit) -> 'a Effect.t
 
 type fiber = { fname : string; proc : Proc.t option }
 
+(* A scheduling decision point.  When a chooser is installed, every pop of
+   the event queue offers the chooser a window of up-next events (their
+   labels, in queue order) and lets it pick which one runs first.  Index 0
+   is always the default FIFO order, so the identity chooser reproduces
+   the unexplored simulation exactly. *)
+type chooser = step:int -> ready:string array -> int
+
 type t = {
   mutable vnow : int;
   mutable seq : int;
-  queue : (int * int, unit -> unit) Heap.t;
+  queue : (int * int, string * (unit -> unit)) Heap.t;
   root_rng : Rng.t;
   tr : Trace.t;
   mutable current : fiber option;
   mutable stop : bool;
   mutable errs : (int * string * exn) list;
+  mutable chooser : chooser option;
+  mutable window : int;
+  mutable choice_points : int;
 }
 
 let create ?(seed = 42) ?(trace_enabled = true) () =
@@ -30,7 +40,16 @@ let create ?(seed = 42) ?(trace_enabled = true) () =
     current = None;
     stop = false;
     errs = [];
+    chooser = None;
+    window = 1;
+    choice_points = 0;
   }
+
+let set_chooser t ?(window = 4) chooser =
+  t.chooser <- chooser;
+  t.window <- max 1 window
+
+let choice_points t = t.choice_points
 
 let now t = t.vnow
 let rng t = t.root_rng
@@ -45,11 +64,11 @@ let current_fiber_name t =
 let tracef t ~source fmt =
   Format.kasprintf (fun s -> Trace.record t.tr ~time:t.vnow ~source s) fmt
 
-let schedule t ~delay cb =
+let schedule t ?(label = "cb") ~delay cb =
   if delay < 0 then
     invalid_arg (Printf.sprintf "Engine.schedule: negative delay %d" delay);
   t.seq <- t.seq + 1;
-  Heap.add t.queue (t.vnow + delay, t.seq) cb
+  Heap.add t.queue (t.vnow + delay, t.seq) (label, cb)
 
 let request_stop t = t.stop <- true
 let stop_requested t = t.stop
@@ -71,7 +90,7 @@ let handler t (f : fiber) : (unit, unit) Effect.Deep.handler =
                   if !resumed || not (Proc.alive_opt f.proc) then false
                   else begin
                     resumed := true;
-                    schedule t ~delay:0 (fun () ->
+                    schedule t ~label:("resume:" ^ f.fname) ~delay:0 (fun () ->
                         if Proc.alive_opt f.proc then begin
                           let saved = t.current in
                           t.current <- Some f;
@@ -89,7 +108,7 @@ let handler t (f : fiber) : (unit, unit) Effect.Deep.handler =
 
 let spawn t ?proc ~name fn =
   let f = { fname = name; proc } in
-  schedule t ~delay:0 (fun () ->
+  schedule t ~label:("spawn:" ^ name) ~delay:0 (fun () ->
       if Proc.alive_opt proc then begin
         let saved = t.current in
         t.current <- Some f;
@@ -101,9 +120,39 @@ let await (type a) _t (register : a resumer -> unit) : a =
   perform (Suspend register)
 
 let sleep t delay =
-  await t (fun resume -> schedule t ~delay (fun () -> ignore (resume (Ok ()))))
+  await t (fun resume ->
+      schedule t ~label:"timer" ~delay (fun () -> ignore (resume (Ok ()))))
 
 let yield t = sleep t 0
+
+(* Pop the next event.  Without a chooser this is the plain heap pop
+   (FIFO among same-time events).  With one, the chooser sees a window of
+   the [window] up-next events within [limit] and picks which runs first.
+   Picking a later entry models extra asynchrony: the passed-over events
+   execute later in virtual time than originally scheduled, which the
+   asynchronous model always allows.  Virtual time stays monotone: an
+   event chosen from the future advances the clock, and the deferred
+   events then run at that later time. *)
+let pop_next t ~limit =
+  match t.chooser with
+  | None -> Heap.pop t.queue
+  | Some choose -> (
+      let ready =
+        Heap.smallest t.queue ~pred:(fun (time, _) -> time <= limit) t.window
+      in
+      match ready with
+      | [] -> None
+      | [ (key, _) ] -> Heap.remove_key t.queue key
+      | _ :: _ ->
+          let labels =
+            Array.of_list (List.map (fun (_, (lbl, _)) -> lbl) ready)
+          in
+          let step = t.choice_points in
+          t.choice_points <- t.choice_points + 1;
+          let k = choose ~step ~ready:labels in
+          let k = if k < 0 then 0 else min k (List.length ready - 1) in
+          let key, _ = List.nth ready k in
+          Heap.remove_key t.queue key)
 
 let run ?(limit = max_int) t =
   t.stop <- false;
@@ -114,10 +163,10 @@ let run ?(limit = max_int) t =
       | None -> ()
       | Some ((time, _), _) when time > limit -> t.vnow <- limit
       | Some _ ->
-          (match Heap.pop t.queue with
+          (match pop_next t ~limit with
           | None -> ()
-          | Some ((time, _), cb) ->
-              t.vnow <- time;
+          | Some ((time, _), (_, cb)) ->
+              t.vnow <- max t.vnow time;
               cb ());
           loop ()
   in

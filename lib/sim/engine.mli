@@ -15,6 +15,14 @@
 
 type t
 
+type chooser = step:int -> ready:string array -> int
+(** A scheduling strategy for the explorer.  At every decision point the
+    engine passes the labels of the up-next events (in default execution
+    order) and the running index of the decision point; the chooser
+    returns the index of the event to run first (clamped; 0 = default
+    order).  With no chooser installed the engine never constructs the
+    window and behaves exactly as the plain FIFO simulator. *)
+
 type 'a resumer = ('a, exn) result -> bool
 (** A one-shot resumption capability for a suspended fiber.  Calling it
     schedules the fiber to resume with the given result {e at the current
@@ -42,9 +50,24 @@ val spawn : t -> ?proc:Proc.t -> name:string -> (unit -> unit) -> unit
 (** Start a new fiber.  It begins executing at the current virtual time,
     after already-queued events.  If [proc] is dead, the fiber never runs. *)
 
-val schedule : t -> delay:int -> (unit -> unit) -> unit
+val schedule : t -> ?label:string -> delay:int -> (unit -> unit) -> unit
 (** Run a raw callback [delay] ticks from now (in scheduler context, not in
-    a fiber: the callback must not perform fiber effects). *)
+    a fiber: the callback must not perform fiber effects).  [label]
+    (default ["cb"]) classifies the event for the explorer's choosers:
+    the network layer tags deliveries ["net"], timers tag ["timer"], and
+    the engine itself tags fiber starts ["spawn:..."] and resumptions
+    ["resume:..."]. *)
+
+val set_chooser : t -> ?window:int -> chooser option -> unit
+(** Install (or clear) a scheduling chooser.  [window] (default 4,
+    minimum 1) bounds how many up-next events each decision point offers.
+    All simulator nondeterminism funnels through the event queue — message
+    deliveries, timer firings, fiber wakeups — so a chooser explores
+    message reordering, delayed timers, and fiber interleavings with one
+    interface. *)
+
+val choice_points : t -> int
+(** Number of decision points offered to the chooser so far. *)
 
 val await : t -> ('a resumer -> unit) -> 'a
 (** [await t register] suspends the calling fiber; [register] is called

@@ -15,6 +15,15 @@ val peek : ('k, 'v) t -> ('k * 'v) option
 val pop : ('k, 'v) t -> ('k * 'v) option
 (** Remove and return the entry with the smallest key. *)
 
+val smallest : ('k, 'v) t -> pred:('k -> bool) -> int -> ('k * 'v) list
+(** [smallest t ~pred n] returns the at-most-[n] smallest entries whose
+    key satisfies [pred], in ascending key order, without removing them.
+    Linear scan: intended for the explorer's small ready windows. *)
+
+val remove_key : ('k, 'v) t -> 'k -> ('k * 'v) option
+(** Remove the (first) entry with exactly this key.  The simulator's keys
+    are unique [(time, seq)] pairs, so "first" is "the" entry. *)
+
 val size : ('k, 'v) t -> int
 
 val is_empty : ('k, 'v) t -> bool

@@ -1,7 +1,10 @@
 let sleep = Engine.sleep
 
+(* Timer firings are explicit choice points for the schedule explorer:
+   they carry the "timer" label, so a strategy can target "fire this
+   timeout late" without disturbing unrelated events. *)
 let after_into eng delay sink =
-  Engine.schedule eng ~delay (fun () -> ignore (sink ()))
+  Engine.schedule eng ~label:"timer" ~delay (fun () -> ignore (sink ()))
 
 let with_timeout eng delay iv =
   let cell = Ivar.create () in

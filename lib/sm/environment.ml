@@ -77,6 +77,7 @@ type t = {
   mutable rev_history : Event.t list;
   mutable violations_rev : string list;
   mutable in_flight : int;
+  mutable listeners : (Event.t -> unit) list;  (** reverse registration order *)
 }
 
 let create eng ?(config = default_config) () =
@@ -91,6 +92,7 @@ let create eng ?(config = default_config) () =
     rev_history = [];
     violations_rev = [];
     in_flight = 0;
+    listeners = [];
   }
 
 let engine t = t.eng
@@ -120,9 +122,14 @@ let kind_of t name =
   | Some (Raw _) -> None
   | None -> None
 
+let on_event t f = t.listeners <- f :: t.listeners
+
 let record t e =
   t.rev_history <- e :: t.rev_history;
-  Xsim.Engine.tracef t.eng ~source:"env" "%a" Event.pp_compact e
+  Xsim.Engine.tracef t.eng ~source:"env" "%a" Event.pp_compact e;
+  (* Registration order: an online monitor fed events out of order would
+     see phantom violations. *)
+  List.iter (fun f -> f e) (List.rev t.listeners)
 
 let violation t key msg =
   t.violations_rev <- Printf.sprintf "%s: %s" key msg :: t.violations_rev

@@ -106,6 +106,12 @@ val in_flight : t -> int
 val history : t -> History.t
 (** The global event history, in observation order. *)
 
+val on_event : t -> (Event.t -> unit) -> unit
+(** Register a listener called synchronously with each history event as
+    it is recorded (in observation order, after it is appended to
+    {!history}).  Online x-ability monitors hook in here.  Listeners run
+    inside the environment's execution path and must not block. *)
+
 val checker_expected : t -> Request.t -> Checker.expected
 (** The checker expectation corresponding to a logical request. *)
 

@@ -32,6 +32,7 @@ type result = {
   report : Checker.report;
   r4_ok : bool;
   r4_violations : string list;
+  reply_mismatches : string list;
   env_violations : string list;
   duplicate_effects : int;
   engine_errors : (int * string * string) list;
@@ -43,6 +44,7 @@ type result = {
 
 let ok r =
   r.completed && r.report.Checker.ok && r.r4_ok
+  && r.reply_mismatches = []
   && r.env_violations = []
   && r.engine_errors = []
   && r.duplicate_effects = 0
@@ -52,6 +54,7 @@ let failures r =
   @ (if r.report.Checker.ok then []
      else List.map (fun v -> "R3: " ^ v) r.report.Checker.violations)
   @ List.map (fun v -> "R4: " ^ v) r.r4_violations
+  @ List.map (fun v -> "reply: " ^ v) r.reply_mismatches
   @ List.map (fun v -> "env: " ^ v) r.env_violations
   @ List.map
       (fun (t, f, e) -> Printf.sprintf "fiber error @%d in %s: %s" t f e)
@@ -60,9 +63,10 @@ let failures r =
   if r.duplicate_effects = 0 then []
   else [ Printf.sprintf "duplicate effects: %d" r.duplicate_effects ]
 
-let run ~spec ~setup ~workload () =
+let run ~spec ?prepare ?(aborted = fun () -> false) ?cache ~setup ~workload () =
   let eng = Xsim.Engine.create ~seed:spec.seed ~trace_enabled:false () in
   let env = Xsm.Environment.create eng ~config:spec.env_config () in
+  (match prepare with Some f -> f eng env | None -> ());
   let srv = setup env in
   let svc = Xreplication.Service.create eng env spec.service_config in
   let client = Xreplication.Service.client svc 0 in
@@ -109,11 +113,11 @@ let run ~spec ~setup ~workload () =
   in
   let rec quiesce () =
     let next = min deadline (Xsim.Engine.now eng + 500) in
-    if Xsim.Engine.now eng < next then begin
+    if (not (aborted ())) && Xsim.Engine.now eng < next then begin
       Xsim.Engine.run ~limit:next eng;
       if Xsm.Environment.in_flight env > 0 && Xsim.Engine.now eng < deadline
       then quiesce ()
-      else if Xsim.Engine.now eng < deadline then begin
+      else if (not (aborted ())) && Xsim.Engine.now eng < deadline then begin
         (* One more slice: a cleaner may be between consensus and its
            finalization actions. *)
         Xsim.Engine.run ~limit:(min deadline (Xsim.Engine.now eng + 500)) eng;
@@ -131,8 +135,8 @@ let run ~spec ~setup ~workload () =
   let expected = List.map (Xsm.Environment.checker_expected env) issued in
   let check exp =
     Checker.check ~kinds ~logical_of:Xsm.Request.logical_of_env_iv
-      ~round_of:Xsm.Request.round_of_env_iv ~engine:`Hybrid ~expected:exp
-      history
+      ~round_of:Xsm.Request.round_of_env_iv ~engine:`Hybrid ?cache
+      ~expected:exp history
   in
   let report =
     let full = check expected in
@@ -169,6 +173,34 @@ let run ~spec ~setup ~workload () =
                (String.concat ", " (List.map Value.to_string possible))))
       submissions
   in
+  (* The reply the client accepted must be the output the request's effect
+     actually settled on (the surviving execution in the reduced history).
+     R4 alone admits any member of PossibleReply; a protocol that replies
+     before outcome-consensus can return a value from a round that was
+     later aborted — still a possible reply, but of no surviving effect. *)
+  let reply_mismatches =
+    List.filter_map
+      (fun s ->
+        let exp = Xsm.Environment.checker_expected env s.req in
+        let settled =
+          List.find_map
+            (fun (g : Checker.group_result) ->
+              if
+                g.expected.Checker.action = exp.Checker.action
+                && Value.equal g.expected.Checker.logical exp.Checker.logical
+              then g.output
+              else None)
+            report.Checker.groups
+        in
+        match settled with
+        | Some v when not (Value.equal s.reply v) ->
+            Some
+              (Printf.sprintf "client accepted %s for %s but its effect settled on %s"
+                 (Value.to_string s.reply) (Xsm.Request.key s.req)
+                 (Value.to_string v))
+        | _ -> None)
+      submissions
+  in
   let false_suspicions =
     match
       (Xreplication.Service.oracle svc, Xreplication.Service.heartbeat svc)
@@ -186,6 +218,7 @@ let run ~spec ~setup ~workload () =
       report;
       r4_ok = r4_violations = [];
       r4_violations;
+      reply_mismatches;
       env_violations = Xsm.Environment.violations env;
       duplicate_effects = Xsm.Environment.duplicate_effects env;
       engine_errors =

@@ -47,6 +47,10 @@ type result = {
   report : Xability.Checker.report;  (** R3 verdict over the env history *)
   r4_ok : bool;
   r4_violations : string list;
+  reply_mismatches : string list;
+      (** replies the client accepted that differ from the output the
+          request's effect settled on in the reduced history — catches
+          protocols that reply before the outcome is agreed *)
   env_violations : string list;
   duplicate_effects : int;
   engine_errors : (int * string * string) list;
@@ -64,6 +68,9 @@ val failures : result -> string list
 
 val run :
   spec:spec ->
+  ?prepare:(Xsim.Engine.t -> Xsm.Environment.t -> unit) ->
+  ?aborted:(unit -> bool) ->
+  ?cache:Xability.Checker.cache ->
   setup:(Xsm.Environment.t -> 'srv) ->
   workload:
     ('srv ->
@@ -77,6 +84,16 @@ val run :
     the client's fiber; it must issue requests through the provided
     [submit], which records each request (defining the R3 expectation,
     in issue order) and its reply latency.
+
+    [prepare eng env] runs before any service is registered — the hook a
+    schedule explorer uses to install a scheduling chooser on the engine
+    and an online monitor on the environment.  [aborted] is polled
+    between simulation slices; once it returns [true] the run skips the
+    remaining quiesce work (the monitor should also call
+    {!Xsim.Engine.request_stop} to end the current slice early).
+    [cache] is handed to the R3 checker ({!Xability.Checker.create_cache});
+    a schedule explorer passes one cache across its many runs so the
+    reduction searches share memo tables.
 
     If the spec crashes the client, the workload fiber dies silently;
     per the paper's at-most-once discussion (section 4), the checker

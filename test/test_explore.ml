@@ -1,0 +1,411 @@
+(* Tests for the schedule-space explorer (lib/explore): schedule
+   serialization, the bounded trace, the incremental checker, replay
+   determinism (including across pool sizes), and the self-test that the
+   explorer actually finds and shrinks each deliberately buggy protocol
+   variant while leaving the faithful protocol clean. *)
+
+open Xability
+open Xexplore
+module Mutation = Xreplication.Mutation
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let quick = Sys.getenv_opt "QUICK" <> None
+
+(* ------------------------------------------------------------------ *)
+(* Schedule: serialization round-trip *)
+
+let sched_testable = Alcotest.testable Schedule.pp Schedule.equal
+
+let test_schedule_roundtrip_basic () =
+  let s = Schedule.make ~seed:42 () in
+  Alcotest.(check (option sched_testable))
+    "plain" (Some s)
+    (Schedule.of_string (Schedule.to_string s))
+
+let test_schedule_roundtrip_full () =
+  let s =
+    Schedule.make ~window:6 ~mutation:Mutation.Skip_undo_on_takeover
+      ~crashes:[ (150, 0); (900, 2) ] ~client_crash_at:400
+      ~noise:(0.25, 150, 10_000)
+      ~shifts:[ (31, 2); (7, 1) ]
+      ~seed:1337 ()
+  in
+  Alcotest.(check (option sched_testable))
+    "all fields" (Some s)
+    (Schedule.of_string (Schedule.to_string s));
+  (* shifts are kept sorted by step *)
+  checkb "shifts sorted" true (s.Schedule.shifts = [ (7, 1); (31, 2) ])
+
+let test_schedule_roundtrip_awkward_float () =
+  (* %h serialization must round-trip floats that have no short decimal
+     form. *)
+  let s = Schedule.make ~noise:(0.1 +. 0.2, 1, 2) ~seed:0 () in
+  Alcotest.(check (option sched_testable))
+    "0.1 +. 0.2" (Some s)
+    (Schedule.of_string (Schedule.to_string s))
+
+let test_schedule_of_string_garbage () =
+  checkb "empty" true (Schedule.of_string "" = None);
+  checkb "wrong version" true (Schedule.of_string "v9 seed=1" = None);
+  checkb "word salad" true (Schedule.of_string "not a schedule" = None)
+
+let test_schedule_chooser () =
+  let s = Schedule.make ~shifts:[ (3, 2); (5, 1) ] ~seed:0 () in
+  let ch = Schedule.chooser s in
+  let ready = [| "a"; "b"; "c"; "d" |] in
+  checki "default front" 0 (ch ~step:0 ~ready);
+  checki "shift at 3" 2 (ch ~step:3 ~ready);
+  checki "shift at 5" 1 (ch ~step:5 ~ready);
+  checki "past shifts default" 0 (ch ~step:6 ~ready)
+
+let gen_schedule =
+  let open QCheck.Gen in
+  let pair_nat b = pair (int_bound 5_000) (int_bound b) in
+  let mutation =
+    oneofl
+      [ Mutation.Faithful; Mutation.Skip_undo_on_takeover;
+        Mutation.Unguarded_duplicate_execution; Mutation.Reply_before_consensus ]
+  in
+  int_bound 6 >>= fun w ->
+  let window = w + 2 in
+  list_size (int_bound 4) (pair_nat 2) >>= fun crashes ->
+  opt (int_bound 5_000) >>= fun client_crash_at ->
+  opt
+    (triple
+       (map (fun n -> float_of_int n /. 16.) (int_bound 32))
+       (int_bound 1_000) (int_bound 50_000))
+  >>= fun noise ->
+  list_size (int_bound 6)
+    (pair (int_bound 500) (map (fun k -> 1 + k) (int_bound (window - 2))))
+  >>= fun shifts ->
+  mutation >>= fun mutation ->
+  int_bound 1_000_000 >>= fun seed ->
+  return
+    (Schedule.make ~window ~mutation ~crashes ?client_crash_at ?noise ~shifts
+       ~seed ())
+
+let arb_schedule =
+  QCheck.make ~print:(fun s -> Schedule.to_string s) gen_schedule
+
+let prop_schedule_roundtrip =
+  QCheck.Test.make ~name:"schedule to_string/of_string round-trip" ~count:300
+    arb_schedule (fun s ->
+      match Schedule.of_string (Schedule.to_string s) with
+      | Some s' -> Schedule.equal s s'
+      | None -> false)
+
+let test_mutation_roundtrip () =
+  List.iter
+    (fun m ->
+      checkb
+        (Printf.sprintf "mutation %s round-trips" (Mutation.to_string m))
+        true
+        (Mutation.of_string (Mutation.to_string m) = Some m))
+    (Mutation.Faithful :: Mutation.all);
+  checkb "none aliases faithful" true
+    (Mutation.of_string "none" = Some Mutation.Faithful);
+  checkb "unknown rejected" true (Mutation.of_string "quantum" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Trace: bounded ring buffer and JSONL *)
+
+let record_n tr n =
+  for i = 1 to n do
+    Xsim.Trace.record tr ~time:(i * 10) ~source:"t" (Printf.sprintf "e%d" i)
+  done
+
+let test_trace_capacity () =
+  let tr = Xsim.Trace.create ~capacity:3 () in
+  record_n tr 5;
+  checki "length counts all" 5 (Xsim.Trace.length tr);
+  checki "retained bounded" 3 (Xsim.Trace.retained tr);
+  checki "dropped" 2 (Xsim.Trace.dropped tr);
+  Alcotest.(check (list string))
+    "oldest evicted first" [ "e3"; "e4"; "e5" ]
+    (List.map (fun e -> e.Xsim.Trace.text) (Xsim.Trace.entries tr))
+
+let test_trace_unbounded () =
+  let tr = Xsim.Trace.create () in
+  record_n tr 5;
+  checki "retained = length" (Xsim.Trace.length tr) (Xsim.Trace.retained tr);
+  checki "nothing dropped" 0 (Xsim.Trace.dropped tr)
+
+let test_trace_capacity_invalid () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Xsim.Trace.create ~capacity:0 ()))
+
+let test_trace_fingerprint_covers_dropped () =
+  let bounded = Xsim.Trace.create ~capacity:2 () in
+  let unbounded = Xsim.Trace.create () in
+  record_n bounded 6;
+  record_n unbounded 6;
+  checki "fingerprint ignores the capacity bound"
+    (Xsim.Trace.fingerprint unbounded)
+    (Xsim.Trace.fingerprint bounded);
+  let other = Xsim.Trace.create ~capacity:2 () in
+  record_n other 5;
+  checkb "different history, different fingerprint" false
+    (Xsim.Trace.fingerprint other = Xsim.Trace.fingerprint bounded)
+
+let test_trace_jsonl () =
+  let tr = Xsim.Trace.create () in
+  Xsim.Trace.record tr ~time:7 ~source:"net" {|say "hi"|};
+  (match Xsim.Trace.to_jsonl tr with
+  | [ line ] ->
+      checks "escaped json line"
+        {|{"time":7,"source":"net","text":"say \"hi\""}|} line
+  | lines -> Alcotest.failf "expected 1 line, got %d" (List.length lines));
+  Xsim.Trace.set_enabled tr false;
+  Xsim.Trace.record tr ~time:8 ~source:"net" "dropped";
+  checki "disabled trace records nothing" 1 (Xsim.Trace.length tr)
+
+(* ------------------------------------------------------------------ *)
+(* Checker.Incremental: irrevocable-violation detection *)
+
+let kinds = function
+  | "get" -> Some Action.Idempotent
+  | "book" -> Some Action.Undoable
+  | _ -> None
+
+let iv = Value.int 1
+let riv r = Value.pair (Value.str "round") (Value.pair (Value.int r) iv)
+
+let logical_of _ v =
+  match Value.as_pair v with
+  | Some (tag, rest) when Value.equal tag (Value.str "round") -> (
+      match Value.as_pair rest with Some (_, l) -> l | None -> v)
+  | _ -> v
+
+let round_of v =
+  match Value.as_pair v with
+  | Some (_, rest) -> (
+      match Value.as_pair rest with
+      | Some (r, _) -> Value.as_int r
+      | None -> None)
+  | None -> None
+
+let incr_create () = Checker.Incremental.create ~kinds ~logical_of ~round_of ()
+
+let feed_all inc evs = List.iter (Checker.Incremental.feed inc) evs
+
+let test_incremental_clean () =
+  let inc = incr_create () in
+  feed_all inc
+    [ Event.S ("get", iv); Event.C ("get", iv, Value.int 42);
+      Event.S ("get", iv); Event.C ("get", iv, Value.int 42) ];
+  checkb "no violation on equal outputs" true
+    (Checker.Incremental.violation inc = None);
+  checkb "settled output" true
+    (Checker.Incremental.settled_output inc ~action:"get" ~logical:iv
+    = Some (Value.int 42))
+
+let test_incremental_conflicting_idempotent () =
+  let inc = incr_create () in
+  feed_all inc
+    [ Event.S ("get", iv); Event.C ("get", iv, Value.int 42);
+      Event.S ("get", iv); Event.C ("get", iv, Value.int 7) ];
+  checkb "conflicting outputs flagged" true
+    (Checker.Incremental.violation inc <> None)
+
+let test_incremental_double_commit () =
+  let cm = Action.commit_name "book" in
+  let inc = incr_create () in
+  let round r out =
+    [ Event.S ("book", riv r); Event.C ("book", riv r, Value.int out);
+      Event.S (cm, riv r); Event.C (cm, riv r, Value.nil) ]
+  in
+  feed_all inc (round 1 42);
+  checkb "one commit is fine" true (Checker.Incremental.violation inc = None);
+  checkb "settled after commit" true
+    (Checker.Incremental.settled_output inc ~action:"book" ~logical:iv
+    = Some (Value.int 42));
+  feed_all inc (round 2 57);
+  checkb "second committed round flagged" true
+    (Checker.Incremental.violation inc <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Explorer: replay determinism *)
+
+(* The canonical noisy booking scenario: false-suspicion noise provokes
+   takeovers, which is where all three mutations do their damage. *)
+let noisy_booking () =
+  let sc = Explorer.booking () in
+  { sc with
+    Explorer.spec = { sc.Explorer.spec with noise = Some (0.25, 150, 10_000) }
+  }
+
+let test_replay_deterministic () =
+  let sc = noisy_booking () in
+  let s = Schedule.make ~shifts:[ (5, 2); (11, 1); (23, 3) ] ~seed:97 () in
+  let o1, _, t1 = Explorer.replay ~with_trace:true sc s in
+  let o2, _, t2 = Explorer.replay ~with_trace:true sc s in
+  Alcotest.(check (list string)) "violations" o1.violations o2.violations;
+  checki "steps" o1.steps o2.steps;
+  checki "events" o1.events o2.events;
+  checki "end_time" o1.end_time o2.end_time;
+  checki "trace fingerprint" (Xsim.Trace.fingerprint t1)
+    (Xsim.Trace.fingerprint t2);
+  checkb "trace nonempty" true (Xsim.Trace.length t1 > 0)
+
+let test_shifts_change_behaviour () =
+  (* The chooser must actually steer the run: some single-shift schedule
+     must produce a trace different from the default schedule's.  (Not
+     every step has more than one ready entry, so we scan.) *)
+  let sc = noisy_booking () in
+  let base = Schedule.make ~seed:97 () in
+  let o, _, t1 = Explorer.replay ~with_trace:true sc base in
+  let fp1 = Xsim.Trace.fingerprint t1 in
+  let steered = ref false in
+  let step = ref 0 in
+  while (not !steered) && !step < min o.Explorer.steps 60 do
+    let shifted = Schedule.make ~shifts:[ (!step, 1) ] ~seed:97 () in
+    let _, _, t2 = Explorer.replay ~with_trace:true sc shifted in
+    if Xsim.Trace.fingerprint t2 <> fp1 then steered := true;
+    incr step
+  done;
+  checkb "some shift changes the trace" true !steered
+
+let test_explore_pool_size_independent () =
+  (* Byte-identical verdicts regardless of domain count: chunk layout is
+     fixed, not derived from the pool size.  Use a buggy mutation so the
+     compared verdicts contain violations, not just counters. *)
+  let sc = noisy_booking () in
+  let strat = Strategy.random_walk ~trials:(if quick then 16 else 32) () in
+  let v1 =
+    Explorer.explore ~jobs:1 ~mutation:Mutation.Skip_undo_on_takeover sc strat
+  in
+  let v4 =
+    Explorer.explore ~jobs:4 ~mutation:Mutation.Skip_undo_on_takeover sc strat
+  in
+  checks "verdict JSON byte-identical across JOBS"
+    (Explorer.verdict_to_json v1)
+    (Explorer.verdict_to_json v4)
+
+(* ------------------------------------------------------------------ *)
+(* Explorer: the self-test — every planted bug is found and shrunk *)
+
+let test_mutation_found m () =
+  let sc = noisy_booking () in
+  let trials = if quick then 48 else 64 in
+  let explored, cx =
+    Explorer.hunt ~mutation:m sc [ Strategy.random_walk ~trials () ]
+  in
+  match cx with
+  | None ->
+      Alcotest.failf "%s: no violation in %d schedules" (Mutation.to_string m)
+        explored
+  | Some cx ->
+      checkb "original violating" true (cx.Explorer.cx_original_violations <> []);
+      checkb "shrunk still violating" true (cx.Explorer.cx_violations <> []);
+      let weight (s : Schedule.t) =
+        List.length s.crashes
+        + (match s.client_crash_at with Some _ -> 1 | None -> 0)
+        + (match s.noise with Some _ -> 1 | None -> 0)
+        + List.length s.shifts
+      in
+      checkb "shrunk no heavier than original" true
+        (weight cx.Explorer.cx_shrunk <= weight cx.Explorer.cx_original);
+      checkb "mutation preserved by shrinking" true
+        (Mutation.equal cx.Explorer.cx_shrunk.Schedule.mutation m);
+      (* the dumped schedule line replays to the same verdict *)
+      (match Schedule.of_string (Schedule.to_string cx.Explorer.cx_shrunk) with
+      | None -> Alcotest.fail "shrunk schedule does not parse back"
+      | Some s ->
+          let o = Explorer.run_schedule sc s in
+          checkb "parsed shrunk schedule still violating" true
+            (Explorer.violating o))
+
+let test_faithful_clean () =
+  let sc = noisy_booking () in
+  let trials = if quick then 24 else 40 in
+  let v = Explorer.explore sc (Strategy.random_walk ~trials ()) in
+  checki "walk: no violations on the faithful protocol" 0
+    (List.length v.Explorer.violating);
+  checki "walk explored all trials" trials v.Explorer.explored;
+  let budget = if quick then 24 else 40 in
+  let v = Explorer.explore sc (Strategy.delay_dfs ~budget ()) in
+  checki "dfs: no violations on the faithful protocol" 0
+    (List.length v.Explorer.violating)
+
+let test_fault_enum_covers_plan () =
+  let sc = Explorer.booking () in
+  let strat =
+    Strategy.fault_enum ~times:[ 100; 300 ] ~replicas:[ 0; 1 ] ()
+  in
+  let v = Explorer.explore sc strat in
+  checki "explored = |times|*|replicas|" 4 v.Explorer.explored;
+  checki "faithful survives crash enumeration" 0
+    (List.length v.Explorer.violating);
+  let strat =
+    Strategy.fault_enum ~pair_crashes:true ~times:[ 100; 300 ]
+      ~replicas:[ 0; 1 ] ()
+  in
+  let v = Explorer.explore sc strat in
+  (* 4 singles + C(4,2) = 6 ordered pairs *)
+  checki "pairs add C(n,2) schedules" 10 v.Explorer.explored;
+  checki "faithful survives crash pairs" 0 (List.length v.Explorer.violating)
+
+let () =
+  Alcotest.run "xexplore"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "round-trip basic" `Quick
+            test_schedule_roundtrip_basic;
+          Alcotest.test_case "round-trip full" `Quick
+            test_schedule_roundtrip_full;
+          Alcotest.test_case "round-trip awkward float" `Quick
+            test_schedule_roundtrip_awkward_float;
+          Alcotest.test_case "of_string rejects garbage" `Quick
+            test_schedule_of_string_garbage;
+          Alcotest.test_case "chooser replays shifts" `Quick
+            test_schedule_chooser;
+          QCheck_alcotest.to_alcotest prop_schedule_roundtrip;
+          Alcotest.test_case "mutation names round-trip" `Quick
+            test_mutation_roundtrip;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "capacity ring buffer" `Quick test_trace_capacity;
+          Alcotest.test_case "unbounded" `Quick test_trace_unbounded;
+          Alcotest.test_case "invalid capacity" `Quick
+            test_trace_capacity_invalid;
+          Alcotest.test_case "fingerprint covers dropped" `Quick
+            test_trace_fingerprint_covers_dropped;
+          Alcotest.test_case "jsonl" `Quick test_trace_jsonl;
+        ] );
+      ( "incremental checker",
+        [
+          Alcotest.test_case "clean duplicates" `Quick test_incremental_clean;
+          Alcotest.test_case "conflicting idempotent outputs" `Quick
+            test_incremental_conflicting_idempotent;
+          Alcotest.test_case "double commit" `Quick
+            test_incremental_double_commit;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "replay reproduces trace+verdict" `Quick
+            test_replay_deterministic;
+          Alcotest.test_case "shifts steer the run" `Quick
+            test_shifts_change_behaviour;
+          Alcotest.test_case "verdict independent of pool size" `Quick
+            test_explore_pool_size_independent;
+        ] );
+      ( "hunt",
+        [
+          Alcotest.test_case "finds skip-undo" `Quick
+            (test_mutation_found Mutation.Skip_undo_on_takeover);
+          Alcotest.test_case "finds dup-exec" `Quick
+            (test_mutation_found Mutation.Unguarded_duplicate_execution);
+          Alcotest.test_case "finds early-reply" `Quick
+            (test_mutation_found Mutation.Reply_before_consensus);
+          Alcotest.test_case "faithful protocol clean" `Quick
+            test_faithful_clean;
+          Alcotest.test_case "fault enumeration" `Quick
+            test_fault_enum_covers_plan;
+        ] );
+    ]
