@@ -25,7 +25,9 @@
              QUICK=1 dune exec bench/main.exe    (reduced seed counts)
              JOBS=4 dune exec bench/main.exe     (pool size; also --jobs 4)
              dune exec bench/main.exe -- --json  (machine-readable output,
-                                                  also BENCH_JSON=path) *)
+                                                  also BENCH_JSON=path)
+             BENCH_ONLY=e11 dune exec bench/main.exe   (subset of
+                                                  experiments, comma-sep) *)
 
 open Xability
 module Runner = Xworkload.Runner
@@ -87,6 +89,7 @@ type json =
   | J_str of string
   | J_list of json list
   | J_obj of (string * json) list
+  | J_raw of string  (* pre-rendered JSON, embedded verbatim *)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -104,6 +107,7 @@ let json_escape s =
   Buffer.contents b
 
 let rec json_emit b = function
+  | J_raw s -> Buffer.add_string b s
   | J_bool v -> Buffer.add_string b (string_of_bool v)
   | J_int i -> Buffer.add_string b (string_of_int i)
   | J_float f ->
@@ -143,12 +147,23 @@ let e7_rows : json list ref = ref []
 let micro_rows : json list ref = ref []
 let explore_rows : json list ref = ref []
 let calibration : json ref = ref (J_obj [])
+let e11_obs : json ref = ref (J_obj [])
+
+(* BENCH_ONLY=e11 (comma-separated names) runs a subset of experiments;
+   unset runs everything. *)
+let only =
+  match Sys.getenv_opt "BENCH_ONLY" with
+  | None | Some "" -> None
+  | Some s -> Some (String.split_on_char ',' s)
 
 let timed_exp name f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  exp_times := (name, Unix.gettimeofday () -. t0) :: !exp_times;
-  r
+  match only with
+  | Some names when not (List.mem name names) -> ()
+  | _ ->
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      exp_times := (name, Unix.gettimeofday () -. t0) :: !exp_times;
+      r
 
 (* ------------------------------------------------------------------ *)
 (* Shared runners *)
@@ -1091,6 +1106,87 @@ let e10 () =
      every mutation yields violating schedules within a 64-trial walk@."
 
 (* ------------------------------------------------------------------ *)
+(* E11: observability overhead (Xobs off vs on) and the merged snapshot *)
+
+let e11 () =
+  header
+    "E11 Observability overhead (Xobs off vs on)  [instrumentation must be \
+     free when disabled]";
+  (* Fixed sequential workload, identical both ways: protocol runs under
+     crash+noise plus a reduction search (the two hottest instrumented
+     paths).  Sequential so the timing is not pool-scheduling noise. *)
+  let nruns = seeds 60 in
+  let workload () =
+    let ok = ref 0 in
+    for seed = 1 to nruns do
+      let r, _ =
+        protocol_run
+          ~crashes:[ (150, 0) ]
+          ~noise:(0.06, 150, 8_000)
+          ~seed:(seed * 7919) ()
+      in
+      if Runner.ok r then incr ok
+    done;
+    let h = idem_history ~attempts:6 in
+    let w =
+      Reduction.reduces_to ~kinds:e7_kinds h ~goal:(fun h' ->
+          Xable.failure_free Action.Idempotent "a" ~iv:(Value.int 1) h')
+    in
+    (!ok, Option.is_some w)
+  in
+  (* Best of 3 timed repetitions: the workload is pure (virtual time), so
+     the minimum is the least-noise estimate. *)
+  let time f =
+    let best = ref infinity in
+    let r = ref (f ()) in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      r := f ();
+      let d = Unix.gettimeofday () -. t0 in
+      if d < !best then best := d
+    done;
+    (!r, !best)
+  in
+  Xobs.set_enabled false;
+  let base, off_s = time workload in
+  Xobs.set_enabled true;
+  Xobs.reset ();
+  let inst, on_s = time workload in
+  let run_snap = Xobs.snapshot () in
+  (* A small explore sweep so the merged snapshot covers the explorer
+     subsystem too (per-run snapshots merged in schedule order). *)
+  let explore_snap =
+    let open Xexplore in
+    let v =
+      Explorer.explore ~chunk:8 (Explorer.booking ~requests:3 ())
+        (Strategy.random_walk ~trials:8 ())
+    in
+    v.Explorer.v_obs
+  in
+  Xobs.set_enabled false;
+  let snap = Xobs.Snapshot.merge run_snap explore_snap in
+  let ratio = if off_s > 0.0 then on_s /. off_s else 1.0 in
+  row "%-22s %-10s %-10s %-10s@." "" "runs" "wall (s)" "identical";
+  row "%-22s %-10d %-10.3f %-10s@." "obs disabled" nruns off_s "-";
+  row "%-22s %-10d %-10.3f %-10b@." "obs enabled" nruns on_s (base = inst);
+  row "enabled/disabled ratio %.3f   metrics in snapshot: %d@." ratio
+    (List.length snap);
+  row
+    "expected shape: identical verdicts both ways; enabled cost a few \
+     percent; disabled cost unmeasurable (compare E7 vs pre-obs records)@.";
+  e11_obs :=
+    J_obj
+      [
+        ("runs", J_int nruns);
+        ("disabled_s", J_float off_s);
+        ("enabled_s", J_float on_s);
+        ("enabled_over_disabled", J_float ratio);
+        ("verdicts_identical", J_bool (base = inst));
+        ("metrics", J_int (List.length snap));
+        ("obs_snapshot", J_raw (Xobs.Snapshot.to_json snap));
+      ]
+
+(* ------------------------------------------------------------------ *)
 (* Parallel speedup calibration: one fixed sweep, sequential vs pool. *)
 
 let calibrate () =
@@ -1252,6 +1348,7 @@ let write_json path =
         ("experiments", J_list experiments);
         ("e7_reduction", J_list (List.rev !e7_rows));
         ("e10_explore", J_list (List.rev !explore_rows));
+        ("e11_obs", !e11_obs);
         ("calibration", !calibration);
         ("microbench", J_list (List.rev !micro_rows));
       ]
@@ -1276,6 +1373,7 @@ let () =
   timed_exp "e8" e8;
   timed_exp "e9" e9;
   timed_exp "e10" e10;
+  timed_exp "e11" e11;
   timed_exp "calibration" calibrate;
   timed_exp "microbench" microbench;
   (match !json_arg with Some path -> write_json path | None -> ());

@@ -6,6 +6,7 @@
      trace   — run a small scenario and dump the environment history
      explore — search the schedule space for x-ability violations
      replay  — re-run a schedule printed by explore, byte-identically
+     stats   — run with observability on; print the metric tables
 
    Examples:
      xrepl run --requests 6 --mix mixed --crash 150:0 --noise 0.08:150:6000
@@ -591,9 +592,131 @@ let replay_cmd =
       const replay $ scenario_arg $ requests_arg $ noise_arg $ schedule_arg
       $ file_arg $ dump_trace_arg)
 
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+(* Human metric table: metrics grouped by subsystem prefix, with
+   p50/p95/p99 recovered from histogram buckets via Stats.percentile
+   (nearest-rank over bucket lower bounds). *)
+let print_obs_table snap =
+  let module S = Xobs.Snapshot in
+  let pct p m = Xworkload.Stats.percentile_sorted p (S.representatives m) in
+  let prefix name =
+    match String.index_opt name '.' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let last = ref "" in
+  List.iter
+    (fun (name, m) ->
+      let p = prefix name in
+      if p <> !last then begin
+        Format.printf "@.== %s ==@." p;
+        last := p
+      end;
+      match m with
+      | S.Counter v -> Format.printf "  %-34s counter    %d@." name v
+      | S.Gauge g ->
+          Format.printf "  %-34s gauge      last=%d max=%d@." name g.last g.max
+      | S.Histogram h ->
+          Format.printf
+            "  %-34s histogram  n=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f \
+             max=%d@."
+            name h.n
+            (Xworkload.Stats.ratio h.sum h.n)
+            (pct 0.50 m) (pct 0.95 m) (pct 0.99 m) h.max
+      | S.Span s ->
+          Format.printf
+            "  %-34s span       n=%d total=%d p50=%.0f p95=%.0f p99=%.0f \
+             max=%d@."
+            name s.n s.total (pct 0.50 m) (pct 0.95 m) (pct 0.99 m) s.max)
+    snap
+
+let stats_cmd =
+  let doc =
+    "Run a scenario with observability on and print counters, histograms, \
+     and spans from every instrumented subsystem (engine, consensus, coord, \
+     replica, reduction, explorer)."
+  in
+  let explore_trials_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "explore-trials" ] ~docv:"N"
+          ~doc:
+            "Random-walk schedules for the explorer leg of the report (0 \
+             skips it).")
+  in
+  let obs_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-json" ] ~docv:"FILE"
+          ~doc:
+            "Append the per-run snapshots as JSON Lines to FILE ($(b,-) for \
+             stdout): line 1 the scenario run, line 2 the merged explore \
+             sweep.")
+  in
+  let stats seed n crashes noise fail_prob backend detector requests mix
+      client_crash trials obs_json =
+    Xobs.set_enabled true;
+    Xobs.reset ();
+    let spec =
+      make_spec seed n crashes noise fail_prob backend detector client_crash
+    in
+    let r, _ =
+      Runner.run ~spec ~setup:Workloads.setup_all
+        ~workload:(fun _ c s -> Workloads.sequence mix ~n:requests c s)
+        ()
+    in
+    let run_snap = Xobs.snapshot () in
+    (* A small schedule-space sweep so the explorer's own metrics are
+       populated too; per-run snapshots are merged in schedule order. *)
+    let explore_snap =
+      if trials <= 0 then Xobs.Snapshot.empty
+      else
+        let scen = make_scenario `Booking requests seed noise in
+        let v =
+          Explorer.explore ~mutation:Mutation.Faithful scen
+            (Strategy.random_walk ~trials ())
+        in
+        v.Explorer.v_obs
+    in
+    let merged = Xobs.Snapshot.merge run_snap explore_snap in
+    Format.printf "scenario run (seed %d) + explore sweep (%d schedules)@."
+      seed
+      (match Xobs.Snapshot.find explore_snap "explore.schedules" with
+      | Some (Xobs.Snapshot.Counter c) -> c
+      | _ -> 0);
+    print_obs_table merged;
+    (match obs_json with
+    | None -> ()
+    | Some file ->
+        let lines =
+          Xobs.Snapshot.to_json run_snap
+          ::
+          (if Xobs.Snapshot.is_empty explore_snap then []
+           else [ Xobs.Snapshot.to_json explore_snap ])
+        in
+        if file = "-" then List.iter print_endline lines
+        else begin
+          let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+          List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+          close_out oc
+        end);
+    Format.printf "@.run verdict: %s@."
+      (if Runner.ok r then "OK" else "FAILED");
+    if Runner.ok r then 0 else 1
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const stats $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
+      $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
+      $ client_crash_arg $ explore_trials_arg $ obs_json_arg)
+
 let () =
   let doc = "x-ability replication simulator (Frolund & Guerraoui, 2000)" in
   let info = Cmd.info "xrepl" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ run_cmd; sweep_cmd; trace_cmd; explore_cmd; replay_cmd ]))
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; trace_cmd; explore_cmd; replay_cmd; stats_cmd ]))

@@ -72,6 +72,8 @@ let record_decision g st inst value =
   let a = acceptor st inst in
   if a.decided = None then begin
     a.decided <- Some value;
+    if (not (Hashtbl.mem g.decided_insts inst)) && Xobs.enabled () then
+      Xobs.Counter.incr (Xobs.counter "consensus.decisions");
     Hashtbl.replace g.decided_insts inst ();
     let ws = a.decision_waiters in
     a.decision_waiters <- [];
@@ -197,6 +199,10 @@ let backoff g attempt =
 
 let propose { group = g; st; inst } v =
   g.proposals <- g.proposals + 1;
+  let obs_on = Xobs.enabled () in
+  let t0 = Xsim.Engine.now g.eng in
+  let ballots0 = g.ballots in
+  if obs_on then Xobs.Counter.incr (Xobs.counter "consensus.proposals");
   let n = List.length g.member_list in
   let rec campaign attempt =
     let a = acceptor st inst in
@@ -253,7 +259,13 @@ let propose { group = g; st; inst } v =
                 Xsim.Engine.sleep g.eng (backoff g attempt);
                 campaign (attempt + 1)))
   in
-  campaign st.attempt_hint
+  let d = campaign st.attempt_hint in
+  if obs_on then begin
+    (* Rounds spent on this propose = ballots started while it ran. *)
+    Xobs.Counter.add (Xobs.counter "consensus.rounds") (g.ballots - ballots0);
+    Xobs.Span.record (Xobs.span "consensus.propose") ~t0 ~t1:(Xsim.Engine.now g.eng)
+  end;
+  d
 
 let decided_at g ~member ~inst =
   match Hashtbl.find_opt g.states member with

@@ -13,6 +13,13 @@ let name t = t.rname
 
 let propose t v =
   t.proposals <- t.proposals + 1;
+  let obs_on = Xobs.enabled () in
+  let t0 = Xsim.Engine.now t.eng in
+  if obs_on then begin
+    Xobs.Counter.incr (Xobs.counter "consensus.proposals");
+    (* One round-trip to the register = one round. *)
+    Xobs.Counter.incr (Xobs.counter "consensus.rounds")
+  end;
   (* Request travels to the register... *)
   Xsim.Engine.sleep t.eng t.latency;
   (* ...the decision point is atomic at the register... *)
@@ -20,10 +27,13 @@ let propose t v =
     | Some d -> d
     | None ->
         t.decided <- Some v;
+        if obs_on then Xobs.Counter.incr (Xobs.counter "consensus.decisions");
         v
   in
   (* ...and the reply travels back. *)
   Xsim.Engine.sleep t.eng t.latency;
+  if obs_on then
+    Xobs.Span.record (Xobs.span "consensus.propose") ~t0 ~t1:(Xsim.Engine.now t.eng);
   decided
 
 let read t =

@@ -7,23 +7,31 @@
     The [!] separator is reserved; base action names must not contain it. *)
 
 type kind = Idempotent | Undoable [@@deriving show, eq, ord]
+(** The paper's two action subsets (section 3.1). *)
 
 type name = string [@@deriving show, eq, ord]
+(** An action name; base names may carry a variant suffix (see {!split}). *)
 
 type variant = Exec | Cancel | Commit [@@deriving show, eq, ord]
+(** What a (possibly suffixed) name denotes: the base action itself, its
+    cancellation [a{^-1}], or its commit [a{^c}]. *)
 
 val cancel_name : name -> name
 (** [cancel_name "book"] = ["book!cancel"].  Raises [Invalid_argument] if
     the name already carries a variant suffix. *)
 
 val commit_name : name -> name
+(** [commit_name "book"] = ["book!commit"]; raises like {!cancel_name}. *)
 
 val split : name -> name * variant
 (** [split "book!cancel"] = [("book", Cancel)]; [split "get"] =
     [("get", Exec)]. *)
 
 val base : name -> name
+(** First component of {!split}: the underlying base action. *)
+
 val variant_of : name -> variant
+(** Second component of {!split}. *)
 
 val is_base : name -> bool
 (** True when the name carries no variant suffix. *)

@@ -140,6 +140,24 @@ let check ~kinds ~logical_of ?(round_of = fun _ -> None)
             | Analyzer.Not_xable _ -> None
           in
           let witness =
+            (* The analyzer is the linear-time fast path; the reduction
+               search engine only runs when it cannot decide.  Count both
+               outcomes so `xrepl stats` shows the split. *)
+            let obs_on = Xobs.enabled () in
+            let fast () =
+              let w = fast () in
+              if obs_on then
+                Xobs.Counter.incr
+                  (Xobs.counter
+                     (match w with
+                     | Some _ -> "reduction.analyzer_hits"
+                     | None -> "reduction.analyzer_misses"));
+              w
+            in
+            let search () =
+              if obs_on then Xobs.Counter.incr (Xobs.counter "reduction.searches");
+              search ()
+            in
             match engine with
             | `Search -> search ()
             | `Fast -> fast ()

@@ -58,6 +58,7 @@ type cache
     between calls sharing a cache. *)
 
 val create_cache : unit -> cache
+(** A fresh, empty searcher cache. *)
 
 val check :
   kinds:Reduction.kinds ->
@@ -95,6 +96,7 @@ val check :
       (commits are permanent; rule 20 only deduplicates one round's). *)
 module Incremental : sig
   type t
+  (** Mutable per-run state: one group per logical action seen so far. *)
 
   val create :
     kinds:Reduction.kinds ->
@@ -102,11 +104,14 @@ module Incremental : sig
     ?round_of:(Value.t -> int option) ->
     unit ->
     t
+  (** Same projections as {!check}; [round_of] attributes undoable
+      executions and commits to their retry round. *)
 
   val feed : t -> Event.t -> unit
   (** Observe the next history event, in history order. *)
 
   val events_fed : t -> int
+  (** How many events have been fed. *)
 
   val violation : t -> string option
   (** The first irrevocable violation observed, if any.  Once set it
@@ -120,3 +125,4 @@ module Incremental : sig
 end
 
 val pp_report : Format.formatter -> report -> unit
+(** Multi-line rendering: verdict, per-group lines, violations. *)

@@ -16,16 +16,25 @@ type t =
 [@@deriving show, eq, ord]
 
 val s : Action.name -> Value.t -> t
+(** [s a iv] = [S (a, iv)]. *)
+
 val c : Action.name -> iv:Value.t -> ov:Value.t -> t
+(** [c a ~iv ~ov] = [C (a, iv, ov)]. *)
 
 val action : t -> Action.name
+(** The event's action name (for either constructor). *)
+
 val input : t -> Value.t
+(** The attempt's input value (for either constructor). *)
 
 val output : t -> Value.t option
 (** [Some ov] for completions, [None] for starts. *)
 
 val is_start : t -> bool
+(** True for [S] events. *)
+
 val is_completion : t -> bool
+(** True for [C] events. *)
 
 val hash : t -> int
 (** Structural hash compatible with {!equal}. *)

@@ -9,12 +9,14 @@ val concat : t -> t -> t
 (** The paper's [h1 • h2]. *)
 
 val concat_all : t list -> t
+(** Left-to-right concatenation of several histories. *)
 
 val mem : Action.name -> Value.t -> t -> bool
 (** The paper's [(a, iv) ∈ h]: does [h] contain a start event of [a] on
     input [iv]?  (Definition in section 2.3 considers start events only.) *)
 
 val length : t -> int
+(** Number of events. *)
 
 val events_of : t -> f:(Event.t -> bool) -> t
 (** Subsequence of events satisfying [f], order preserved. *)
@@ -28,10 +30,13 @@ val actions : t -> (Action.name * Value.t) list
     start events. *)
 
 val split_at : t -> int -> t * t
+(** [split_at h n] is [(prefix of n events, rest)]. *)
 
 val pp_compact : Format.formatter -> t -> unit
+(** Events on one line, via {!Event.pp_compact}. *)
 
 val to_string : t -> string
+(** String form of {!pp_compact}. *)
 
 val hash : t -> int
 (** Structural hash compatible with {!equal} (order-sensitive). *)

@@ -263,17 +263,24 @@ let step ~kinds h =
      rewrites first: the searches below reach witnesses and normal forms
      (which are short) with fewer visited states. *)
   let seen = History.Tbl.create 16 in
-  List.filter
-    (fun (_, h') ->
-      if History.Tbl.mem seen h' then false
-      else begin
-        History.Tbl.replace seen h' ();
-        true
-      end)
-    (List.rev !out)
-  |> List.map (fun (rule, h') -> (History.length h', rule, h'))
-  |> List.stable_sort (fun (la, _, _) (lb, _, _) -> Int.compare la lb)
-  |> List.map (fun (_, rule, h') -> (rule, h'))
+  let res =
+    List.filter
+      (fun (_, h') ->
+        if History.Tbl.mem seen h' then false
+        else begin
+          History.Tbl.replace seen h' ();
+          true
+        end)
+      (List.rev !out)
+    |> List.map (fun (rule, h') -> (History.length h', rule, h'))
+    |> List.stable_sort (fun (la, _, _) (lb, _, _) -> Int.compare la lb)
+    |> List.map (fun (_, rule, h') -> (rule, h'))
+  in
+  if Xobs.enabled () then begin
+    Xobs.Counter.incr (Xobs.counter "reduction.step_calls");
+    Xobs.Counter.add (Xobs.counter "reduction.rewrites") (List.length res)
+  end;
+  res
 
 let reduces_to ~kinds ?(max_visited = 200_000) ?visited_count h ~goal =
   let visited = History.Tbl.create 256 in
@@ -291,6 +298,8 @@ let reduces_to ~kinds ?(max_visited = 200_000) ?visited_count h ~goal =
     (match visited_count with
     | Some c -> c := History.Tbl.length visited
     | None -> ());
+    if Xobs.enabled () then
+      Xobs.Counter.add (Xobs.counter "reduction.visited") (History.Tbl.length visited);
     r
   in
   try
@@ -313,20 +322,32 @@ type search = History.t -> History.t option
 let searcher ~kinds ?(max_visited = 200_000) ~goal () : search =
   let dead = History.Tbl.create 256 in
   fun h ->
+    let obs_on = Xobs.enabled () in
+    if obs_on then
+      Xobs.Counter.incr
+        (Xobs.counter
+           (if History.Tbl.mem dead h then "reduction.memo_hits"
+            else "reduction.memo_misses"));
     let budget = ref max_visited in
+    let visits = ref 0 in
     let exception Found of History.t in
     let rec dfs h =
       if !budget > 0 && not (History.Tbl.mem dead h) then begin
         decr budget;
+        incr visits;
         if goal h then raise (Found h);
         List.iter (fun (_, h') -> dfs h') (step ~kinds h);
         if !budget > 0 then History.Tbl.replace dead h ()
       end
     in
+    let finish r =
+      if obs_on then Xobs.Counter.add (Xobs.counter "reduction.visited") !visits;
+      r
+    in
     try
       dfs h;
-      None
-    with Found w -> Some w
+      finish None
+    with Found w -> finish (Some w)
 
 let normal_forms ~kinds ?(max_visited = 200_000) h =
   let visited = History.Tbl.create 256 in

@@ -17,6 +17,8 @@ type t =
   | List of t list
 [@@deriving show, eq, ord]
 
+(** Smart constructors, one per constructor of {!t}. *)
+
 val nil : t
 val unit : t
 val bool : bool -> t
@@ -33,8 +35,10 @@ val hash : t -> int
     node limit), so deep round-tagged inputs spread across buckets. *)
 
 val pp_compact : Format.formatter -> t -> unit
+(** Formatter version of {!to_string}. *)
 
-(** Partial projections; [None] on shape mismatch. *)
+(** Partial projections, one per payload-carrying constructor; [None] on
+    shape mismatch. *)
 
 val as_int : t -> int option
 val as_str : t -> string option

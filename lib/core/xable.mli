@@ -14,6 +14,7 @@ val eventsof_undoable : Action.name -> iv:Value.t -> ov:Value.t -> History.t
 
 val eventsof :
   Action.kind -> Action.name -> iv:Value.t -> ov:Value.t -> History.t
+(** Dispatch on the kind: {!eventsof_idempotent} or {!eventsof_undoable}. *)
 
 val failure_free :
   Action.kind -> Action.name -> iv:Value.t -> History.t -> bool

@@ -69,6 +69,9 @@ type outcome = {
   steps : int;  (** choice points offered to the chooser *)
   events : int;  (** environment history length *)
   end_time : int;  (** virtual end time *)
+  obs : Xobs.Snapshot.t;
+      (** this run's observability snapshot; {!Xobs.Snapshot.empty}
+          when instrumentation is off *)
 }
 
 let violating o = o.violations <> []
@@ -92,6 +95,10 @@ let apply scenario (sch : Schedule.t) : Runner.spec =
    by the recording chooser only after the run). *)
 let run_with ?cache ?(with_trace = false) scenario sch
     ~(choose : Xsim.Engine.chooser) =
+  (* Each schedule gets a fresh domain-local registry so its snapshot is
+     a pure function of the schedule, independent of pool placement. *)
+  let obs_on = Xobs.enabled () in
+  if obs_on then Xobs.reset ();
   let spec = apply scenario sch in
   let eng_ref = ref None in
   let mon_ref = ref None in
@@ -117,6 +124,24 @@ let run_with ?cache ?(with_trace = false) scenario sch
     | Some r -> [ r ]
     | None -> if Runner.ok result then [] else Runner.failures result
   in
+  let obs_snap =
+    if not obs_on then Xobs.Snapshot.empty
+    else begin
+      Xobs.Counter.incr (Xobs.counter "explore.schedules");
+      if violations <> [] then Xobs.Counter.incr (Xobs.counter "explore.violations");
+      if Monitor.aborted monitor then begin
+        Xobs.Counter.incr (Xobs.counter "explore.online_aborts");
+        (* Abort depth: how far into the run (history events) the online
+           monitor caught the irrevocable pattern. *)
+        Xobs.Histogram.record
+          (Xobs.histogram "explore.abort_depth")
+          result.Runner.history_length
+      end;
+      Xobs.Span.record (Xobs.span "explore.run") ~t0:0
+        ~t1:result.Runner.end_time;
+      Xobs.snapshot ()
+    end
+  in
   let outcome =
     {
       schedule = sch;
@@ -125,6 +150,7 @@ let run_with ?cache ?(with_trace = false) scenario sch
       steps = Xsim.Engine.choice_points eng;
       events = result.Runner.history_length;
       end_time = result.Runner.end_time;
+      obs = obs_snap;
     }
   in
   (outcome, result, eng)
@@ -191,6 +217,9 @@ type verdict = {
   violating : outcome list;  (** discovery order *)
   choice_points : int;  (** summed over explored runs *)
   events_total : int;
+  v_obs : Xobs.Snapshot.t;
+      (** per-run snapshots merged in schedule order (which is fixed by
+          the chunk layout, so this is byte-identical across [JOBS]) *)
 }
 
 let empty_verdict scenario strategy mutation =
@@ -202,6 +231,7 @@ let empty_verdict scenario strategy mutation =
     violating = [];
     choice_points = 0;
     events_total = 0;
+    v_obs = Xobs.Snapshot.empty;
   }
 
 let fold_outcomes v outcomes =
@@ -213,6 +243,7 @@ let fold_outcomes v outcomes =
         violating = (if violating o then v.violating @ [ o ] else v.violating);
         choice_points = v.choice_points + o.steps;
         events_total = v.events_total + o.events;
+        v_obs = Xobs.Snapshot.merge v.v_obs o.obs;
       })
     v outcomes
 

@@ -40,9 +40,14 @@ type outcome = {
   steps : int;  (** choice points offered to the chooser *)
   events : int;  (** environment history length *)
   end_time : int;  (** virtual end time *)
+  obs : Xobs.Snapshot.t;
+      (** this run's observability snapshot; {!Xobs.Snapshot.empty}
+          when instrumentation is off *)
 }
 
 val violating : outcome -> bool
+(** [violating o] is [true] iff the run produced at least one
+    violation. *)
 
 val run_schedule : ?cache:Checker.cache -> scenario -> Schedule.t -> outcome
 (** Replay one schedule (chooser + monitor installed) and judge it. *)
@@ -65,6 +70,9 @@ type verdict = {
   violating : outcome list;  (** discovery order *)
   choice_points : int;  (** summed over explored runs *)
   events_total : int;
+  v_obs : Xobs.Snapshot.t;
+      (** per-run snapshots merged in schedule order (fixed by the chunk
+          layout, hence byte-identical across [JOBS]) *)
 }
 
 val explore :
@@ -112,5 +120,7 @@ val counterexample_to_json : counterexample -> string
 (** One-line JSON object (machine-readable dump). *)
 
 val verdict_to_json : verdict -> string
+(** One-line JSON object: counts plus the violating schedules. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
+(** Human-readable summary, one violating schedule per line. *)

@@ -21,3 +21,4 @@ val reason : t -> string option
 (** The first violation flagged (sticky). *)
 
 val events_fed : t -> int
+(** How many environment events the monitor has observed. *)

@@ -34,6 +34,7 @@ val make :
     [shifts] is sorted by step. *)
 
 val equal : t -> t -> bool
+(** Structural equality (schedules are plain data). *)
 
 val chooser : t -> Xsim.Engine.chooser
 (** The replay chooser: shift-table lookup, default front-of-queue.
@@ -50,3 +51,4 @@ val to_json : t -> string
 (** JSON object, for machine-readable counterexample dumps. *)
 
 val pp : Format.formatter -> t -> unit
+(** Formatter version of {!to_string}. *)

@@ -1,0 +1,58 @@
+(** Exploration strategies: recipes for which schedules to run.
+
+    A strategy only {e describes} a family of {!Schedule.t}s; the
+    {!Explorer} interprets it. Three families, per the classic
+    model-checking toolbox (see DESIGN.md "Schedule-space exploration"):
+
+    - {b Random walk}: replayable random scheduling. Each trial runs with
+      a fresh engine seed and a chooser that defers the front of the
+      ready window with probability [p_defer]; the picks it makes are
+      recorded as shifts, so the trial replays byte-identically without
+      the RNG.
+    - {b Delay-bounded DFS}: systematic search that extends the default
+      schedule with at most [max_delays] deferrals within the first
+      [horizon] choice points. Small delay bounds cover a
+      disproportionate share of real concurrency bugs — including
+      x-ability's own failure modes, where one mistimed takeover or
+      duplicate delivery suffices.
+    - {b Fault enumeration}: no scheduling shifts; sweep crash injection
+      times across replicas (optionally with false-suspicion noise) —
+      the dimension the paper's protocol (section 5) is defensive about:
+      the instant the owner dies. *)
+
+type t =
+  | Random_walk of { trials : int; p_defer : float; window : int }
+      (** [trials] independent seeded runs; see {!random_walk}. *)
+  | Delay_dfs of { budget : int; max_delays : int; horizon : int; window : int }
+      (** Delay-bounded schedule enumeration capped at [budget] runs. *)
+  | Fault_enum of {
+      times : int list;  (** candidate crash times (virtual) *)
+      replicas : int list;  (** candidate crash victims (indices) *)
+      noise : (float * int * int) option;
+          (** optional false-suspicion noise applied to every schedule *)
+      pair_crashes : bool;  (** also try all ordered pairs of crashes *)
+    }  (** Cartesian fault-plan sweep; see {!fault_enum}. *)
+
+val random_walk : ?trials:int -> ?p_defer:float -> ?window:int -> unit -> t
+(** Defaults: [trials] 100, [p_defer] 0.15, [window] 4. *)
+
+val delay_dfs :
+  ?budget:int -> ?max_delays:int -> ?horizon:int -> ?window:int -> unit -> t
+(** Defaults: [budget] 200, [max_delays] 2, [horizon] 64, [window] 4. *)
+
+val fault_enum :
+  ?noise:float * int * int ->
+  ?pair_crashes:bool ->
+  times:int list ->
+  replicas:int list ->
+  unit ->
+  t
+(** Single crashes at every [times] × [replicas] point; with
+    [pair_crashes] also every ordered pair. [pair_crashes] defaults to
+    [false]. *)
+
+val name : t -> string
+(** Short family tag: ["random-walk"], ["delay-dfs"], ["fault-enum"]. *)
+
+val describe : t -> string
+(** One-line rendering with parameters, for verdict tables. *)

@@ -1,0 +1,524 @@
+(* Observability registry. Stdlib only — this library sits below
+   lib/core in the dependency order, so it must not pull in fmt/logs. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled v = Atomic.set enabled_flag v
+
+(* Log2 bucketing: bucket 0 = {0}; bucket i>=1 = [2^(i-1), 2^i - 1].
+   63 buckets cover the whole non-negative int range. *)
+let nbuckets = 63
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    let rec msb i v = if v = 0 then i else msb (i + 1) (v lsr 1) in
+    min (msb 0 v) (nbuckets - 1)
+
+let bucket_lower i = if i = 0 then 0 else 1 lsl (i - 1)
+
+type hist = {
+  mutable h_n : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+let make_hist () =
+  { h_n = 0; h_sum = 0; h_min = max_int; h_max = 0; h_buckets = Array.make nbuckets 0 }
+
+let hist_record h v =
+  let v = if v < 0 then 0 else v in
+  h.h_n <- h.h_n + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_of v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+let recent_cap = 16
+
+type spanfam = { s_durs : hist; mutable s_recent : (int * int) list (* oldest first *) }
+
+type metric =
+  | M_counter of int ref
+  | M_gauge of { mutable g_last : int; mutable g_max : int }
+  | M_hist of hist
+  | M_span of spanfam
+
+let registry_key : (string, metric) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let registry () = Domain.DLS.get registry_key
+let reset () = Hashtbl.reset (registry ())
+
+let get_or_create name make check =
+  let reg = registry () in
+  match Hashtbl.find_opt reg name with
+  | Some m -> (
+      match check m with
+      | Some x -> x
+      | None -> invalid_arg ("Xobs: metric " ^ name ^ " registered with another kind"))
+  | None ->
+      let m, x = make () in
+      Hashtbl.add reg name m;
+      x
+
+module Counter = struct
+  type t = int ref
+
+  let incr c = Stdlib.incr c
+  let add c n = if n > 0 then c := !c + n
+  let value c = !c
+end
+
+module Gauge = struct
+  type t = metric
+
+  let set g v =
+    let v = if v < 0 then 0 else v in
+    match g with
+    | M_gauge g ->
+        g.g_last <- v;
+        if v > g.g_max then g.g_max <- v
+    | _ -> assert false
+
+  let value = function M_gauge g -> g.g_last | _ -> assert false
+  let max_value = function M_gauge g -> g.g_max | _ -> assert false
+end
+
+module Histogram = struct
+  type t = hist
+
+  let record = hist_record
+  let count h = h.h_n
+  let sum h = h.h_sum
+end
+
+module Span = struct
+  type t = spanfam
+
+  let record s ~t0 ~t1 =
+    let dur = if t1 > t0 then t1 - t0 else 0 in
+    hist_record s.s_durs dur;
+    let n = List.length s.s_recent in
+    let base = if n >= recent_cap then List.tl s.s_recent else s.s_recent in
+    s.s_recent <- base @ [ (t0, dur) ]
+end
+
+let counter name =
+  get_or_create name
+    (fun () ->
+      let c = ref 0 in
+      (M_counter c, c))
+    (function M_counter c -> Some c | _ -> None)
+
+let gauge name =
+  get_or_create name
+    (fun () ->
+      let m = M_gauge { g_last = 0; g_max = 0 } in
+      (m, m))
+    (function M_gauge _ as m -> Some m | _ -> None)
+
+let histogram name =
+  get_or_create name
+    (fun () ->
+      let h = make_hist () in
+      (M_hist h, h))
+    (function M_hist h -> Some h | _ -> None)
+
+let span name =
+  get_or_create name
+    (fun () ->
+      let s = { s_durs = make_hist (); s_recent = [] } in
+      (M_span s, s))
+    (function M_span s -> Some s | _ -> None)
+
+module Snapshot = struct
+  type metric =
+    | Counter of int
+    | Gauge of { last : int; max : int }
+    | Histogram of {
+        n : int;
+        sum : int;
+        min : int;
+        max : int;
+        buckets : (int * int) list;
+      }
+    | Span of {
+        n : int;
+        total : int;
+        min : int;
+        max : int;
+        buckets : (int * int) list;
+        recent : (int * int) list;
+      }
+
+  type t = (string * metric) list
+
+  let empty : t = []
+  let is_empty (s : t) = s = []
+  let equal (a : t) (b : t) = a = b
+  let find (s : t) name = List.assoc_opt name s
+
+  let buckets_of_hist h =
+    let out = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if h.h_buckets.(i) > 0 then out := (bucket_lower i, h.h_buckets.(i)) :: !out
+    done;
+    !out
+
+  let hist_fields h =
+    let min = if h.h_n = 0 then 0 else h.h_min in
+    (h.h_n, h.h_sum, min, h.h_max, buckets_of_hist h)
+
+  let merge_buckets a b =
+    (* Both ascending by lower bound; sum counts per bound. *)
+    let rec go a b =
+      match (a, b) with
+      | [], r | r, [] -> r
+      | (la, ca) :: ta, (lb, cb) :: tb ->
+          if la = lb then (la, ca + cb) :: go ta tb
+          else if la < lb then (la, ca) :: go ta b
+          else (lb, cb) :: go a tb
+    in
+    go a b
+
+  let merge_minmax n1 mn1 mx1 n2 mn2 mx2 =
+    let mn =
+      if n1 = 0 then mn2 else if n2 = 0 then mn1 else Stdlib.min mn1 mn2
+    in
+    (mn, Stdlib.max mx1 mx2)
+
+  let merge_metric a b =
+    match (a, b) with
+    | Counter x, Counter y -> Counter (x + y)
+    | Gauge g1, Gauge g2 -> Gauge { last = g2.last; max = Stdlib.max g1.max g2.max }
+    | Histogram h1, Histogram h2 ->
+        let min, max = merge_minmax h1.n h1.min h1.max h2.n h2.min h2.max in
+        Histogram
+          {
+            n = h1.n + h2.n;
+            sum = h1.sum + h2.sum;
+            min;
+            max;
+            buckets = merge_buckets h1.buckets h2.buckets;
+          }
+    | Span s1, Span s2 ->
+        let min, max = merge_minmax s1.n s1.min s1.max s2.n s2.min s2.max in
+        let recent =
+          let r = s1.recent @ s2.recent in
+          let n = List.length r in
+          if n <= recent_cap then r else List.filteri (fun i _ -> i >= n - recent_cap) r
+        in
+        Span
+          {
+            n = s1.n + s2.n;
+            total = s1.total + s2.total;
+            min;
+            max;
+            buckets = merge_buckets s1.buckets s2.buckets;
+            recent;
+          }
+    | _ ->
+        (* Kind clash across snapshots: keep the right operand (latest
+           run wins) rather than raise — merge must be total. *)
+        b
+
+  let merge (a : t) (b : t) : t =
+    let rec go a b =
+      match (a, b) with
+      | [], r | r, [] -> r
+      | (ka, va) :: ta, (kb, vb) :: tb ->
+          let c = String.compare ka kb in
+          if c = 0 then (ka, merge_metric va vb) :: go ta tb
+          else if c < 0 then (ka, va) :: go ta b
+          else (kb, vb) :: go a tb
+    in
+    go a b
+
+  let representatives = function
+    | Counter v -> [| float_of_int v |]
+    | Gauge g -> [| float_of_int g.last |]
+    | Histogram { buckets; _ } | Span { buckets; _ } ->
+        let n = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+        let a = Array.make (Stdlib.max n 0) 0.0 in
+        let i = ref 0 in
+        List.iter
+          (fun (lo, c) ->
+            for _ = 1 to c do
+              a.(!i) <- float_of_int lo;
+              incr i
+            done)
+          buckets;
+        a
+
+  (* ---- JSON ---- *)
+
+  let escape b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let add_pairs b pairs =
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i (x, y) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "[%d,%d]" x y))
+      pairs;
+    Buffer.add_char b ']'
+
+  let to_json (s : t) =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "{\"obs\":[";
+    List.iteri
+      (fun i (name, m) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b "{\"k\":\"";
+        escape b name;
+        Buffer.add_string b "\",";
+        (match m with
+        | Counter v -> Buffer.add_string b (Printf.sprintf "\"t\":\"c\",\"v\":%d" v)
+        | Gauge g ->
+            Buffer.add_string b (Printf.sprintf "\"t\":\"g\",\"last\":%d,\"max\":%d" g.last g.max)
+        | Histogram h ->
+            Buffer.add_string b
+              (Printf.sprintf "\"t\":\"h\",\"n\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"b\":" h.n
+                 h.sum h.min h.max);
+            add_pairs b h.buckets
+        | Span sp ->
+            Buffer.add_string b
+              (Printf.sprintf "\"t\":\"s\",\"n\":%d,\"total\":%d,\"min\":%d,\"max\":%d,\"b\":" sp.n
+                 sp.total sp.min sp.max);
+            add_pairs b sp.buckets;
+            Buffer.add_string b ",\"r\":";
+            add_pairs b sp.recent);
+        Buffer.add_char b '}')
+      s;
+    Buffer.add_string b "]}";
+    Buffer.contents b
+
+  (* Minimal recursive-descent JSON reader: objects, arrays, strings,
+     integers, and the literals true/false/null. Snapshots only use
+     integers, so parsing is exact. *)
+  type jv =
+    | J_null
+    | J_bool of bool
+    | J_int of int
+    | J_str of string
+    | J_arr of jv list
+    | J_obj of (string * jv) list
+
+  exception Bad
+
+  let parse_json (s : string) : jv =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else raise Bad in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n then
+        match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+    in
+    let expect c = if peek () = c then advance () else raise Bad in
+    let lit l v =
+      let len = String.length l in
+      if !pos + len <= n && String.sub s !pos len = l then (pos := !pos + len; v)
+      else raise Bad
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance (); Buffer.contents b
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | '"' -> Buffer.add_char b '"'; advance ()
+            | '\\' -> Buffer.add_char b '\\'; advance ()
+            | '/' -> Buffer.add_char b '/'; advance ()
+            | 'n' -> Buffer.add_char b '\n'; advance ()
+            | 'r' -> Buffer.add_char b '\r'; advance ()
+            | 't' -> Buffer.add_char b '\t'; advance ()
+            | 'b' -> Buffer.add_char b '\b'; advance ()
+            | 'f' -> Buffer.add_char b '\012'; advance ()
+            | 'u' ->
+                advance ();
+                if !pos + 4 > n then raise Bad;
+                let h = String.sub s !pos 4 in
+                pos := !pos + 4;
+                let code = try int_of_string ("0x" ^ h) with _ -> raise Bad in
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | _ -> raise Bad);
+            go ()
+        | c ->
+            advance ();
+            Buffer.add_char b c;
+            go ()
+      in
+      go ()
+    in
+    let parse_int () =
+      let start = !pos in
+      if peek () = '-' then advance ();
+      while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+        advance ()
+      done;
+      if !pos = start then raise Bad;
+      (* Reject floats/exponents: snapshots are integer-only. *)
+      (if !pos < n then match s.[!pos] with '.' | 'e' | 'E' -> raise Bad | _ -> ());
+      match int_of_string_opt (String.sub s start (!pos - start)) with
+      | Some v -> v
+      | None -> raise Bad
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = '}' then (advance (); J_obj [])
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | ',' -> advance (); members ((k, v) :: acc)
+              | '}' -> advance (); J_obj (List.rev ((k, v) :: acc))
+              | _ -> raise Bad
+            in
+            members []
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then (advance (); J_arr [])
+          else
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | ',' -> advance (); elems (v :: acc)
+              | ']' -> advance (); J_arr (List.rev (v :: acc))
+              | _ -> raise Bad
+            in
+            elems []
+      | '"' -> J_str (parse_string ())
+      | 't' -> lit "true" (J_bool true)
+      | 'f' -> lit "false" (J_bool false)
+      | 'n' -> lit "null" J_null
+      | _ -> J_int (parse_int ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise Bad;
+    v
+
+  let jint = function J_int v -> v | _ -> raise Bad
+  let jstr = function J_str v -> v | _ -> raise Bad
+
+  let jfield o k =
+    match o with
+    | J_obj fields -> ( match List.assoc_opt k fields with Some v -> v | None -> raise Bad)
+    | _ -> raise Bad
+
+  let jpairs = function
+    | J_arr l ->
+        List.map
+          (function J_arr [ J_int a; J_int b ] -> (a, b) | _ -> raise Bad)
+          l
+    | _ -> raise Bad
+
+  let metric_of_j o =
+    let k = jstr (jfield o "k") in
+    let m =
+      match jstr (jfield o "t") with
+      | "c" -> Counter (jint (jfield o "v"))
+      | "g" -> Gauge { last = jint (jfield o "last"); max = jint (jfield o "max") }
+      | "h" ->
+          Histogram
+            {
+              n = jint (jfield o "n");
+              sum = jint (jfield o "sum");
+              min = jint (jfield o "min");
+              max = jint (jfield o "max");
+              buckets = jpairs (jfield o "b");
+            }
+      | "s" ->
+          Span
+            {
+              n = jint (jfield o "n");
+              total = jint (jfield o "total");
+              min = jint (jfield o "min");
+              max = jint (jfield o "max");
+              buckets = jpairs (jfield o "b");
+              recent = jpairs (jfield o "r");
+            }
+      | _ -> raise Bad
+    in
+    (k, m)
+
+  let of_json line =
+    match parse_json line with
+    | exception Bad -> None
+    | j -> (
+        match jfield j "obs" with
+        | J_arr entries -> ( try Some (List.map metric_of_j entries) with Bad -> None)
+        | _ | (exception Bad) -> None)
+
+  let pp ppf (s : t) =
+    List.iter
+      (fun (name, m) ->
+        match m with
+        | Counter v -> Format.fprintf ppf "%-34s counter    %d@." name v
+        | Gauge g -> Format.fprintf ppf "%-34s gauge      last=%d max=%d@." name g.last g.max
+        | Histogram h ->
+            Format.fprintf ppf "%-34s histogram  n=%d sum=%d min=%d max=%d@." name h.n h.sum
+              h.min h.max
+        | Span sp ->
+            Format.fprintf ppf "%-34s span       n=%d total=%d min=%d max=%d@." name sp.n
+              sp.total sp.min sp.max)
+      s
+end
+
+let snapshot () : Snapshot.t =
+  let reg = registry () in
+  Hashtbl.fold
+    (fun name m acc ->
+      let s =
+        match m with
+        | M_counter c -> Snapshot.Counter !c
+        | M_gauge g -> Snapshot.Gauge { last = g.g_last; max = g.g_max }
+        | M_hist h ->
+            let n, sum, min, max, buckets = Snapshot.hist_fields h in
+            Snapshot.Histogram { n; sum; min; max; buckets }
+        | M_span sp ->
+            let n, total, min, max, buckets = Snapshot.hist_fields sp.s_durs in
+            Snapshot.Span { n; total; min; max; buckets; recent = sp.s_recent }
+      in
+      (name, s) :: acc)
+    reg []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,163 @@
+(** Zero-dependency observability: typed counters, gauges, log-scaled
+    histograms, and sim-time span tracing, behind a global [enabled] flag
+    that compiles the instrumentation down to a no-op when off.
+
+    Design constraints (see DESIGN.md "Observability"):
+
+    - {b Determinism.} All metric payloads are integers derived from the
+      simulation (virtual times, counts, sizes) — never wall-clock — so
+      snapshots of the same seeded run are byte-identical regardless of
+      host speed or [JOBS] parallelism.
+    - {b Domain-locality.} The metric registry is per-domain
+      ([Domain.DLS]), so pool workers never contend or race; a sweep
+      captures one {!Snapshot.t} per run and merges them in schedule
+      order, which is itself independent of pool size.
+    - {b Gating.} Instrumented modules fetch their handles once at
+      creation time when [enabled ()] is true and store [None] otherwise;
+      the per-event cost when disabled is a single immediate match. *)
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+(** [enabled ()] is the current state of the global instrumentation
+    switch (an [Atomic.t]; default [false]). Modules consult it when
+    creating handles; hot paths guard on the handle option instead. *)
+
+val set_enabled : bool -> unit
+(** Flip the global switch. Takes effect for subsequently created
+    components (and for call-sites that re-check per call, such as
+    {!section-registry} lookups in [Xability.Reduction]). *)
+
+(** {1 Instruments}
+
+    All instruments are cheap mutable cells living in the
+    current domain's registry. Values are integers; negative inputs are
+    clamped to [0] (metric payloads are counts, sizes, and sim-time
+    durations, all naturally non-negative). *)
+
+module Counter : sig
+  type t
+  (** A monotonically increasing event count. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+  (** A sampled level (e.g. heap depth): remembers the last set value
+      and the maximum ever set. *)
+
+  val set : t -> int -> unit
+  val value : t -> int
+  (** Last value set ([0] if never set). *)
+
+  val max_value : t -> int
+  (** Maximum value ever set ([0] if never set). *)
+end
+
+module Histogram : sig
+  type t
+  (** A log₂-bucketed distribution of non-negative integers: bucket 0
+      holds exact zeros and bucket [i ≥ 1] holds values in
+      [\[2{^i-1}, 2{^i}-1\]]. Percentiles are recovered from bucket
+      lower bounds via [Xworkload.Stats.percentile] by callers (the
+      registry itself stays dependency-free). *)
+
+  val record : t -> int -> unit
+  val count : t -> int
+  val sum : t -> int
+end
+
+module Span : sig
+  type t
+  (** A family of timed operations keyed by sim-time: each
+      [record ~t0 ~t1] folds the duration [t1 - t0] into a duration
+      histogram and keeps a small ring of recent [(t0, duration)]
+      pairs for trace-style inspection. *)
+
+  val record : t -> t0:int -> t1:int -> unit
+end
+
+(** {1:registry Registry}
+
+    [counter name] (and friends) get-or-create the named instrument in
+    the calling domain's registry; the same name always yields the same
+    cell within a domain between {!reset}s. Names are conventionally
+    [subsystem.metric] (e.g. ["engine.events_dispatched"]). Registering
+    the same name with two different instrument kinds raises
+    [Invalid_argument]. *)
+
+val counter : string -> Counter.t
+val gauge : string -> Gauge.t
+val histogram : string -> Histogram.t
+val span : string -> Span.t
+
+val reset : unit -> unit
+(** Clear the calling domain's registry. Sweep drivers call this before
+    each run so per-run snapshots are independent. *)
+
+(** {1 Snapshots} *)
+
+module Snapshot : sig
+  type metric =
+    | Counter of int
+    | Gauge of { last : int; max : int }
+    | Histogram of {
+        n : int;
+        sum : int;
+        min : int;  (** [0] when [n = 0]. *)
+        max : int;  (** [0] when [n = 0]. *)
+        buckets : (int * int) list;
+            (** [(lower_bound, count)], ascending, empty buckets
+                omitted. *)
+      }
+    | Span of {
+        n : int;
+        total : int;  (** Sum of durations. *)
+        min : int;
+        max : int;
+        buckets : (int * int) list;  (** Duration histogram, as above. *)
+        recent : (int * int) list;
+            (** Up to 16 recent [(t0, duration)] pairs, oldest first. *)
+      }
+
+  type t = (string * metric) list
+  (** An immutable, name-sorted copy of a registry. *)
+
+  val empty : t
+  val is_empty : t -> bool
+  val equal : t -> t -> bool
+  val find : t -> string -> metric option
+
+  val merge : t -> t -> t
+  (** Pointwise union: counters add; gauge [max]es combine and [last]
+      is right-biased (the later run wins); histogram and span buckets
+      add bucket-wise with [min]/[max] recombined. Merging with
+      {!empty} is the identity, and merging disjoint snapshots
+      concatenates them — in particular empty and singleton inputs are
+      total, never raising (see test_obs.ml). Associative, with
+      name-sorted output. *)
+
+  val representatives : metric -> float array
+  (** A sorted array standing in for the recorded distribution — each
+      bucket's lower bound repeated [count] times (counters and gauges
+      yield their value once) — suitable for
+      [Xworkload.Stats.percentile_sorted]. *)
+
+  val to_json : t -> string
+  (** One JSON object on one line (JSONL-ready):
+      [{"obs":\[{"k":name,"t":kind,...},...\]}]. All payloads are
+      integers, so {!of_json} round-trips exactly. *)
+
+  val of_json : string -> t option
+  (** Inverse of {!to_json}; [None] on malformed input. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Plain one-line-per-metric rendering (no percentiles; the CLI
+      layers those on via [Xworkload.Stats]). *)
+end
+
+val snapshot : unit -> Snapshot.t
+(** Capture the calling domain's registry, sorted by metric name. *)

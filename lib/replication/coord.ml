@@ -32,7 +32,18 @@ let register_obj r inst =
           obj)
   | Paxos _ -> assert false
 
+(* Pval names instances "o/..."/"r/..."/"x/..." (owner / result /
+   outcome); classify consensus traffic per protocol decision family. *)
+let count_decision_family inst =
+  if Xobs.enabled () && String.length inst >= 2 && inst.[1] = '/' then
+    match inst.[0] with
+    | 'o' -> Xobs.Counter.incr (Xobs.counter "coord.owner_decisions")
+    | 'r' -> Xobs.Counter.incr (Xobs.counter "coord.result_decisions")
+    | 'x' -> Xobs.Counter.incr (Xobs.counter "coord.outcome_decisions")
+    | _ -> ()
+
 let propose t ~member ~inst v =
+  count_decision_family inst;
   match t with
   | Registers r ->
       r.proposals <- r.proposals + 1;
@@ -42,6 +53,7 @@ let propose t ~member ~inst v =
       Xconsensus.Paxos.propose (Xconsensus.Paxos.handle g ~member ~inst) v
 
 let read t ~member ~inst =
+  if Xobs.enabled () then Xobs.Counter.incr (Xobs.counter "coord.reads");
   match t with
   | Registers _ ->
       ignore member;

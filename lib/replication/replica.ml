@@ -25,6 +25,23 @@ type request_state = {
   mutable settled : Value.t option;  (** result already sent to the client *)
 }
 
+(* Observability handles, fetched once at [create] when Xobs is on.
+   All replicas of a run share the same named cells, so the counters
+   aggregate across the group. *)
+type obs = {
+  o_requests : Xobs.Counter.t;      (* replica.requests *)
+  o_rounds : Xobs.Counter.t;        (* replica.rounds_owned *)
+  o_execs : Xobs.Counter.t;         (* replica.executions *)
+  o_retries : Xobs.Counter.t;       (* replica.execute_retries *)
+  o_undos : Xobs.Counter.t;         (* replica.undos *)
+  o_cleanups : Xobs.Counter.t;      (* replica.cleanups *)
+  o_takeovers : Xobs.Counter.t;     (* replica.takeovers *)
+  o_mode_switches : Xobs.Counter.t; (* replica.mode_switches *)
+  o_dup_replies : Xobs.Counter.t;   (* replica.duplicate_replies *)
+  o_replies : Xobs.Counter.t;       (* replica.replies *)
+  o_round : Xobs.Span.t;            (* replica.round *)
+}
+
 type t = {
   eng : Xsim.Engine.t;
   env : Xsm.Environment.t;
@@ -42,7 +59,26 @@ type t = {
           deliveries of the same request *)
   suspicion_events : Xnet.Address.t Xsim.Mailbox.t;
   mutable fiber_counter : int;
+  obs : obs option;
+  mutable mode_active : bool;
+      (** Paper §5 "asynchronous flavor": [false] while the replica
+          behaves primary-backup-like (owners decide, nobody cleans);
+          flips to [true] when this replica starts cleaning a suspected
+          owner's round (active-like behaviour), and back when a
+          round-1 owned request settles cleanly again. *)
 }
+
+let obs_incr t f =
+  match t.obs with Some o -> Xobs.Counter.incr (f o) | None -> ()
+
+(* Count one mode switch per transition between primary-backup-like and
+   active-like behaviour (Section 5's run-time morphing, made visible). *)
+let note_mode t active =
+  match t.obs with
+  | Some o when t.mode_active <> active ->
+      t.mode_active <- active;
+      Xobs.Counter.incr o.o_mode_switches
+  | _ -> t.mode_active <- active
 
 (* Figure 7 dispatches on S.is-idempotent / S.is-undoable; raw actions
    (not in the paper's theory) fall back to the request's declared kind. *)
@@ -73,6 +109,7 @@ let max_round_of t ~rid =
 
 let send_result t ~client ~rid value =
   t.m.replies_sent <- t.m.replies_sent + 1;
+  obs_incr t (fun o -> o.o_replies);
   Xnet.Transport.send t.transport ~src:t.r_addr ~dst:client
     (Wire.Result { rid; value })
 
@@ -84,9 +121,12 @@ let send_result t ~client ~rid value =
    are idempotent, so we simply re-issue. *)
 let rec finalize_until_success t (req : Xsm.Request.t) =
   t.m.executions <- t.m.executions + 1;
+  obs_incr t (fun o -> o.o_execs);
   match Xsm.Statemachine.execute t.sm req with
   | Ok v -> v
-  | Error _ -> finalize_until_success t req
+  | Error _ ->
+      obs_incr t (fun o -> o.o_retries);
+      finalize_until_success t req
 
 (* Has this round been terminated by a cleaner?  (Protocol completion: the
    pseudo-code's execute-until-success would retry forever, not knowing
@@ -114,13 +154,16 @@ let rec execute_until_success t (req : Xsm.Request.t) =
   if t.cfg.veto_check && round_vetoed t req then None
   else begin
     t.m.executions <- t.m.executions + 1;
+    obs_incr t (fun o -> o.o_execs);
     match Xsm.Statemachine.execute t.sm req with
     | Ok v -> Some v
     | Error _ ->
+        obs_incr t (fun o -> o.o_retries);
         (match kind_of_request t req with
         | Action.Idempotent -> ()
         | Action.Undoable ->
             (* Cancel the failed attempt before retrying. *)
+            obs_incr t (fun o -> o.o_undos);
             ignore (finalize_until_success t (Xsm.Request.cancel_of req)));
         execute_until_success t req
   end
@@ -149,7 +192,10 @@ let result_coordination t (req : Xsm.Request.t) value =
              without issuing the cancellation, leaving any completed
              execution of the aborted round in effect. *)
           if not (Mutation.equal t.cfg.mutation Mutation.Skip_undo_on_takeover)
-          then ignore (finalize_until_success t (Xsm.Request.cancel_of req));
+          then begin
+            obs_incr t (fun o -> o.o_undos);
+            ignore (finalize_until_success t (Xsm.Request.cancel_of req))
+          end;
           None
       | Pval.Outcome { outcome = Pval.Commit; result } ->
           ignore (finalize_until_success t (Xsm.Request.commit_of req));
@@ -217,6 +263,8 @@ let rec process_request t (req : Xsm.Request.t) client =
         then begin
           Hashtbl.replace t.owned_rounds (req'.rid, req'.round) ();
           t.m.rounds_owned <- t.m.rounds_owned + 1;
+          obs_incr t (fun o -> o.o_rounds);
+          let span_t0 = Xsim.Engine.now t.eng in
           tracef t "own %s round %d" (Xsm.Request.key req') req'.round;
           let res = execute_until_success t req' in
           (* Mutation hook: the early-reply variant answers the client as
@@ -229,9 +277,17 @@ let rec process_request t (req : Xsm.Request.t) client =
               send_result t ~client:client' ~rid:req'.rid v
           | _ -> ());
           let decided = result_coordination t req' res in
+          (match t.obs with
+          | Some o ->
+              Xobs.Span.record o.o_round ~t0:span_t0
+                ~t1:(Xsim.Engine.now t.eng)
+          | None -> ());
           match decided with
           | Some v ->
               rs.settled <- Some v;
+              (* A round-1 owner settling cleanly means nobody had to
+                 clean: the group is back to primary-backup behaviour. *)
+              if req'.round = 1 then note_mode t false;
               send_result t ~client:client' ~rid:req'.rid v
           | None ->
               (* Our round was vetoed; a cleaner is carrying the request
@@ -244,7 +300,9 @@ let rec process_request t (req : Xsm.Request.t) client =
              re-submission, R1): if the result is settled, re-send it; if
              we are still executing, the original processing will reply. *)
           match known_result t rs req' with
-          | Some v -> send_result t ~client ~rid:req'.rid v
+          | Some v ->
+              obs_incr t (fun o -> o.o_dup_replies);
+              send_result t ~client ~rid:req'.rid v
           | None -> ()
         end
       end
@@ -254,6 +312,7 @@ let rec process_request t (req : Xsm.Request.t) client =
         match known_result t rs req' with
         | Some v ->
             rs.settled <- Some v;
+            obs_incr t (fun o -> o.o_dup_replies);
             send_result t ~client ~rid:req'.rid v
         | None -> ()
       end
@@ -294,6 +353,10 @@ and clean_request t rs =
                && Xdetect.Detector.suspects t.detector ~observer:t.r_addr
                     ~target:owner -> (
             t.m.cleanups <- t.m.cleanups + 1;
+            obs_incr t (fun o -> o.o_cleanups);
+            (* Cleaning a suspected owner's round is the protocol's
+               active-replication-like behaviour taking over. *)
+            note_mode t true;
             tracef t "cleaning %s round %d (suspect %s)" (Xsm.Request.key req)
               req.round
               (Xnet.Address.to_string owner);
@@ -303,6 +366,7 @@ and clean_request t rs =
                 (* The round is terminated with no result: continue the
                    request as owner-candidate of the next round. *)
                 t.m.takeovers <- t.m.takeovers + 1;
+                obs_incr t (fun o -> o.o_takeovers);
                 process_request t
                   (Xsm.Request.with_round req (req.round + 1))
                   client
@@ -375,6 +439,24 @@ let create ~eng ~env ~transport ~detector ~coord ~addr:r_addr ~proc:r_proc
       owned_rounds = Hashtbl.create 32;
       suspicion_events = Xsim.Mailbox.create ~name:"suspicions" ();
       fiber_counter = 0;
+      obs =
+        (if Xobs.enabled () then
+           Some
+             {
+               o_requests = Xobs.counter "replica.requests";
+               o_rounds = Xobs.counter "replica.rounds_owned";
+               o_execs = Xobs.counter "replica.executions";
+               o_retries = Xobs.counter "replica.execute_retries";
+               o_undos = Xobs.counter "replica.undos";
+               o_cleanups = Xobs.counter "replica.cleanups";
+               o_takeovers = Xobs.counter "replica.takeovers";
+               o_mode_switches = Xobs.counter "replica.mode_switches";
+               o_dup_replies = Xobs.counter "replica.duplicate_replies";
+               o_replies = Xobs.counter "replica.replies";
+               o_round = Xobs.span "replica.round";
+             }
+         else None);
+      mode_active = false;
     }
   in
   Xdetect.Detector.on_suspicion detector ~observer:r_addr (fun target ->
@@ -387,6 +469,7 @@ let create ~eng ~env ~transport ~detector ~coord ~addr:r_addr ~proc:r_proc
         (match envelope.Xnet.Transport.payload with
         | Wire.Request { req; client } ->
             t.m.requests_seen <- t.m.requests_seen + 1;
+            obs_incr t (fun o -> o.o_requests);
             let req = Xsm.Request.with_round req 1 in
             spawn_named t
               (Printf.sprintf "req%d" req.rid)

@@ -16,6 +16,16 @@ type fiber = { fname : string; proc : Proc.t option }
    the unexplored simulation exactly. *)
 type chooser = step:int -> ready:string array -> int
 
+(* Handles are fetched once at [create] when observability is on;
+   when off the per-event cost is a single [None] match. *)
+type obs = {
+  o_events : Xobs.Counter.t;  (* engine.events_dispatched *)
+  o_depth : Xobs.Gauge.t;     (* engine.heap_depth *)
+  o_window : Xobs.Histogram.t;(* engine.ready_window *)
+  o_choices : Xobs.Counter.t; (* engine.choice_points *)
+  o_run : Xobs.Span.t;        (* engine.run *)
+}
+
 type t = {
   mutable vnow : int;
   mutable seq : int;
@@ -28,7 +38,20 @@ type t = {
   mutable chooser : chooser option;
   mutable window : int;
   mutable choice_points : int;
+  obs : obs option;
 }
+
+let make_obs () =
+  if Xobs.enabled () then
+    Some
+      {
+        o_events = Xobs.counter "engine.events_dispatched";
+        o_depth = Xobs.gauge "engine.heap_depth";
+        o_window = Xobs.histogram "engine.ready_window";
+        o_choices = Xobs.counter "engine.choice_points";
+        o_run = Xobs.span "engine.run";
+      }
+  else None
 
 let create ?(seed = 42) ?(trace_enabled = true) () =
   {
@@ -43,6 +66,7 @@ let create ?(seed = 42) ?(trace_enabled = true) () =
     chooser = None;
     window = 1;
     choice_points = 0;
+    obs = make_obs ();
   }
 
 let set_chooser t ?(window = 4) chooser =
@@ -68,7 +92,10 @@ let schedule t ?(label = "cb") ~delay cb =
   if delay < 0 then
     invalid_arg (Printf.sprintf "Engine.schedule: negative delay %d" delay);
   t.seq <- t.seq + 1;
-  Heap.add t.queue (t.vnow + delay, t.seq) (label, cb)
+  Heap.add t.queue (t.vnow + delay, t.seq) (label, cb);
+  match t.obs with
+  | Some o -> Xobs.Gauge.set o.o_depth (Heap.size t.queue)
+  | None -> ()
 
 let request_stop t = t.stop <- true
 let stop_requested t = t.stop
@@ -149,6 +176,11 @@ let pop_next t ~limit =
           in
           let step = t.choice_points in
           t.choice_points <- t.choice_points + 1;
+          (match t.obs with
+          | Some o ->
+              Xobs.Counter.incr o.o_choices;
+              Xobs.Histogram.record o.o_window (Array.length labels)
+          | None -> ());
           let k = choose ~step ~ready:labels in
           let k = if k < 0 then 0 else min k (List.length ready - 1) in
           let key, _ = List.nth ready k in
@@ -156,6 +188,7 @@ let pop_next t ~limit =
 
 let run ?(limit = max_int) t =
   t.stop <- false;
+  let t0 = t.vnow in
   let rec loop () =
     if t.stop then ()
     else
@@ -166,8 +199,14 @@ let run ?(limit = max_int) t =
           (match pop_next t ~limit with
           | None -> ()
           | Some ((time, _), (_, cb)) ->
+              (match t.obs with
+              | Some o -> Xobs.Counter.incr o.o_events
+              | None -> ());
               t.vnow <- max t.vnow time;
               cb ());
           loop ()
   in
-  loop ()
+  loop ();
+  match t.obs with
+  | Some o -> Xobs.Span.record o.o_run ~t0 ~t1:t.vnow
+  | None -> ()

@@ -19,10 +19,13 @@ let sorted_of_list xs =
   Array.sort Float.compare a;
   a
 
-(* Nearest-rank percentile on an already-sorted array. *)
+(* Nearest-rank percentile on an already-sorted array.  The empty
+   distribution has no percentiles: return nan rather than a fake 0.0
+   (or an out-of-bounds raise); a singleton's every percentile is its
+   only element (rank clamps to 1). *)
 let percentile_sorted p a =
   let n = Array.length a in
-  if n = 0 then 0.0
+  if n = 0 then Float.nan
   else
     let rank = int_of_float (ceil (p *. float_of_int n)) |> max 1 |> min n in
     a.(rank - 1)

@@ -11,14 +11,16 @@ val sorted_of_list : float list -> float array
 (** Fresh sorted array of the elements. *)
 
 val percentile_sorted : float -> float array -> float
-(** Nearest-rank percentile of an {e already sorted} array; 0.0 on the
-    empty array.  Sort once with {!sorted_of_list} and reuse the array
-    when extracting several percentiles. *)
+(** Nearest-rank percentile of an {e already sorted} array; [nan] on
+    the empty array (the empty distribution has no percentiles), the
+    sole element on a singleton.  Sort once with {!sorted_of_list} and
+    reuse the array when extracting several percentiles. *)
 
 val percentile : float -> float list -> float
 (** [percentile 0.5 xs] is the median (nearest-rank on the sorted list);
-    0.0 on the empty list.  Sorts per call — prefer {!summarize} or
-    {!percentile_sorted} for repeated queries on the same data. *)
+    [nan] on the empty list, the sole element on a singleton.  Sorts per
+    call — prefer {!summarize} or {!percentile_sorted} for repeated
+    queries on the same data. *)
 
 val p50 : float list -> float
 

@@ -1,0 +1,311 @@
+(* Tests for the observability layer (lib/obs): instrument semantics,
+   snapshot merge on empty/singleton inputs, the JSONL round-trip
+   (qcheck), determinism of merged snapshots across pool sizes, and the
+   protocol-level metrics (mode switches under false suspicions). *)
+
+open Xexplore
+module S = Xobs.Snapshot
+module Stats = Xworkload.Stats
+module Runner = Xworkload.Runner
+module Workloads = Xworkload.Workloads
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let quick = Sys.getenv_opt "QUICK" <> None
+
+(* Every test leaves the global switch off so suites that run after this
+   one (and bench-style timing) see the uninstrumented fast path. *)
+let with_obs f =
+  Xobs.set_enabled true;
+  Xobs.reset ();
+  Fun.protect ~finally:(fun () -> Xobs.set_enabled false) f
+
+(* ------------------------------------------------------------------ *)
+(* Instruments *)
+
+let test_counter_gauge () =
+  with_obs (fun () ->
+      let c = Xobs.counter "t.c" in
+      Xobs.Counter.incr c;
+      Xobs.Counter.add c 4;
+      Xobs.Counter.add c (-7);
+      (* negative adds ignored *)
+      checki "counter" 5 (Xobs.Counter.value c);
+      checki "same cell by name" 5 (Xobs.Counter.value (Xobs.counter "t.c"));
+      let g = Xobs.gauge "t.g" in
+      Xobs.Gauge.set g 9;
+      Xobs.Gauge.set g 3;
+      checki "gauge last" 3 (Xobs.Gauge.value g);
+      checki "gauge max" 9 (Xobs.Gauge.max_value g);
+      (* same name, different kind: a programming error, not a corrupt cell *)
+      checkb "kind clash raises" true
+        (match Xobs.histogram "t.c" with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      Xobs.reset ();
+      checki "reset clears" 0 (Xobs.Counter.value (Xobs.counter "t.c")))
+
+let test_histogram_buckets () =
+  with_obs (fun () ->
+      let h = Xobs.histogram "t.h" in
+      List.iter (Xobs.Histogram.record h) [ 0; 1; 2; 3; 4; 1000; -5 ];
+      checki "count" 7 (Xobs.Histogram.count h);
+      (* -5 clamps to 0 *)
+      checki "sum" 1010 (Xobs.Histogram.sum h);
+      match S.find (Xobs.snapshot ()) "t.h" with
+      | Some (S.Histogram { n; sum; min; max; buckets }) ->
+          checki "n" 7 n;
+          checki "sum" 1010 sum;
+          checki "min" 0 min;
+          checki "max" 1000 max;
+          (* log2 buckets: {0} x2, {1} x1, [2,3] x2, [4,7] x1, [512,1023] x1 *)
+          checkb "buckets" true
+            (buckets = [ (0, 2); (1, 1); (2, 2); (4, 1); (512, 1) ])
+      | _ -> Alcotest.fail "histogram missing from snapshot")
+
+(* Percentiles come from bucket representatives via Stats.percentile:
+   empty histograms have no percentiles (nan), singletons their single
+   representative. *)
+let test_histogram_percentiles () =
+  with_obs (fun () ->
+      let h = Xobs.histogram "t.p" in
+      let m () = Option.get (S.find (Xobs.snapshot ()) "t.p") in
+      checkb "empty -> nan" true
+        (Float.is_nan (Stats.percentile_sorted 0.5 (S.representatives (m ()))));
+      Xobs.Histogram.record h 42;
+      let reps = S.representatives (m ()) in
+      checki "one representative" 1 (Array.length reps);
+      (* bucket lower bound of [32,63] *)
+      Alcotest.(check (float 0.0)) "singleton p50" 32.0
+        (Stats.percentile_sorted 0.5 reps);
+      Alcotest.(check (float 0.0)) "singleton p99" 32.0
+        (Stats.percentile_sorted 0.99 reps))
+
+let test_span () =
+  with_obs (fun () ->
+      let s = Xobs.span "t.s" in
+      Xobs.Span.record s ~t0:100 ~t1:130;
+      Xobs.Span.record s ~t0:200 ~t1:200;
+      Xobs.Span.record s ~t0:300 ~t1:280;
+      (* negative duration clamps to 0 *)
+      match S.find (Xobs.snapshot ()) "t.s" with
+      | Some (S.Span { n; total; min; max; recent; _ }) ->
+          checki "n" 3 n;
+          checki "total" 30 total;
+          checki "min" 0 min;
+          checki "max" 30 max;
+          checkb "recent oldest-first" true
+            (recent = [ (100, 30); (200, 0); (300, 0) ])
+      | _ -> Alcotest.fail "span missing from snapshot")
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot merge: total on empty/singleton inputs, counts add *)
+
+let test_merge () =
+  with_obs (fun () ->
+      Xobs.Counter.add (Xobs.counter "m.c") 3;
+      Xobs.Histogram.record (Xobs.histogram "m.h") 5;
+      let a = Xobs.snapshot () in
+      (* empty is a two-sided identity *)
+      checkb "empty right" true (S.equal a (S.merge a S.empty));
+      checkb "empty left" true (S.equal a (S.merge S.empty a));
+      checkb "empty empty" true (S.is_empty (S.merge S.empty S.empty));
+      Xobs.reset ();
+      Xobs.Counter.add (Xobs.counter "m.c") 7;
+      Xobs.Histogram.record (Xobs.histogram "m.h") 9;
+      Xobs.Gauge.set (Xobs.gauge "m.g") 2;
+      let b = Xobs.snapshot () in
+      let ab = S.merge a b in
+      (match S.find ab "m.c" with
+      | Some (S.Counter v) -> checki "counters add" 10 v
+      | _ -> Alcotest.fail "m.c missing");
+      (match S.find ab "m.h" with
+      | Some (S.Histogram { n; sum; min; max; buckets }) ->
+          checki "hist n" 2 n;
+          checki "hist sum" 14 sum;
+          checki "hist min" 5 min;
+          checki "hist max" 9 max;
+          checkb "hist buckets" true (buckets = [ (4, 1); (8, 1) ])
+      | _ -> Alcotest.fail "m.h missing");
+      (* disjoint names union; merge stays name-sorted *)
+      checkb "gauge from right only" true
+        (match S.find ab "m.g" with Some (S.Gauge _) -> true | _ -> false);
+      let names = List.map fst ab in
+      checkb "sorted" true (names = List.sort String.compare names);
+      (* associativity on a third singleton snapshot *)
+      Xobs.reset ();
+      Xobs.Counter.incr (Xobs.counter "m.c");
+      let c = Xobs.snapshot () in
+      checkb "associative" true
+        (S.equal (S.merge (S.merge a b) c) (S.merge a (S.merge b c))))
+
+(* ------------------------------------------------------------------ *)
+(* JSONL round-trip *)
+
+let test_json_basic () =
+  with_obs (fun () ->
+      Xobs.Counter.add (Xobs.counter "j.c") 12;
+      Xobs.Gauge.set (Xobs.gauge "j.g") 5;
+      Xobs.Histogram.record (Xobs.histogram "j.h") 100;
+      Xobs.Span.record (Xobs.span "j.s") ~t0:10 ~t1:35;
+      let snap = Xobs.snapshot () in
+      let line = S.to_json snap in
+      checkb "one line" true (not (String.contains line '\n'));
+      (match S.of_json line with
+      | Some snap' -> checkb "round-trip" true (S.equal snap snap')
+      | None -> Alcotest.fail "of_json failed");
+      checkb "garbage rejected" true (S.of_json "{\"obs\":3}" = None);
+      checkb "truncated rejected" true
+        (S.of_json (String.sub line 0 (String.length line - 2)) = None);
+      checkb "empty snapshot round-trips" true
+        (S.of_json (S.to_json S.empty) = Some S.empty))
+
+(* qcheck: arbitrary well-formed snapshots survive encode/decode exactly
+   (all payloads are integers, so equality is structural). *)
+let gen_snapshot =
+  let open QCheck.Gen in
+  let name =
+    let seg = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+    map2 (fun a b -> a ^ "." ^ b) seg seg
+  in
+  (* exercise the string escaper too *)
+  let odd_name = oneofl [ "w\"x"; "a\\b"; "c\nd"; "e\tf"; "g\x01h" ] in
+  let nat = int_range 0 1_000_000 in
+  let pairs = list_size (int_range 0 5) (pair nat nat) in
+  let metric =
+    oneof
+      [
+        map (fun v -> S.Counter v) nat;
+        map2 (fun last max -> S.Gauge { last; max }) nat nat;
+        map3
+          (fun n sum (min, max, buckets) ->
+            S.Histogram { n; sum; min; max; buckets })
+          nat nat
+          (map3 (fun a b c -> (a, b, c)) nat nat pairs);
+        map3
+          (fun n total (min, max, buckets, recent) ->
+            S.Span { n; total; min; max; buckets; recent })
+          nat nat
+          (map2 (fun (a, b) (c, d) -> (a, b, c, d)) (pair nat nat)
+             (pair pairs pairs));
+      ]
+  in
+  list_size (int_range 0 8)
+    (pair (oneof [ name; name; name; odd_name ]) metric)
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"obs snapshot JSONL round-trip" ~count:500
+    (QCheck.make ~print:S.to_json gen_snapshot)
+    (fun snap -> S.of_json (S.to_json snap) = Some snap)
+
+(* ------------------------------------------------------------------ *)
+(* Disabled = no metrics *)
+
+let test_disabled_empty () =
+  Xobs.set_enabled false;
+  Xobs.reset ();
+  let eng = Xsim.Engine.create ~seed:11 () in
+  Xsim.Engine.schedule eng ~delay:5 ignore;
+  Xsim.Engine.run eng;
+  checkb "no metrics when disabled" true (S.is_empty (Xobs.snapshot ()))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: a protocol run under noise populates every subsystem;
+   false suspicions force primary-backup <-> active mode switches. *)
+
+let noisy_spec seed =
+  {
+    Runner.default_spec with
+    seed;
+    noise = Some (0.25, 150, 8_000);
+    time_limit = 5_000_000;
+    quiesce_grace = 20_000;
+  }
+
+let counter_value snap name =
+  match S.find snap name with Some (S.Counter v) -> v | _ -> 0
+
+let test_protocol_metrics () =
+  with_obs (fun () ->
+      let r, _ =
+        Runner.run ~spec:(noisy_spec 7) ~setup:Workloads.setup_all
+          ~workload:(fun _ c s -> Workloads.sequence Workloads.Mixed ~n:4 c s)
+          ()
+      in
+      checkb "run ok" true (Runner.ok r);
+      let snap = Xobs.snapshot () in
+      let subsystems = [ "engine"; "consensus"; "coord"; "replica"; "reduction" ] in
+      List.iter
+        (fun sub ->
+          checkb (sub ^ " reported") true
+            (List.exists
+               (fun (n, _) -> String.length n > String.length sub
+                              && String.sub n 0 (String.length sub) = sub)
+               snap))
+        subsystems;
+      checkb "events dispatched" true
+        (counter_value snap "engine.events_dispatched" > 0);
+      checkb "mode switches under false suspicion" true
+        (counter_value snap "replica.mode_switches" > 0);
+      checkb "cleanups under false suspicion" true
+        (counter_value snap "replica.cleanups" > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: merged sweep snapshots are byte-identical across JOBS *)
+
+let test_jobs_determinism () =
+  with_obs (fun () ->
+      let trials = if quick then 6 else 12 in
+      let sweep jobs =
+        let scen = Explorer.booking ~requests:3 () in
+        let scen =
+          {
+            scen with
+            Explorer.spec =
+              { scen.Explorer.spec with Runner.noise = Some (0.2, 150, 6_000) };
+          }
+        in
+        let v =
+          Explorer.explore ~jobs ~chunk:4 scen
+            (Strategy.random_walk ~trials ())
+        in
+        (v.Explorer.explored, S.to_json v.Explorer.v_obs)
+      in
+      let n1, j1 = sweep 1 in
+      let n4, j4 = sweep 4 in
+      checki "same trials" n1 n4;
+      checkb "sweep explored" true (n1 = trials);
+      checks "snapshots byte-identical across JOBS" j1 j4;
+      checkb "sweep snapshot non-trivial" true
+        (counter_value (Option.get (S.of_json j1)) "explore.schedules" = trials))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "xobs"
+    [
+      ( "instruments",
+        [
+          tc "counter and gauge" (fun () -> test_counter_gauge ());
+          tc "histogram log2 buckets" (fun () -> test_histogram_buckets ());
+          tc "percentiles on empty/singleton" (fun () ->
+              test_histogram_percentiles ());
+          tc "span" (fun () -> test_span ());
+        ] );
+      ( "snapshots",
+        [
+          tc "merge: empty/singleton/add/assoc" (fun () -> test_merge ());
+          tc "jsonl round-trip" (fun () -> test_json_basic ());
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        ] );
+      ( "integration",
+        [
+          tc "disabled -> empty snapshot" (fun () -> test_disabled_empty ());
+          tc "protocol metrics + mode switches" (fun () ->
+              test_protocol_metrics ());
+          tc "byte-identical across JOBS" (fun () -> test_jobs_determinism ());
+        ] );
+    ]

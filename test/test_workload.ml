@@ -24,7 +24,14 @@ let test_percentile () =
   checkf "median" 50.0 (Stats.percentile 0.5 xs);
   checkf "p99" 99.0 (Stats.percentile 0.99 xs);
   checkf "p100" 100.0 (Stats.percentile 1.0 xs);
-  checkf "empty" 0.0 (Stats.percentile 0.5 [])
+  (* The empty distribution has no percentiles (nan, not a fake 0.0)... *)
+  checkb "empty is nan" true (Float.is_nan (Stats.percentile 0.5 []));
+  checkb "empty summarize p50 nan" true
+    (Float.is_nan (Stats.summarize []).Stats.p50);
+  (* ...and every percentile of a singleton is its only element. *)
+  checkf "singleton p1" 7.0 (Stats.percentile 0.01 [ 7.0 ]);
+  checkf "singleton p50" 7.0 (Stats.percentile 0.5 [ 7.0 ]);
+  checkf "singleton p100" 7.0 (Stats.percentile 1.0 [ 7.0 ])
 
 let test_min_max () =
   let lo, hi = Stats.min_max [ 3.0; 1.0; 2.0 ] in
