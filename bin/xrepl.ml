@@ -14,7 +14,9 @@
      xrepl sweep --points 6 --seeds 5
      xrepl trace --mix undoable --crash 200:0
      xrepl trace --json --requests 2
+     xrepl run --loss 0.2 --dup 0.1 --partition 400:1200:0
      xrepl explore --strategy walk --trials 500 --noise 0.25:150:10000
+     xrepl explore --strategy net --loss 0.2 --dup 0.1 --seeds 20
      xrepl explore --mutation skip-undo --expect-violation
      xrepl replay --schedule 'v1 seed=43 win=4 mut=skip-undo ...' *)
 
@@ -104,6 +106,63 @@ let fail_prob_arg =
     & info [ "fail-prob" ] ~docv:"P"
         ~doc:"Probability that an environment action execution fails.")
 
+(* Network fault plane: sampled faults on the service transport.  Any
+   non-zero setting also switches the service onto the reliable (ARQ)
+   channel, so the exactly-once interface survives the lossy wire. *)
+let loss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P"
+        ~doc:"Per-message drop probability on every service link.")
+
+let dup_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability.")
+
+let jitter_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jitter" ] ~docv:"N"
+        ~doc:"Extra reorder delay, uniform in [0, N] ticks per message.")
+
+let partition_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ st; h; g ] -> (
+        match (int_of_string_opt st, int_of_string_opt h) with
+        | Some st, Some h ->
+            let toks = String.split_on_char '.' g in
+            let idxs = List.filter_map int_of_string_opt toks in
+            if g <> "" && List.length idxs = List.length toks then
+              Ok (st, h, idxs)
+            else Error (`Msg "expected START:HEAL:IDX[.IDX...]")
+        | _ -> Error (`Msg "expected START:HEAL:IDX[.IDX...]"))
+    | _ -> Error (`Msg "expected START:HEAL:IDX[.IDX...]")
+  in
+  let print ppf (st, h, idxs) =
+    Format.fprintf ppf "%d:%d:%s" st h
+      (String.concat "." (List.map string_of_int idxs))
+  in
+  Arg.conv (parse, print)
+
+let partitions_arg =
+  Arg.(
+    value & opt_all partition_conv []
+    & info [ "partition" ] ~docv:"START:HEAL:IDX[.IDX...]"
+        ~doc:
+          "Sever the listed replicas from everyone else during \
+           [START, HEAL) virtual time (repeatable).")
+
+let fault_plan_of loss dup jitter partitions =
+  {
+    Xexplore.Schedule.loss;
+    dup_prob = dup;
+    jitter;
+    partitions;
+    forced = [];
+  }
+
 let backend_arg =
   Arg.(
     value
@@ -125,12 +184,19 @@ let client_crash_arg =
     & info [ "client-crash" ] ~docv:"TIME"
         ~doc:"Crash the client at a virtual time (at-most-once semantics).")
 
-let make_spec seed n_replicas crashes noise fail_prob backend detector
-    client_crash =
+let make_spec ?(faults = Xexplore.Schedule.no_faults) seed n_replicas crashes
+    noise fail_prob backend detector client_crash =
+  let net_faults = Xexplore.Explorer.net_faults_of_plan faults in
+  let channel =
+    if Xexplore.Schedule.faults_are_none faults then Service.Assumed_reliable
+    else Service.Arq Xnet.Reliable.default_arq
+  in
   let service_config =
     {
       Service.default_config with
       n_replicas;
+      faults = net_faults;
+      channel;
       backend =
         (match backend with
         | `Register -> `Register 25
@@ -206,9 +272,11 @@ let print_result (r : Runner.result) =
 let run_cmd =
   let doc = "Run one replication scenario and verify R1-R4." in
   let run seed n crashes noise fail_prob backend detector requests mix
-      client_crash =
+      client_crash loss dup jitter partitions =
+    let faults = fault_plan_of loss dup jitter partitions in
     let spec =
-      make_spec seed n crashes noise fail_prob backend detector client_crash
+      make_spec ~faults seed n crashes noise fail_prob backend detector
+        client_crash
     in
     let r, _ =
       Runner.run ~spec ~setup:Workloads.setup_all
@@ -221,7 +289,7 @@ let run_cmd =
     Term.(
       const run $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
       $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
-      $ client_crash_arg)
+      $ client_crash_arg $ loss_arg $ dup_arg $ jitter_arg $ partitions_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
@@ -396,11 +464,11 @@ let jobs_arg =
           "Worker domains (default: the $(b,JOBS) environment variable). \
            Results are byte-identical whatever the pool size.")
 
-let make_scenario scenario requests seed noise =
+let make_scenario ?(faults = Schedule.no_faults) scenario requests seed noise =
   let scen =
     match scenario with
-    | `Booking -> Explorer.booking ~requests ()
-    | `Mixed -> Explorer.mixed ~requests ()
+    | `Booking -> Explorer.booking ~requests ~faults ()
+    | `Mixed -> Explorer.mixed ~requests ~faults ()
   in
   { scen with Explorer.spec = { scen.Explorer.spec with Runner.seed; noise } }
 
@@ -411,12 +479,25 @@ let explore_cmd =
       value
       & opt
           (enum
-             [ ("walk", `Walk); ("dfs", `Dfs); ("faults", `Faults); ("all", `All) ])
+             [
+               ("walk", `Walk);
+               ("dfs", `Dfs);
+               ("faults", `Faults);
+               ("net", `Net);
+               ("all", `All);
+             ])
           `All
       & info [ "strategy" ] ~docv:"S"
           ~doc:
             "$(b,walk) (replayable random walk), $(b,dfs) (delay-bounded \
-             systematic), $(b,faults) (crash-time enumeration), or $(b,all).")
+             systematic), $(b,faults) (crash-time enumeration), $(b,net) \
+             (network fault-plane sweep over the ARQ channel), or $(b,all).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Engine seeds per network fault point ($(b,net) strategy).")
   in
   let trials_arg =
     Arg.(
@@ -449,8 +530,11 @@ let explore_cmd =
           ~doc:"Append verdicts and counterexamples as JSON Lines to FILE.")
   in
   let explore scenario requests seed noise mutation strategy trials budget
-      window jobs expect out =
-    let scen = make_scenario scenario requests seed noise in
+      window jobs expect out loss dup jitter partitions seeds =
+    (* Under walk/dfs/faults, any --loss/--dup/--partition plan is stamped
+       on every schedule; the net strategy sweeps its own plans instead. *)
+    let base_faults = fault_plan_of loss dup jitter partitions in
+    let scen = make_scenario ~faults:base_faults scenario requests seed noise in
     let strategies =
       let walk = Strategy.random_walk ~trials ~window () in
       let dfs = Strategy.delay_dfs ~budget ~window () in
@@ -460,11 +544,27 @@ let explore_cmd =
           ~replicas:(List.init 3 (fun i -> i))
           ()
       in
+      let net =
+        let loss_levels =
+          if loss > 0.0 then [ loss ] else [ 0.05; 0.1; 0.2 ]
+        in
+        let partition_windows =
+          List.map (fun (s, h, _) -> (s, h)) partitions
+        in
+        let groups =
+          match List.map (fun (_, _, g) -> g) partitions with
+          | [] -> [ [ 0 ] ]
+          | gs -> List.sort_uniq compare gs
+        in
+        Strategy.net_fault ~dup ~jitter ~partition_windows ~groups ~seeds
+          ~loss_levels ()
+      in
       match strategy with
       | `Walk -> [ walk ]
       | `Dfs -> [ dfs ]
       | `Faults -> [ faults ]
-      | `All -> [ walk; dfs; faults ]
+      | `Net -> [ net ]
+      | `All -> [ walk; dfs; faults; net ]
     in
     let emit =
       match out with
@@ -522,7 +622,8 @@ let explore_cmd =
     Term.(
       const explore $ scenario_arg $ requests_arg $ seed_arg $ noise_arg
       $ mutation_arg $ strategy_arg $ trials_arg $ budget_arg $ window_arg
-      $ jobs_arg $ expect_arg $ out_arg)
+      $ jobs_arg $ expect_arg $ out_arg $ loss_arg $ dup_arg $ jitter_arg
+      $ partitions_arg $ seeds_arg)
 
 let replay_cmd =
   let doc = "Replay a schedule printed by $(b,xrepl explore)." in
@@ -657,11 +758,13 @@ let stats_cmd =
              sweep.")
   in
   let stats seed n crashes noise fail_prob backend detector requests mix
-      client_crash trials obs_json =
+      client_crash trials obs_json loss dup jitter partitions =
     Xobs.set_enabled true;
     Xobs.reset ();
+    let faults = fault_plan_of loss dup jitter partitions in
     let spec =
-      make_spec seed n crashes noise fail_prob backend detector client_crash
+      make_spec ~faults seed n crashes noise fail_prob backend detector
+        client_crash
     in
     let r, _ =
       Runner.run ~spec ~setup:Workloads.setup_all
@@ -674,7 +777,7 @@ let stats_cmd =
     let explore_snap =
       if trials <= 0 then Xobs.Snapshot.empty
       else
-        let scen = make_scenario `Booking requests seed noise in
+        let scen = make_scenario ~faults `Booking requests seed noise in
         let v =
           Explorer.explore ~mutation:Mutation.Faithful scen
             (Strategy.random_walk ~trials ())
@@ -711,7 +814,8 @@ let stats_cmd =
     Term.(
       const stats $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
       $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
-      $ client_crash_arg $ explore_trials_arg $ obs_json_arg)
+      $ client_crash_arg $ explore_trials_arg $ obs_json_arg $ loss_arg
+      $ dup_arg $ jitter_arg $ partitions_arg)
 
 let () =
   let doc = "x-ability replication simulator (Frolund & Guerraoui, 2000)" in

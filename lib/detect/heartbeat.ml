@@ -25,7 +25,13 @@ let link t ~observer ~target =
   match Pair_tbl.find_opt t.links (observer, target) with
   | Some l -> l
   | None ->
-      let l = { last_heard = 0; timeout = t.initial_timeout } in
+      (* A fresh link counts silence from its creation time, not from
+         t=0: a link first queried at now > initial_timeout would
+         otherwise suspect the target before it ever had a chance to
+         heartbeat. *)
+      let l =
+        { last_heard = Xsim.Engine.now t.eng; timeout = t.initial_timeout }
+      in
       Pair_tbl.replace t.links (observer, target) l;
       l
 
@@ -81,9 +87,13 @@ let monitor t addr proc targets =
       in
       loop ())
 
-let create eng ~latency ~members ?(extra_observers = []) ?(period = 50)
+let create eng ~latency ?faults ~members ?(extra_observers = []) ?(period = 50)
     ?(initial_timeout = 150) ?(timeout_increment = 100) () =
-  let transport = Xnet.Transport.create eng ~latency () in
+  (* Heartbeats ride the raw (possibly lossy) wire, never an ARQ layer:
+     a retransmitted heartbeat would defeat its own purpose as a
+     freshness signal, and the paper's detector is exactly the component
+     whose quality degrades with channel loss. *)
+  let transport = Xnet.Transport.create eng ?faults ~latency () in
   let t =
     {
       eng;

@@ -21,6 +21,7 @@ type t
 val create :
   Xsim.Engine.t ->
   latency:Xnet.Latency.t ->
+  ?faults:Xnet.Fault.t ->
   members:(Xnet.Address.t * Xsim.Proc.t) list ->
   ?extra_observers:(Xnet.Address.t * Xsim.Proc.t) list ->
   ?period:int ->
@@ -31,7 +32,11 @@ val create :
 (** [members] both send and observe heartbeats; [extra_observers] (e.g. the
     client) only observe.  [period] is the heartbeat interval;
     [initial_timeout] the starting silence threshold; [timeout_increment]
-    the additive bump applied on each refuted suspicion. *)
+    the additive bump applied on each refuted suspicion.  [faults]
+    configures the heartbeat transport's fault plane: heartbeats ride the
+    raw lossy wire (no ARQ — a retransmitted heartbeat is no freshness
+    signal), so message loss converts directly into false suspicions
+    until the adaptive timeout outgrows the gaps. *)
 
 val detector : t -> Detector.t
 

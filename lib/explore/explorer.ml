@@ -21,6 +21,9 @@ type scenario = {
   name : string;
   spec : Runner.spec;
   requests : int;
+  faults : Schedule.fault_plan;
+      (** base network fault plan stamped on every schedule (strategies
+          may refine it further) *)
   workload :
     Workloads.services ->
     Xreplication.Client.t ->
@@ -33,12 +36,13 @@ type scenario = {
    protocol that lets two rounds survive — or replies with an aborted
    round's seat — produces an observable value conflict, not a silent
    duplicate. *)
-let booking ?(requests = 3) () =
+let booking ?(requests = 3) ?(faults = Schedule.no_faults) () =
   {
     name = "booking";
     spec =
       { Runner.default_spec with time_limit = 400_000; quiesce_grace = 6_000 };
     requests;
+    faults;
     workload =
       (fun _svcs client submit ->
         for i = 1 to requests do
@@ -48,12 +52,13 @@ let booking ?(requests = 3) () =
         done);
   }
 
-let mixed ?(requests = 4) () =
+let mixed ?(requests = 4) ?(faults = Schedule.no_faults) () =
   {
     name = "mixed";
     spec =
       { Runner.default_spec with time_limit = 400_000; quiesce_grace = 6_000 };
     requests;
+    faults;
     workload =
       (fun _svcs client submit ->
         Workloads.sequence Workloads.Mixed ~n:requests client submit);
@@ -76,10 +81,53 @@ type outcome = {
 
 let violating o = o.violations <> []
 
+(* Translate a schedule's fault plan (replica indices, probabilities)
+   into the transport's terms (addresses, Fault.t). *)
+let net_faults_of_plan (fp : Schedule.fault_plan) =
+  if Schedule.faults_are_none fp then Xnet.Fault.none
+  else
+    Xnet.Fault.make
+      ~default:
+        (Xnet.Fault.link ~drop:fp.Schedule.loss ~dup:fp.Schedule.dup_prob
+           ~jitter:fp.Schedule.jitter ())
+      ~partitions:
+        (List.map
+           (fun (s, h, idxs) ->
+             {
+               Xnet.Fault.from_t = s;
+               until_t = h;
+               group =
+                 List.map
+                   (fun i -> Xnet.Address.make ~role:"replica" ~index:i)
+                   idxs;
+             })
+           fp.Schedule.partitions)
+      ~forced:
+        (List.map
+           (fun (i, a) ->
+             (i, if a = 1 then Xnet.Fault.Duplicate else Xnet.Fault.Drop))
+           fp.Schedule.forced)
+      ()
+
 let apply scenario (sch : Schedule.t) : Runner.spec =
   let sc = scenario.spec.Runner.service_config in
   let replica =
     { sc.Xreplication.Service.replica with mutation = sch.Schedule.mutation }
+  in
+  (* A schedule with a fault plan means "lossy wire under the reliable
+     channel layer": the ARQ channel is switched in unless the scenario
+     explicitly configured one.  Raw-lossy runs (channel assumption
+     knowingly broken) are configured on the scenario spec directly, not
+     through schedules. *)
+  let faults, channel =
+    if Schedule.faults_are_none sch.Schedule.faults then
+      (sc.Xreplication.Service.faults, sc.Xreplication.Service.channel)
+    else
+      ( net_faults_of_plan sch.Schedule.faults,
+        match sc.Xreplication.Service.channel with
+        | Xreplication.Service.Assumed_reliable ->
+            Xreplication.Service.Arq Xnet.Reliable.default_arq
+        | c -> c )
   in
   {
     scenario.spec with
@@ -87,7 +135,7 @@ let apply scenario (sch : Schedule.t) : Runner.spec =
     crashes = sch.Schedule.crashes;
     client_crash_at = sch.Schedule.client_crash_at;
     noise = sch.Schedule.noise;
-    service_config = { sc with Xreplication.Service.replica };
+    service_config = { sc with Xreplication.Service.replica; faults; channel };
   }
 
 (* Run a schedule with chooser [choose] installed; [sch] is the identity
@@ -250,7 +298,7 @@ let fold_outcomes v outcomes =
 let base_schedule scenario ~mutation ~window ~seed =
   Schedule.make ~window ~mutation ~crashes:scenario.spec.Runner.crashes
     ?client_crash_at:scenario.spec.Runner.client_crash_at
-    ?noise:scenario.spec.Runner.noise ~seed ()
+    ?noise:scenario.spec.Runner.noise ~faults:scenario.faults ~seed ()
 
 let take n xs = List.filteri (fun i _ -> i < n) xs
 let drop n xs = List.filteri (fun i _ -> i >= n) xs
@@ -303,6 +351,43 @@ let explore ?jobs ?(chunk = 16) ?(stop_on_first = false)
            (fun crashes ->
              let base = base_schedule scenario ~mutation ~window:1 ~seed in
              { base with Schedule.crashes; noise })
+           plans)
+  | Strategy.Net_fault { seeds; loss_levels; dup; jitter; partition_windows; groups }
+    ->
+      let seed0 = scenario.spec.Runner.seed in
+      (* Every loss level, with no partition and with every window × group,
+         [seeds] engine seeds each.  Scheduling is deterministic (window 1):
+         the swept dimension is the channel, not the interleaving. *)
+      let plans =
+        List.concat_map
+          (fun loss ->
+            let base =
+              {
+                Schedule.loss;
+                dup_prob = dup;
+                jitter;
+                partitions = [];
+                forced = [];
+              }
+            in
+            base
+            :: List.concat_map
+                 (fun (s, h) ->
+                   List.map
+                     (fun g -> { base with Schedule.partitions = [ (s, h, g) ] })
+                     groups)
+                 partition_windows)
+          loss_levels
+      in
+      run_list
+        (fun ~cache sch -> run_schedule ~cache scenario sch)
+        (List.concat_map
+           (fun plan ->
+             List.init seeds (fun i ->
+                 let base =
+                   base_schedule scenario ~mutation ~window:1 ~seed:(seed0 + i)
+                 in
+                 { base with Schedule.faults = plan }))
            plans)
   | Strategy.Delay_dfs { budget; max_delays; horizon; window } ->
       let seed = scenario.spec.Runner.seed in

@@ -18,6 +18,9 @@ type scenario = {
   spec : Xworkload.Runner.spec;  (** base spec; the schedule overrides
                                      seed, faults, and protocol variant *)
   requests : int;
+  faults : Schedule.fault_plan;
+      (** base network fault plan stamped on every schedule; strategies
+          (notably {!Strategy.Net_fault}) may replace it per schedule *)
   workload :
     Xworkload.Workloads.services ->
     Xreplication.Client.t ->
@@ -25,12 +28,16 @@ type scenario = {
     unit;
 }
 
-val booking : ?requests:int -> unit -> scenario
+val booking :
+  ?requests:int -> ?faults:Schedule.fault_plan -> unit -> scenario
 (** Sequential seat reservations (undoable, round-varying outputs) — the
     canonical explorer workload: surviving-duplicate and stale-reply bugs
-    become value conflicts. *)
+    become value conflicts.  [faults] (default {!Schedule.no_faults})
+    stamps a network fault plan on every schedule; a non-none plan makes
+    {!run_schedule} install the {!Xnet.Reliable} ARQ channel under the
+    service. *)
 
-val mixed : ?requests:int -> unit -> scenario
+val mixed : ?requests:int -> ?faults:Schedule.fault_plan -> unit -> scenario
 (** Alternating mail sends (idempotent) and transfers (undoable). *)
 
 type outcome = {
@@ -48,6 +55,11 @@ type outcome = {
 val violating : outcome -> bool
 (** [violating o] is [true] iff the run produced at least one
     violation. *)
+
+val net_faults_of_plan : Schedule.fault_plan -> Xnet.Fault.t
+(** Translate a fault plan (replica indices, probabilities) into the
+    transport's terms ({!Xnet.Fault.t}); partition indices become
+    replica addresses. *)
 
 val run_schedule : ?cache:Checker.cache -> scenario -> Schedule.t -> outcome
 (** Replay one schedule (chooser + monitor installed) and judge it. *)

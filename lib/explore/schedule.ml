@@ -5,6 +5,26 @@
    times, same request ids, same history, same verdict — which is what
    makes shrinking and counterexample dumps trustworthy. *)
 
+(* The network fault plan, in explorer coordinates: probabilities and
+   replica indices rather than addresses, so it serializes compactly and
+   is independent of how a run names its nodes.  [Explorer.apply]
+   converts it to an [Xnet.Fault.t] for the service transport. *)
+type fault_plan = {
+  loss : float;  (** per-message drop probability on every link *)
+  dup_prob : float;  (** per-message duplication probability *)
+  jitter : int;  (** extra reorder delay, uniform in [0, jitter] *)
+  partitions : (int * int * int list) list;
+      (** (start, heal, replica indices severed from the rest) *)
+  forced : (int * int) list;
+      (** (transport send index, 0 = drop | 1 = duplicate): systematic
+          fault events for enumeration strategies *)
+}
+
+let no_faults =
+  { loss = 0.0; dup_prob = 0.0; jitter = 0; partitions = []; forced = [] }
+
+let faults_are_none f = f = no_faults
+
 type t = {
   seed : int;  (** engine RNG seed *)
   window : int;  (** ready-window width offered to the chooser *)
@@ -13,6 +33,7 @@ type t = {
   client_crash_at : int option;
   noise : (float * int * int) option;
       (** oracle false-suspicion noise: (probability, duration, until) *)
+  faults : fault_plan;
   shifts : (int * int) list;
       (** sparse scheduling decisions: at choice point [step], pick ready
           entry [k] (> 0) instead of the default front of the queue;
@@ -20,7 +41,8 @@ type t = {
 }
 
 let make ?(window = 4) ?(mutation = Xreplication.Mutation.Faithful)
-    ?(crashes = []) ?client_crash_at ?noise ?(shifts = []) ~seed () =
+    ?(crashes = []) ?client_crash_at ?noise ?(faults = no_faults)
+    ?(shifts = []) ~seed () =
   {
     seed;
     window;
@@ -28,6 +50,7 @@ let make ?(window = 4) ?(mutation = Xreplication.Mutation.Faithful)
     crashes;
     client_crash_at;
     noise;
+    faults;
     shifts = List.sort (fun (a, _) (b, _) -> Int.compare a b) shifts;
   }
 
@@ -72,18 +95,73 @@ let pairs_of_string sep s =
     let parsed = List.filter_map parse_pair toks in
     if List.length parsed = List.length toks then Some parsed else None
 
+let string_of_partitions ps =
+  if ps = [] then "-"
+  else
+    String.concat ","
+      (List.map
+         (fun (s, h, idxs) ->
+           Printf.sprintf "%d:%d:%s" s h
+             (String.concat "." (List.map string_of_int idxs)))
+         ps)
+
+let partitions_of_string s =
+  if s = "-" then Some []
+  else
+    let parse tok =
+      match String.split_on_char ':' tok with
+      | [ s; h; g ] -> (
+          match (int_of_string_opt s, int_of_string_opt h) with
+          | Some s, Some h ->
+              let idxs =
+                List.filter_map int_of_string_opt (String.split_on_char '.' g)
+              in
+              if
+                g <> ""
+                && List.length idxs
+                   = List.length (String.split_on_char '.' g)
+              then Some (s, h, idxs)
+              else None
+          | _ -> None)
+      | _ -> None
+    in
+    let toks = String.split_on_char ',' s in
+    let parsed = List.filter_map parse toks in
+    if List.length parsed = List.length toks then Some parsed else None
+
+let string_of_net f =
+  if f.loss = 0.0 && f.dup_prob = 0.0 && f.jitter = 0 then "-"
+  else Printf.sprintf "%h:%h:%d" f.loss f.dup_prob f.jitter
+
+let net_of_string s =
+  if s = "-" then Some (0.0, 0.0, 0)
+  else
+    match String.split_on_char ':' s with
+    | [ l; d; j ] -> (
+        match
+          (float_of_string_opt l, float_of_string_opt d, int_of_string_opt j)
+        with
+        | Some l, Some d, Some j -> Some (l, d, j)
+        | _ -> None)
+    | _ -> None
+
 let to_string t =
   let noise =
     match t.noise with
     | None -> "-"
     | Some (p, dur, until) -> Printf.sprintf "%h:%d:%d" p dur until
   in
-  Printf.sprintf "v1 seed=%d win=%d mut=%s crashes=%s ccrash=%s noise=%s shifts=%s"
+  Printf.sprintf
+    "v1 seed=%d win=%d mut=%s crashes=%s ccrash=%s noise=%s net=%s parts=%s \
+     netf=%s shifts=%s"
     t.seed t.window
     (Xreplication.Mutation.to_string t.mutation)
     (string_of_pairs ':' t.crashes)
     (match t.client_crash_at with None -> "-" | Some at -> string_of_int at)
     noise
+    (string_of_net t.faults)
+    (string_of_partitions t.faults.partitions)
+    (string_of_pairs ':' t.faults.forced)
     (string_of_pairs ':' t.shifts)
 
 let of_string line =
@@ -129,9 +207,21 @@ let of_string line =
         | None -> None
       in
       let* shifts = Option.bind (field "shifts") (pairs_of_string ':') in
+      (* Fault tokens default when absent, so pre-fault-plane "v1" lines
+         (and shrunk lines that dropped the tokens) still parse. *)
+      let* loss, dup_prob, jitter =
+        net_of_string (Option.value (field "net") ~default:"-")
+      in
+      let* partitions =
+        partitions_of_string (Option.value (field "parts") ~default:"-")
+      in
+      let* forced =
+        pairs_of_string ':' (Option.value (field "netf") ~default:"-")
+      in
+      let faults = { loss; dup_prob; jitter; partitions; forced } in
       Some
-        (make ~window ~mutation ~crashes ?client_crash_at ?noise ~shifts ~seed
-           ())
+        (make ~window ~mutation ~crashes ?client_crash_at ?noise ~faults
+           ~shifts ~seed ())
   | _ -> None
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
@@ -143,7 +233,7 @@ let to_json t =
     ^ "]"
   in
   Printf.sprintf
-    "{\"seed\":%d,\"window\":%d,\"mutation\":%S,\"crashes\":%s,\"client_crash_at\":%s,\"noise\":%s,\"shifts\":%s}"
+    "{\"seed\":%d,\"window\":%d,\"mutation\":%S,\"crashes\":%s,\"client_crash_at\":%s,\"noise\":%s,\"faults\":%s,\"shifts\":%s}"
     t.seed t.window
     (Xreplication.Mutation.to_string t.mutation)
     (pairs t.crashes)
@@ -153,4 +243,18 @@ let to_json t =
     | Some (p, dur, until) ->
         Printf.sprintf "{\"probability\":%.17g,\"duration\":%d,\"until\":%d}" p
           dur until)
+    (if faults_are_none t.faults then "null"
+     else
+       Printf.sprintf
+         "{\"loss\":%.17g,\"dup\":%.17g,\"jitter\":%d,\"partitions\":%s,\"forced\":%s}"
+         t.faults.loss t.faults.dup_prob t.faults.jitter
+         ("["
+         ^ String.concat ","
+             (List.map
+                (fun (s, h, idxs) ->
+                  Printf.sprintf "[%d,%d,[%s]]" s h
+                    (String.concat "," (List.map string_of_int idxs)))
+                t.faults.partitions)
+         ^ "]")
+         (pairs t.faults.forced))
     (pairs t.shifts)

@@ -7,6 +7,25 @@
     schedule against the same workload reproduces the run byte-for-byte,
     so a schedule {e is} the counterexample. *)
 
+type fault_plan = {
+  loss : float;  (** per-message drop probability on every link *)
+  dup_prob : float;  (** per-message duplication probability *)
+  jitter : int;  (** extra reorder delay, uniform in [0, jitter] *)
+  partitions : (int * int * int list) list;
+      (** [(start, heal, replica indices)]: the indexed replicas are
+          severed from everyone else during [start, heal) *)
+  forced : (int * int) list;
+      (** [(send index, 0 = drop | 1 = duplicate)]: deterministic fault
+          events on the service transport's n-th send, the hook that lets
+          strategies {e enumerate} faults instead of sampling them *)
+}
+(** The network fault plan in explorer coordinates (replica indices, not
+    addresses); {!Explorer.apply} converts it to an {!Xnet.Fault.t}. *)
+
+val no_faults : fault_plan
+
+val faults_are_none : fault_plan -> bool
+
 type t = {
   seed : int;  (** engine RNG seed *)
   window : int;  (** ready-window width offered to the chooser *)
@@ -15,6 +34,7 @@ type t = {
   client_crash_at : int option;
   noise : (float * int * int) option;
       (** oracle false-suspicion noise: (probability, duration, until) *)
+  faults : fault_plan;
   shifts : (int * int) list;
       (** sparse scheduling decisions: at choice point [step] pick ready
           entry [k] instead of the queue front; sorted, [0 < k < window] *)
@@ -26,6 +46,7 @@ val make :
   ?crashes:(int * int) list ->
   ?client_crash_at:int ->
   ?noise:float * int * int ->
+  ?faults:fault_plan ->
   ?shifts:(int * int) list ->
   seed:int ->
   unit ->
@@ -45,7 +66,9 @@ val to_string : t -> string
 (** One line, greppable. *)
 
 val of_string : string -> t option
-(** Inverse of {!to_string}: [of_string (to_string t) = Some t]. *)
+(** Inverse of {!to_string}: [of_string (to_string t) = Some t].  Lines
+    written before the fault plan existed (no [net=]/[parts=]/[netf=]
+    tokens) parse with {!no_faults}. *)
 
 val to_json : t -> string
 (** JSON object, for machine-readable counterexample dumps. *)

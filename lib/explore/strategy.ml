@@ -20,7 +20,14 @@
      shifts; instead sweep crash injection times across replicas, with
      optional false-suspicion noise.  This searches the dimension the
      paper's protocol is actually defensive about: which instant the
-     owner dies. *)
+     owner dies.
+
+   - [Net_fault]: network fault-plane enumeration.  Sweep message-loss
+     levels (with optional duplication and jitter) and timed partition
+     windows across candidate minority groups, several engine seeds per
+     fault point.  This probes the channel dimension: the paper assumes
+     reliable links, so the protocol must stay x-able when that
+     assumption is discharged by the ARQ layer instead. *)
 
 type t =
   | Random_walk of { trials : int; p_defer : float; window : int }
@@ -30,6 +37,14 @@ type t =
       replicas : int list;
       noise : (float * int * int) option;
       pair_crashes : bool;  (** also try all ordered pairs of crashes *)
+    }
+  | Net_fault of {
+      seeds : int;  (** engine seeds per fault point *)
+      loss_levels : float list;  (** drop probabilities to sweep *)
+      dup : float;  (** duplication probability at every point *)
+      jitter : int;  (** reorder jitter at every point *)
+      partition_windows : (int * int) list;  (** (start, heal) to try *)
+      groups : int list list;  (** candidate severed replica groups *)
     }
 
 let random_walk ?(trials = 100) ?(p_defer = 0.15) ?(window = 4) () =
@@ -42,10 +57,15 @@ let delay_dfs ?(budget = 200) ?(max_delays = 2) ?(horizon = 64) ?(window = 4) ()
 let fault_enum ?noise ?(pair_crashes = false) ~times ~replicas () =
   Fault_enum { times; replicas; noise; pair_crashes }
 
+let net_fault ?(dup = 0.0) ?(jitter = 0) ?(partition_windows = [])
+    ?(groups = [ [ 0 ] ]) ?(seeds = 10) ~loss_levels () =
+  Net_fault { seeds; loss_levels; dup; jitter; partition_windows; groups }
+
 let name = function
   | Random_walk _ -> "random-walk"
   | Delay_dfs _ -> "delay-dfs"
   | Fault_enum _ -> "fault-enum"
+  | Net_fault _ -> "net-fault"
 
 let describe = function
   | Random_walk { trials; p_defer; window } ->
@@ -57,3 +77,9 @@ let describe = function
   | Fault_enum { times; replicas; noise; pair_crashes } ->
       Printf.sprintf "fault-enum times=%d replicas=%d noise=%b pairs=%b"
         (List.length times) (List.length replicas) (noise <> None) pair_crashes
+  | Net_fault { seeds; loss_levels; dup; jitter; partition_windows; groups } ->
+      Printf.sprintf
+        "net-fault losses=%d dup=%g jitter=%d windows=%d groups=%d seeds=%d"
+        (List.length loss_levels) dup jitter
+        (List.length partition_windows)
+        (List.length groups) seeds

@@ -18,7 +18,13 @@
     - {b Fault enumeration}: no scheduling shifts; sweep crash injection
       times across replicas (optionally with false-suspicion noise) —
       the dimension the paper's protocol (section 5) is defensive about:
-      the instant the owner dies. *)
+      the instant the owner dies.
+    - {b Network fault enumeration}: sweep the channel fault plane —
+      message-loss levels, duplication, and timed partition windows over
+      candidate minority groups — with several engine seeds per point.
+      This is the dimension the paper {e assumes} away (section 5.2
+      reliable channels); with the {!Xnet.Reliable} ARQ layer installed
+      the protocol must stay x-able anyway. *)
 
 type t =
   | Random_walk of { trials : int; p_defer : float; window : int }
@@ -32,6 +38,15 @@ type t =
           (** optional false-suspicion noise applied to every schedule *)
       pair_crashes : bool;  (** also try all ordered pairs of crashes *)
     }  (** Cartesian fault-plan sweep; see {!fault_enum}. *)
+  | Net_fault of {
+      seeds : int;  (** engine seeds per fault point *)
+      loss_levels : float list;  (** drop probabilities to sweep *)
+      dup : float;  (** duplication probability at every point *)
+      jitter : int;  (** reorder jitter at every point *)
+      partition_windows : (int * int) list;
+          (** (start, heal) partition windows to try, besides none *)
+      groups : int list list;  (** candidate severed replica groups *)
+    }  (** Channel fault-plane sweep; see {!net_fault}. *)
 
 val random_walk : ?trials:int -> ?p_defer:float -> ?window:int -> unit -> t
 (** Defaults: [trials] 100, [p_defer] 0.15, [window] 4. *)
@@ -51,8 +66,22 @@ val fault_enum :
     [pair_crashes] also every ordered pair. [pair_crashes] defaults to
     [false]. *)
 
+val net_fault :
+  ?dup:float ->
+  ?jitter:int ->
+  ?partition_windows:(int * int) list ->
+  ?groups:int list list ->
+  ?seeds:int ->
+  loss_levels:float list ->
+  unit ->
+  t
+(** Every loss level × (no partition + every window × group), [seeds]
+    engine seeds each.  Defaults: [dup] 0, [jitter] 0, no partition
+    windows, [groups] [[[0]]], [seeds] 10. *)
+
 val name : t -> string
-(** Short family tag: ["random-walk"], ["delay-dfs"], ["fault-enum"]. *)
+(** Short family tag: ["random-walk"], ["delay-dfs"], ["fault-enum"],
+    ["net-fault"]. *)
 
 val describe : t -> string
 (** One-line rendering with parameters, for verdict tables. *)

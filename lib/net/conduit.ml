@@ -1,0 +1,33 @@
+(* A first-class messaging endpoint: the narrow interface the
+   replication layer needs, satisfiable by either the raw (assumed
+   reliable) transport or the ARQ layer.  Keeping it a record of
+   closures lets Service pick the channel implementation per run without
+   functorizing every protocol module. *)
+
+type 'm t = {
+  send : src:Address.t -> dst:Address.t -> 'm -> unit;
+  register : Address.t -> proc:Xsim.Proc.t -> 'm Transport.envelope Xsim.Mailbox.t;
+  mailbox : Address.t -> 'm Transport.envelope Xsim.Mailbox.t;
+  members : unit -> Address.t list;
+}
+
+let of_transport tr =
+  {
+    send = (fun ~src ~dst m -> Transport.send tr ~src ~dst m);
+    register = (fun addr ~proc -> Transport.register tr addr ~proc);
+    mailbox = (fun addr -> Transport.mailbox tr addr);
+    members = (fun () -> Transport.members tr);
+  }
+
+let of_reliable r =
+  {
+    send = (fun ~src ~dst m -> Reliable.send r ~src ~dst m);
+    register = (fun addr ~proc -> Reliable.register r addr ~proc);
+    mailbox = (fun addr -> Reliable.mailbox r addr);
+    members = (fun () -> Reliable.members r);
+  }
+
+let send t = t.send
+let register t = t.register
+let mailbox t = t.mailbox
+let members t = t.members ()

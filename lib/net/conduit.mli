@@ -1,0 +1,23 @@
+(** A first-class messaging endpoint.
+
+    The narrow interface protocol modules ({!Xreplication.Replica},
+    {!Xreplication.Client}) are written against, satisfiable by either
+    the raw {!Transport} (channels assumed reliable, the paper's section
+    5.2 model) or the {!Reliable} ARQ layer (channels implemented on a
+    faulty wire).  Both back ends deliver {!Transport.envelope} values,
+    so consumers are oblivious to which channel model is underneath. *)
+
+type 'm t = {
+  send : src:Address.t -> dst:Address.t -> 'm -> unit;
+  register : Address.t -> proc:Xsim.Proc.t -> 'm Transport.envelope Xsim.Mailbox.t;
+  mailbox : Address.t -> 'm Transport.envelope Xsim.Mailbox.t;
+  members : unit -> Address.t list;
+}
+
+val of_transport : 'm Transport.t -> 'm t
+val of_reliable : 'm Reliable.t -> 'm t
+
+val send : 'm t -> src:Address.t -> dst:Address.t -> 'm -> unit
+val register : 'm t -> Address.t -> proc:Xsim.Proc.t -> 'm Transport.envelope Xsim.Mailbox.t
+val mailbox : 'm t -> Address.t -> 'm Transport.envelope Xsim.Mailbox.t
+val members : 'm t -> Address.t list

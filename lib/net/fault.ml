@@ -1,0 +1,80 @@
+(* Deterministic network fault plane.
+
+   A fault description is plain data: a default per-link profile (drop /
+   duplication probabilities and reorder jitter), timed partitions with
+   heal events, and a sparse list of forced per-message fault actions for
+   systematic enumeration by the schedule explorer.  The transport samples
+   probabilistic faults from its own split RNG, so a faulty run is a pure
+   function of (seed, config) — reproducible and JOBS-independent. *)
+
+type action = Drop | Duplicate
+
+type link = {
+  drop : float;  (* per-message loss probability *)
+  dup : float;  (* per-message duplication probability *)
+  jitter : int;  (* extra reorder delay: uniform in [0, jitter] *)
+}
+
+type partition = {
+  from_t : int;  (* virtual time the partition starts (inclusive) *)
+  until_t : int;  (* virtual time it heals (exclusive) *)
+  group : Address.t list;  (* members severed from everyone else *)
+}
+
+type t = {
+  default : link;
+  partitions : partition list;
+  forced : (int * action) list;
+      (* (transport send index, action): systematic fault injection *)
+}
+
+let clean = { drop = 0.0; dup = 0.0; jitter = 0 }
+
+let link ?(drop = 0.0) ?(dup = 0.0) ?(jitter = 0) () =
+  if drop < 0.0 || drop > 1.0 then invalid_arg "Fault.link: drop not in [0,1]";
+  if dup < 0.0 || dup > 1.0 then invalid_arg "Fault.link: dup not in [0,1]";
+  if jitter < 0 then invalid_arg "Fault.link: negative jitter";
+  { drop; dup; jitter }
+
+let none = { default = clean; partitions = []; forced = [] }
+
+let make ?(default = clean) ?(partitions = []) ?(forced = []) () =
+  { default; partitions; forced }
+
+let link_is_clean l = l.drop = 0.0 && l.dup = 0.0 && l.jitter = 0
+
+let is_none t =
+  link_is_clean t.default && t.partitions = [] && t.forced = []
+
+(* A directed link is severed while any active partition has exactly one
+   endpoint inside its group (messages within a group, or wholly outside
+   it, still flow). *)
+let partitioned t ~src ~dst ~now =
+  List.exists
+    (fun p ->
+      now >= p.from_t && now < p.until_t
+      &&
+      let inside a = List.exists (Address.equal a) p.group in
+      inside src <> inside dst)
+    t.partitions
+
+let pp_link ppf l =
+  Format.fprintf ppf "drop=%g dup=%g jitter=%d" l.drop l.dup l.jitter
+
+let pp ppf t =
+  if is_none t then Format.pp_print_string ppf "none"
+  else begin
+    Format.fprintf ppf "%a" pp_link t.default;
+    List.iter
+      (fun p ->
+        Format.fprintf ppf " part[%d,%d){%s}" p.from_t p.until_t
+          (String.concat ","
+             (List.map Address.to_string p.group)))
+      t.partitions;
+    List.iter
+      (fun (i, a) ->
+        Format.fprintf ppf " %s@%d"
+          (match a with Drop -> "drop" | Duplicate -> "dup")
+          i)
+      t.forced
+  end

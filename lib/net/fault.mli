@@ -1,0 +1,65 @@
+(** Deterministic network fault plane.
+
+    Describes how a {!Transport} misbehaves: per-link message loss,
+    duplication and reorder jitter, timed partitions with heal events,
+    and forced per-message fault actions for systematic enumeration.
+    Probabilistic faults are sampled from the transport's split RNG, so
+    a faulty run is a pure function of (seed, fault config) — seed
+    reproducible and independent of the domain count.
+
+    The description is plain data; installing it on a transport (at
+    {!Transport.create} or via {!Transport.set_faults}) is what makes the
+    wire lossy.  The paper {e assumes} reliable channels (section 5.2);
+    {!Reliable} rebuilds that contract on top of a transport configured
+    with one of these descriptions. *)
+
+type action =
+  | Drop  (** lose the message *)
+  | Duplicate  (** deliver the message twice, the copy independently delayed *)
+
+type link = {
+  drop : float;  (** per-message loss probability, in [0,1] *)
+  dup : float;  (** per-message duplication probability, in [0,1] *)
+  jitter : int;  (** extra reorder delay drawn uniformly from [0, jitter] *)
+}
+
+type partition = {
+  from_t : int;  (** virtual time the partition starts (inclusive) *)
+  until_t : int;  (** virtual time it heals (exclusive) *)
+  group : Address.t list;  (** members severed from all non-members *)
+}
+
+type t = {
+  default : link;  (** profile applied to every link without an override *)
+  partitions : partition list;
+  forced : (int * action) list;
+      (** [(send index, action)]: deterministically force the fault on the
+          transport's n-th [send] call, bypassing sampling — the hook the
+          explorer uses to {e enumerate} faults rather than sample them *)
+}
+
+val clean : link
+(** No loss, no duplication, no jitter. *)
+
+val link : ?drop:float -> ?dup:float -> ?jitter:int -> unit -> link
+(** Raises [Invalid_argument] on probabilities outside [0,1] or negative
+    jitter.  Defaults are all zero. *)
+
+val none : t
+(** The fault-free plane: a transport configured with [none] behaves
+    exactly like one with no fault configuration at all. *)
+
+val make :
+  ?default:link -> ?partitions:partition list -> ?forced:(int * action) list ->
+  unit -> t
+
+val link_is_clean : link -> bool
+
+val is_none : t -> bool
+
+val partitioned : t -> src:Address.t -> dst:Address.t -> now:int -> bool
+(** Whether the directed link is severed at [now]: some active partition
+    has exactly one of [src], [dst] inside its group. *)
+
+val pp_link : Format.formatter -> link -> unit
+val pp : Format.formatter -> t -> unit

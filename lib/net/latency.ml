@@ -39,5 +39,5 @@ let rec pp ppf = function
       Format.fprintf ppf "phases(%a; then %a)"
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
-           (fun ppf (until, m) -> Format.fprintf ppf "<%d:%a" until pp m))
+           (fun ppf (until, m) -> Format.fprintf ppf "<%d:%a>" until pp m))
         regimes pp final

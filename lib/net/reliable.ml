@@ -1,0 +1,224 @@
+(* Reliable channels rebuilt on a faulty wire (ARQ).
+
+   The paper assumes its channels (section 5.2): every message between
+   correct processes is delivered exactly once.  This module implements
+   that contract on top of a {!Transport} configured with a fault plane,
+   with the classic automatic-repeat-request machinery:
+
+   - per directed link, data packets carry consecutive sequence numbers;
+   - the receiver acks every data packet it sees (re-acking duplicates,
+     because a duplicate usually means the previous ack was lost), drops
+     already-delivered sequence numbers, buffers out-of-order arrivals,
+     and releases payloads to the application strictly in sequence order
+     — so delivery is exactly-once and FIFO per link even though the raw
+     wire loses, duplicates and reorders;
+   - the sender retransmits unacked packets on a timer with exponential
+     backoff (capped at [max_rto]); retransmission never gives up, which
+     is what makes delivery between correct processes {e eventual} for
+     any drop probability < 1 — [retransmit_cap] is a metric threshold,
+     not a cutoff.
+
+   ARQ runs below the process level, in scheduler context (the simulated
+   NIC): a crashed receiver still acks, which is unobservable to the
+   application (its mailbox is never consumed) and stops senders from
+   retransmitting to the dead forever.  A crashed *sender* does stop
+   retransmitting — crashed processes send nothing. *)
+
+module Addr_tbl = Hashtbl.Make (struct
+  type t = Address.t
+
+  let equal = Address.equal
+  let hash = Address.hash
+end)
+
+module Link_tbl = Hashtbl.Make (struct
+  type t = Address.t * Address.t
+
+  let equal (a1, b1) (a2, b2) = Address.equal a1 a2 && Address.equal b1 b2
+  let hash (a, b) = Hashtbl.hash (Address.hash a, Address.hash b)
+end)
+
+type 'm packet = Data of { seq : int; payload : 'm } | Ack of { seq : int }
+
+type arq = {
+  rto : int;  (* initial retransmission timeout *)
+  backoff : int;  (* timeout multiplier per retry *)
+  max_rto : int;  (* backoff ceiling *)
+  retransmit_cap : int;  (* metric threshold: retries per packet *)
+}
+
+let default_arq = { rto = 150; backoff = 2; max_rto = 2400; retransmit_cap = 8 }
+
+type 'm tx_state = {
+  mutable next_seq : int;
+  unacked : (int, 'm) Hashtbl.t;
+}
+
+type 'm rx_state = {
+  mutable expected : int;  (* next in-order sequence number *)
+  buffer : (int, 'm) Hashtbl.t;  (* out-of-order arrivals *)
+}
+
+type stats = {
+  app_sent : int;
+  app_delivered : int;
+  retransmits : int;
+  acks_sent : int;
+  dedup_dropped : int;
+  cap_hits : int;
+}
+
+type 'm t = {
+  eng : Xsim.Engine.t;
+  raw : 'm packet Transport.t;
+  arq : arq;
+  mailboxes : 'm Transport.envelope Xsim.Mailbox.t Addr_tbl.t;
+  tx : 'm tx_state Link_tbl.t;  (* keyed (src, dst) *)
+  rx : 'm rx_state Link_tbl.t;  (* keyed (src, dst) *)
+  mutable app_sent : int;
+  mutable app_delivered : int;
+  mutable retransmits : int;
+  mutable acks_sent : int;
+  mutable dedup_dropped : int;
+  mutable cap_hits : int;
+}
+
+let obs_incr name = if Xobs.enabled () then Xobs.Counter.incr (Xobs.counter name)
+
+let obs_backoff rto =
+  if Xobs.enabled () then Xobs.Histogram.record (Xobs.histogram "net.backoff") rto
+
+let tx_state t key =
+  match Link_tbl.find_opt t.tx key with
+  | Some st -> st
+  | None ->
+      let st = { next_seq = 0; unacked = Hashtbl.create 8 } in
+      Link_tbl.replace t.tx key st;
+      st
+
+let rx_state t key =
+  match Link_tbl.find_opt t.rx key with
+  | Some r -> r
+  | None ->
+      let r = { expected = 0; buffer = Hashtbl.create 8 } in
+      Link_tbl.replace t.rx key r;
+      r
+
+(* Receiver side, in scheduler context (wire delivery hook). *)
+let handle t (e : 'm packet Transport.envelope) =
+  match e.Transport.payload with
+  | Ack { seq } -> (
+      (* The ack travelled dst->src, acknowledging the (dst, src) data
+         link as seen from the original sender [e.dst]. *)
+      match Link_tbl.find_opt t.tx (e.Transport.dst, e.Transport.src) with
+      | Some st -> Hashtbl.remove st.unacked seq
+      | None -> ())
+  | Data { seq; payload } ->
+      let src = e.Transport.src and dst = e.Transport.dst in
+      (* Always ack, even duplicates: a duplicate data packet usually
+         means the previous ack was lost. *)
+      t.acks_sent <- t.acks_sent + 1;
+      obs_incr "net.acks";
+      Transport.send t.raw ~src:dst ~dst:src (Ack { seq });
+      let rx = rx_state t (src, dst) in
+      if seq < rx.expected || Hashtbl.mem rx.buffer seq then begin
+        t.dedup_dropped <- t.dedup_dropped + 1;
+        obs_incr "net.dedup_drops"
+      end
+      else begin
+        Hashtbl.replace rx.buffer seq payload;
+        let mbox = Addr_tbl.find t.mailboxes dst in
+        while Hashtbl.mem rx.buffer rx.expected do
+          let p = Hashtbl.find rx.buffer rx.expected in
+          Hashtbl.remove rx.buffer rx.expected;
+          rx.expected <- rx.expected + 1;
+          t.app_delivered <- t.app_delivered + 1;
+          Xsim.Mailbox.put mbox { Transport.src; dst; payload = p }
+        done
+      end
+
+let create eng ?fifo ?faults ?(arq = default_arq) ~latency () =
+  let raw = Transport.create eng ?fifo ?faults ~latency () in
+  let t =
+    {
+      eng;
+      raw;
+      arq;
+      mailboxes = Addr_tbl.create 16;
+      tx = Link_tbl.create 32;
+      rx = Link_tbl.create 32;
+      app_sent = 0;
+      app_delivered = 0;
+      retransmits = 0;
+      acks_sent = 0;
+      dedup_dropped = 0;
+      cap_hits = 0;
+    }
+  in
+  Transport.set_delivery_hook raw
+    (Some
+       (fun e ->
+         handle t e;
+         true));
+  t
+
+let engine t = t.eng
+let raw t = t.raw
+
+let register t addr ~proc =
+  ignore (Transport.register t.raw addr ~proc);
+  let mbox =
+    Xsim.Mailbox.create ~name:("rinbox:" ^ Address.to_string addr) ()
+  in
+  Addr_tbl.replace t.mailboxes addr mbox;
+  mbox
+
+let mailbox t addr = Addr_tbl.find t.mailboxes addr
+let members t = Transport.members t.raw
+
+(* Sender side.  The retransmit timer re-arms itself until the packet is
+   acked; a dead sender process stops retransmitting (crash-stop). *)
+let rec arm t ~src ~dst st seq ~attempt ~rto =
+  Xsim.Engine.schedule t.eng ~label:"timer" ~delay:rto (fun () ->
+      match Hashtbl.find_opt st.unacked seq with
+      | None -> ()
+      | Some payload ->
+          if Xsim.Proc.alive (Transport.proc_of t.raw src) then begin
+            t.retransmits <- t.retransmits + 1;
+            obs_incr "net.retransmits";
+            obs_backoff rto;
+            if attempt = t.arq.retransmit_cap then begin
+              t.cap_hits <- t.cap_hits + 1;
+              obs_incr "net.retransmit_cap_hits"
+            end;
+            Transport.send t.raw ~src ~dst (Data { seq; payload });
+            arm t ~src ~dst st seq ~attempt:(attempt + 1)
+              ~rto:(min (rto * t.arq.backoff) t.arq.max_rto)
+          end)
+
+let send t ~src ~dst payload =
+  ignore (Transport.mailbox t.raw dst);  (* Not_found on unregistered dst *)
+  t.app_sent <- t.app_sent + 1;
+  let st = tx_state t (src, dst) in
+  let seq = st.next_seq in
+  st.next_seq <- seq + 1;
+  Hashtbl.replace st.unacked seq payload;
+  Transport.send t.raw ~src ~dst (Data { seq; payload });
+  arm t ~src ~dst st seq ~attempt:1 ~rto:t.arq.rto
+
+let broadcast t ~src ?(include_self = false) payload =
+  List.iter
+    (fun dst ->
+      if include_self || not (Address.equal dst src) then
+        send t ~src ~dst payload)
+    (members t)
+
+let stats t =
+  {
+    app_sent = t.app_sent;
+    app_delivered = t.app_delivered;
+    retransmits = t.retransmits;
+    acks_sent = t.acks_sent;
+    dedup_dropped = t.dedup_dropped;
+    cap_hits = t.cap_hits;
+  }

@@ -18,10 +18,17 @@ type node = {
   proc : Xsim.Proc.t;
   (* Existentially hidden mailbox is avoided by keeping nodes in a
      per-transport table with the transport's message type. *)
-  mutable last_delivery : int;  (* for FIFO clamping *)
 }
 
-type stats = { sent : int; delivered : int; total_delay : int }
+type stats = {
+  sent : int;
+  delivered : int;
+  total_delay : int;
+  dropped : int;
+  duplicated : int;
+  partition_dropped : int;
+  forced_faults : int;
+}
 
 type 'm t = {
   eng : Xsim.Engine.t;
@@ -32,25 +39,66 @@ type 'm t = {
   mailboxes : 'm envelope Xsim.Mailbox.t Addr_tbl.t;
   mutable order : Address.t list;  (* reverse registration order *)
   link_latency : Latency.t Link_tbl.t;
+  (* FIFO clamp state, keyed per directed link: clamping against a
+     per-destination time would serialize messages from different
+     sources, which the interface does not promise. *)
+  last_delivery : int Link_tbl.t;
+  (* Fault plane.  [fault_rng] is split lazily on first configuration, so
+     a transport that never sees faults draws exactly the same RNG stream
+     as before the fault plane existed. *)
+  mutable faults : Fault.t;
+  link_faults : Fault.link Link_tbl.t;
+  forced : (int, Fault.action) Hashtbl.t;  (* by send index *)
+  mutable fault_rng : Xsim.Rng.t option;
+  mutable send_idx : int;
+  mutable delivery_hook : ('m envelope -> bool) option;
   mutable sent : int;
   mutable delivered : int;
   mutable total_delay : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable partition_dropped : int;
+  mutable forced_faults : int;
 }
 
-let create eng ?(fifo = false) ~latency () =
-  {
-    eng;
-    fifo;
-    default_latency = latency;
-    rng = Xsim.Rng.split (Xsim.Engine.rng eng);
-    nodes = Addr_tbl.create 16;
-    mailboxes = Addr_tbl.create 16;
-    order = [];
-    link_latency = Link_tbl.create 16;
-    sent = 0;
-    delivered = 0;
-    total_delay = 0;
-  }
+let obs_incr name = if Xobs.enabled () then Xobs.Counter.incr (Xobs.counter name)
+
+let install_faults t (f : Fault.t) =
+  t.faults <- f;
+  Hashtbl.reset t.forced;
+  List.iter (fun (i, a) -> Hashtbl.replace t.forced i a) f.Fault.forced;
+  if (not (Fault.is_none f)) && t.fault_rng = None then
+    t.fault_rng <- Some (Xsim.Rng.split t.rng)
+
+let create eng ?(fifo = false) ?faults ~latency () =
+  let t =
+    {
+      eng;
+      fifo;
+      default_latency = latency;
+      rng = Xsim.Rng.split (Xsim.Engine.rng eng);
+      nodes = Addr_tbl.create 16;
+      mailboxes = Addr_tbl.create 16;
+      order = [];
+      link_latency = Link_tbl.create 16;
+      last_delivery = Link_tbl.create 16;
+      faults = Fault.none;
+      link_faults = Link_tbl.create 16;
+      forced = Hashtbl.create 16;
+      fault_rng = None;
+      send_idx = 0;
+      delivery_hook = None;
+      sent = 0;
+      delivered = 0;
+      total_delay = 0;
+      dropped = 0;
+      duplicated = 0;
+      partition_dropped = 0;
+      forced_faults = 0;
+    }
+  in
+  (match faults with Some f -> install_faults t f | None -> ());
+  t
 
 let engine t = t.eng
 
@@ -62,12 +110,14 @@ let register t addr ~proc =
   let mbox =
     Xsim.Mailbox.create ~name:("inbox:" ^ Address.to_string addr) ()
   in
-  Addr_tbl.replace t.nodes addr { proc; last_delivery = 0 };
+  Addr_tbl.replace t.nodes addr { proc };
   Addr_tbl.replace t.mailboxes addr mbox;
   t.order <- addr :: t.order;
   mbox
 
 let mailbox t addr = Addr_tbl.find t.mailboxes addr
+
+let proc_of t addr = (Addr_tbl.find t.nodes addr).proc
 
 let members t = List.rev t.order
 
@@ -76,32 +126,119 @@ let link_model t ~src ~dst =
   | Some m -> m
   | None -> t.default_latency
 
-let send t ~src ~dst payload =
-  let node = Addr_tbl.find t.nodes dst in
+let link_profile t ~src ~dst =
+  match Link_tbl.find_opt t.link_faults (src, dst) with
+  | Some p -> p
+  | None -> t.faults.Fault.default
+
+let set_faults t f = install_faults t f
+let faults t = t.faults
+let set_link_faults t ~src ~dst profile =
+  Link_tbl.replace t.link_faults (src, dst) profile;
+  if t.fault_rng = None && not (Fault.link_is_clean profile) then
+    t.fault_rng <- Some (Xsim.Rng.split t.rng)
+
+let clear_link_faults t ~src ~dst = Link_tbl.remove t.link_faults (src, dst)
+
+let set_delivery_hook t hook = t.delivery_hook <- hook
+
+(* Schedule one wire-level delivery.  Deliveries are labelled choice
+   points: the explorer reorders or defers them to cover message races
+   the latency model alone would never produce with a given seed. *)
+let deliver t ~src ~dst ~label delay payload =
   let mbox = Addr_tbl.find t.mailboxes dst in
-  let now = Xsim.Engine.now t.eng in
-  let delay = Latency.sample (link_model t ~src ~dst) t.rng ~now in
   let delay =
     if t.fifo then begin
       (* Clamp so this message arrives no earlier than the previous one
-         bound for the same destination. *)
-      let arrival = max (now + delay) node.last_delivery in
-      node.last_delivery <- arrival;
+         on the same directed link. *)
+      let now = Xsim.Engine.now t.eng in
+      let last =
+        match Link_tbl.find_opt t.last_delivery (src, dst) with
+        | Some a -> a
+        | None -> 0
+      in
+      let arrival = max (now + delay) last in
+      Link_tbl.replace t.last_delivery (src, dst) arrival;
       arrival - now
     end
     else delay
   in
-  t.sent <- t.sent + 1;
-  (* Deliveries are labelled choice points: the explorer reorders or
-     defers them to cover message races the latency model alone would
-     never produce with a given seed. *)
-  Xsim.Engine.schedule t.eng
-    ~label:("net:" ^ Address.to_string dst)
-    ~delay
-    (fun () ->
+  Xsim.Engine.schedule t.eng ~label ~delay (fun () ->
       t.delivered <- t.delivered + 1;
       t.total_delay <- t.total_delay + delay;
-      Xsim.Mailbox.put mbox { src; dst; payload })
+      let e = { src; dst; payload } in
+      match t.delivery_hook with
+      | Some hook when hook e -> ()
+      | _ -> Xsim.Mailbox.put mbox e)
+
+(* The fate of one message: partition check, then the forced-fault table
+   (the explorer's systematic injections), then sampling.  Returns the
+   action plus whether it was forced. *)
+let decide t ~src ~dst ~now ~idx profile =
+  if Fault.partitioned t.faults ~src ~dst ~now then `Partition
+  else
+    match Hashtbl.find_opt t.forced idx with
+    | Some Fault.Drop -> `Drop true
+    | Some Fault.Duplicate -> `Duplicate true
+    | None -> (
+        match t.fault_rng with
+        | None -> `Deliver
+        | Some rng ->
+            if profile.Fault.drop > 0.0 && Xsim.Rng.chance rng profile.Fault.drop
+            then `Drop false
+            else if
+              profile.Fault.dup > 0.0 && Xsim.Rng.chance rng profile.Fault.dup
+            then `Duplicate false
+            else `Deliver)
+
+let jitter_of t profile =
+  if profile.Fault.jitter = 0 then 0
+  else
+    match t.fault_rng with
+    | None -> 0
+    | Some rng -> Xsim.Rng.int rng (profile.Fault.jitter + 1)
+
+let send t ~src ~dst payload =
+  ignore (Addr_tbl.find t.nodes dst : node);
+  let now = Xsim.Engine.now t.eng in
+  let idx = t.send_idx in
+  t.send_idx <- idx + 1;
+  t.sent <- t.sent + 1;
+  let profile = link_profile t ~src ~dst in
+  let sample_delay () =
+    Latency.sample (link_model t ~src ~dst) t.rng ~now + jitter_of t profile
+  in
+  let forced f =
+    if f then begin
+      t.forced_faults <- t.forced_faults + 1;
+      obs_incr "net.forced_faults"
+    end
+  in
+  match decide t ~src ~dst ~now ~idx profile with
+  | `Partition ->
+      (* Latency is still sampled so that healing a partition does not
+         shift the RNG stream of the surviving messages. *)
+      ignore (sample_delay () : int);
+      t.partition_dropped <- t.partition_dropped + 1;
+      obs_incr "net.partition_drops"
+  | `Drop f ->
+      ignore (sample_delay () : int);
+      forced f;
+      t.dropped <- t.dropped + 1;
+      obs_incr "net.drops"
+  | `Deliver ->
+      deliver t ~src ~dst ~label:("net:" ^ Address.to_string dst)
+        (sample_delay ()) payload
+  | `Duplicate f ->
+      forced f;
+      t.duplicated <- t.duplicated + 1;
+      obs_incr "net.dups";
+      deliver t ~src ~dst ~label:("net:" ^ Address.to_string dst)
+        (sample_delay ()) payload;
+      (* The copy is independently delayed and separately labelled, so it
+         is its own choice point for the explorer. *)
+      deliver t ~src ~dst ~label:("netdup:" ^ Address.to_string dst)
+        (sample_delay ()) payload
 
 let broadcast t ~src ?(include_self = false) payload =
   List.iter
@@ -116,4 +253,12 @@ let set_link_latency t ~src ~dst model =
 let clear_link_latency t ~src ~dst = Link_tbl.remove t.link_latency (src, dst)
 
 let stats t =
-  { sent = t.sent; delivered = t.delivered; total_delay = t.total_delay }
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    total_delay = t.total_delay;
+    dropped = t.dropped;
+    duplicated = t.duplicated;
+    partition_dropped = t.partition_dropped;
+    forced_faults = t.forced_faults;
+  }

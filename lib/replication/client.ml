@@ -2,7 +2,7 @@ type metrics = { mutable submits : int; mutable failures : int }
 
 type t = {
   eng : Xsim.Engine.t;
-  transport : Wire.t Xnet.Transport.t;
+  transport : Wire.t Xnet.Conduit.t;
   detector : Xdetect.Detector.t;
   replicas : Xnet.Address.t array;
   c_addr : Xnet.Address.t;
@@ -28,7 +28,7 @@ let pending_ivar t rid =
    across runs and across domains. *)
 let create ~eng ~transport ~detector ~replicas ~addr:c_addr ~proc:c_proc
     ?(rid_base = 0) () =
-  let mbox = Xnet.Transport.register transport c_addr ~proc:c_proc in
+  let mbox = Xnet.Conduit.register transport c_addr ~proc:c_proc in
   let t =
     {
       eng;
@@ -74,7 +74,7 @@ let request t ~action ~kind ~input =
 let submit t (req : Xsm.Request.t) =
   t.m.submits <- t.m.submits + 1;
   let target = t.replicas.(t.i) in
-  Xnet.Transport.send t.transport ~src:t.c_addr ~dst:target
+  Xnet.Conduit.send t.transport ~src:t.c_addr ~dst:target
     (Wire.Request { req; client = t.c_addr });
   (* await (receive [Result,res]) or suspect(replicas[i]) *)
   let result_iv = pending_ivar t req.rid in

@@ -17,7 +17,7 @@ type t
 
 val create :
   eng:Xsim.Engine.t ->
-  transport:Wire.t Xnet.Transport.t ->
+  transport:Wire.t Xnet.Conduit.t ->
   detector:Xdetect.Detector.t ->
   replicas:Xnet.Address.t list ->
   addr:Xnet.Address.t ->

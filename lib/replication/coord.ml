@@ -30,7 +30,11 @@ let register_obj r inst =
           let obj = Xconsensus.Register.create eng ~latency ~name:inst () in
           Hashtbl.replace table inst obj;
           obj)
-  | Paxos _ -> assert false
+  | Paxos _ ->
+      invalid_arg
+        "Coord.register_obj: consensus objects are per-instance Paxos \
+         handles on a `Paxos backend; registers exist only on the \
+         `Register backend"
 
 (* Pval names instances "o/..."/"r/..."/"x/..." (owner / result /
    outcome); classify consensus traffic per protocol decision family. *)

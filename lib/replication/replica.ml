@@ -46,7 +46,7 @@ type t = {
   eng : Xsim.Engine.t;
   env : Xsm.Environment.t;
   sm : Xsm.Statemachine.t;  (** this replica's copy of S (Fig. 6) *)
-  transport : Wire.t Xnet.Transport.t;
+  transport : Wire.t Xnet.Conduit.t;
   detector : Xdetect.Detector.t;
   coord : Coord.t;
   r_addr : Xnet.Address.t;
@@ -110,7 +110,7 @@ let max_round_of t ~rid =
 let send_result t ~client ~rid value =
   t.m.replies_sent <- t.m.replies_sent + 1;
   obs_incr t (fun o -> o.o_replies);
-  Xnet.Transport.send t.transport ~src:t.r_addr ~dst:client
+  Xnet.Conduit.send t.transport ~src:t.r_addr ~dst:client
     (Wire.Result { rid; value })
 
 (* ------------------------------------------------------------------ *)
@@ -414,7 +414,7 @@ let spawn_named t base fn =
 
 let create ~eng ~env ~transport ~detector ~coord ~addr:r_addr ~proc:r_proc
     ?(config = default_config) () =
-  let mbox = Xnet.Transport.register transport r_addr ~proc:r_proc in
+  let mbox = Xnet.Conduit.register transport r_addr ~proc:r_proc in
   let t =
     {
       eng;

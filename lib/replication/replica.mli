@@ -51,7 +51,7 @@ type t
 val create :
   eng:Xsim.Engine.t ->
   env:Xsm.Environment.t ->
-  transport:Wire.t Xnet.Transport.t ->
+  transport:Wire.t Xnet.Conduit.t ->
   detector:Xdetect.Detector.t ->
   coord:Coord.t ->
   addr:Xnet.Address.t ->

@@ -7,10 +7,16 @@ type detector_config =
       timeout_increment : int;
     }
 
+type channel_config =
+  | Assumed_reliable
+  | Arq of Xnet.Reliable.arq
+
 type config = {
   n_replicas : int;
   n_clients : int;
   net_latency : Xnet.Latency.t;
+  faults : Xnet.Fault.t;
+  channel : channel_config;
   backend : Coord.backend;
   detector : detector_config;
   replica : Replica.config;
@@ -21,15 +27,25 @@ let default_config =
     n_replicas = 3;
     n_clients = 1;
     net_latency = Xnet.Latency.Uniform (20, 60);
+    faults = Xnet.Fault.none;
+    channel = Assumed_reliable;
     backend = `Register 25;
     detector = Oracle { detection_delay = 50; poll_interval = 25 };
     replica = Replica.default_config;
   }
 
+(* Which channel implementation carries the service's Wire messages.
+   [Raw] is the paper's model: reliability assumed by the transport
+   itself.  [Reliable] implements the same contract over a faulty wire
+   with ARQ. *)
+type net =
+  | Raw of Wire.t Xnet.Transport.t
+  | Reliable of Wire.t Xnet.Reliable.t
+
 type t = {
   eng : Xsim.Engine.t;
   env : Xsm.Environment.t;
-  s_transport : Wire.t Xnet.Transport.t;
+  s_net : net;
   s_coord : Coord.t;
   s_detector : Xdetect.Detector.t;
   s_oracle : Xdetect.Oracle.t option;
@@ -41,7 +57,20 @@ type t = {
 }
 
 let create eng env (cfg : config) =
-  let s_transport = Xnet.Transport.create eng ~latency:cfg.net_latency () in
+  let s_net =
+    match cfg.channel with
+    | Assumed_reliable ->
+        Raw (Xnet.Transport.create eng ~faults:cfg.faults ~latency:cfg.net_latency ())
+    | Arq arq ->
+        Reliable
+          (Xnet.Reliable.create eng ~faults:cfg.faults ~arq
+             ~latency:cfg.net_latency ())
+  in
+  let s_transport =
+    match s_net with
+    | Raw tr -> Xnet.Conduit.of_transport tr
+    | Reliable r -> Xnet.Conduit.of_reliable r
+  in
   let replica_members =
     List.init cfg.n_replicas (fun i ->
         let addr = Xnet.Address.make ~role:"replica" ~index:i in
@@ -67,10 +96,12 @@ let create eng env (cfg : config) =
         in
         (Xdetect.Oracle.detector o, Some o, None)
     | Heartbeat { latency; period; initial_timeout; timeout_increment } ->
+        (* Heartbeats share the service's fault plane but ride the raw
+           lossy wire (no ARQ): loss shows up as false suspicions. *)
         let hb =
-          Xdetect.Heartbeat.create eng ~latency ~members:replica_members
-            ~extra_observers:client_members ~period ~initial_timeout
-            ~timeout_increment ()
+          Xdetect.Heartbeat.create eng ~latency ~faults:cfg.faults
+            ~members:replica_members ~extra_observers:client_members ~period
+            ~initial_timeout ~timeout_increment ()
         in
         (Xdetect.Heartbeat.detector hb, None, Some hb)
   in
@@ -97,7 +128,7 @@ let create eng env (cfg : config) =
   {
     eng;
     env;
-    s_transport;
+    s_net;
     s_coord;
     s_detector;
     s_oracle;
@@ -122,7 +153,18 @@ let detector t = t.s_detector
 let oracle t = t.s_oracle
 let heartbeat t = t.s_heartbeat
 let coord t = t.s_coord
-let transport t = t.s_transport
+
+(* Wire-level stats of the service transport: under ARQ these count raw
+   packets (data + acks + retransmissions), not application sends. *)
+let net_stats t =
+  match t.s_net with
+  | Raw tr -> Xnet.Transport.stats tr
+  | Reliable r -> Xnet.Transport.stats (Xnet.Reliable.raw r)
+
+let reliable_stats t =
+  match t.s_net with
+  | Raw _ -> None
+  | Reliable r -> Some (Xnet.Reliable.stats r)
 
 type totals = {
   rounds_owned : int;
@@ -147,5 +189,5 @@ let totals t =
     replies_sent = sum (fun m -> m.Replica.replies_sent);
     consensus_proposals = Coord.total_proposals t.s_coord;
     consensus_messages = Coord.messages_sent t.s_coord;
-    service_messages = (Xnet.Transport.stats t.s_transport).sent;
+    service_messages = (net_stats t).Xnet.Transport.sent;
   }

@@ -16,18 +16,32 @@ type detector_config =
       timeout_increment : int;
     }  (** heartbeat-based ◇P over its own transport *)
 
+type channel_config =
+  | Assumed_reliable
+      (** the paper's section 5.2 model: the transport itself guarantees
+          exactly-once delivery (unless [faults] says otherwise, in which
+          case losses go unrepaired — useful to show what breaks) *)
+  | Arq of Xnet.Reliable.arq
+      (** reliable channels implemented over the faulty wire by the
+          {!Xnet.Reliable} ARQ layer *)
+
 type config = {
   n_replicas : int;
   n_clients : int;
   net_latency : Xnet.Latency.t;  (** client-replica message latency *)
+  faults : Xnet.Fault.t;
+      (** fault plane for the service wire {e and} the heartbeat
+          transport (heartbeats always ride the raw lossy wire) *)
+  channel : channel_config;
   backend : Coord.backend;
   detector : detector_config;
   replica : Replica.config;
 }
 
 val default_config : config
-(** 3 replicas, 1 client, uniform(20,60) latency, register backend with
-    latency 25, oracle detector with 50-tick detection delay. *)
+(** 3 replicas, 1 client, uniform(20,60) latency, no faults, channels
+    assumed reliable, register backend with latency 25, oracle detector
+    with 50-tick detection delay. *)
 
 type t
 
@@ -56,7 +70,12 @@ val heartbeat : t -> Xdetect.Heartbeat.t option
 
 val coord : t -> Coord.t
 
-val transport : t -> Wire.t Xnet.Transport.t
+val net_stats : t -> Xnet.Transport.stats
+(** Wire-level stats of the service transport.  Under [Arq] these count
+    raw packets (data, acks, retransmissions), not application sends. *)
+
+val reliable_stats : t -> Xnet.Reliable.stats option
+(** ARQ-layer stats when the [Arq] channel is configured. *)
 
 type totals = {
   rounds_owned : int;

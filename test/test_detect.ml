@@ -199,6 +199,52 @@ let test_heartbeat_timeout_adapts () =
     true
     (after >= before)
 
+let test_heartbeat_late_start_no_instant_suspicion () =
+  (* A detector whose links are first touched at now >> initial_timeout
+     must count silence from link creation, not from t=0 — otherwise the
+     first check instantly suspects everyone that has not yet had a
+     chance to heartbeat (latency > period here). *)
+  let eng = Engine.create ~seed:17 () in
+  Engine.schedule eng ~delay:1_000 (fun () -> ());
+  Engine.run eng;
+  checki "engine advanced before creation" 1_000 (Engine.now eng);
+  let members =
+    List.init 2 (fun i ->
+        let a = Address.make ~role:"n" ~index:i in
+        (a, Proc.create ~name:(Address.to_string a)))
+  in
+  let hb =
+    Heartbeat.create eng ~latency:(Xnet.Latency.Constant 60) ~members
+      ~period:20 ~initial_timeout:80 ()
+  in
+  Engine.run ~limit:3_000 eng;
+  checki "no suspicion from the late start" 0 (Heartbeat.suspicions hb)
+
+let test_heartbeat_lossy_wire () =
+  (* Heartbeats ride the raw lossy transport: loss shows up as false
+     suspicions (later refuted), while completeness still holds. *)
+  let eng = Engine.create ~seed:29 () in
+  let members =
+    List.init 3 (fun i ->
+        let a = Address.make ~role:"n" ~index:i in
+        (a, Proc.create ~name:(Address.to_string a)))
+  in
+  let faults =
+    Xnet.Fault.make ~default:(Xnet.Fault.link ~drop:0.6 ()) ()
+  in
+  let hb =
+    Heartbeat.create eng ~latency:(Xnet.Latency.Constant 10) ~faults ~members
+      ~period:20 ~initial_timeout:80 ~timeout_increment:60 ()
+  in
+  let d = Heartbeat.detector hb in
+  let a0, p0 = List.nth members 0 and a1, _ = List.nth members 1 in
+  Engine.schedule eng ~delay:10_000 (fun () -> Proc.kill p0);
+  Engine.run ~limit:20_000 eng;
+  checkb "loss produced false suspicions" true
+    (Heartbeat.false_suspicions hb > 0);
+  checkb "completeness survives the lossy wire" true
+    (Detector.suspects d ~observer:a1 ~target:a0)
+
 let test_heartbeat_extra_observer () =
   let eng = Engine.create ~seed:13 () in
   let members =
@@ -247,6 +293,10 @@ let () =
           tc "completeness" test_heartbeat_completeness;
           tc "eventual accuracy (phases)" test_heartbeat_eventual_accuracy_under_phases;
           tc "timeout adapts" test_heartbeat_timeout_adapts;
+          tc "late start: no instant suspicion"
+            test_heartbeat_late_start_no_instant_suspicion;
+          tc "lossy wire: false suspicions, completeness holds"
+            test_heartbeat_lossy_wire;
           tc "extra observer (client)" test_heartbeat_extra_observer;
         ] );
     ]

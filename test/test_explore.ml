@@ -39,6 +39,27 @@ let test_schedule_roundtrip_full () =
   (* shifts are kept sorted by step *)
   checkb "shifts sorted" true (s.Schedule.shifts = [ (7, 1); (31, 2) ])
 
+let test_schedule_roundtrip_faults () =
+  let faults =
+    {
+      Schedule.loss = 0.2;
+      dup_prob = 0.1;
+      jitter = 5;
+      partitions = [ (400, 1200, [ 0; 2 ]) ];
+      forced = [ (3, 0); (7, 1) ];
+    }
+  in
+  let s = Schedule.make ~faults ~seed:7 () in
+  Alcotest.(check (option sched_testable))
+    "fault plan round-trips" (Some s)
+    (Schedule.of_string (Schedule.to_string s));
+  (* pre-fault-plane lines (no net=/parts=/netf= tokens) still parse *)
+  match Schedule.of_string "v1 seed=9 win=4 mut=faithful crashes=- ccrash=- noise=- shifts=-" with
+  | None -> Alcotest.fail "legacy line rejected"
+  | Some legacy ->
+      checkb "legacy line defaults to no faults" true
+        (Schedule.faults_are_none legacy.Schedule.faults)
+
 let test_schedule_roundtrip_awkward_float () =
   (* %h serialization must round-trip floats that have no short decimal
      form. *)
@@ -81,11 +102,21 @@ let gen_schedule =
   list_size (int_bound 6)
     (pair (int_bound 500) (map (fun k -> 1 + k) (int_bound (window - 2))))
   >>= fun shifts ->
+  map (fun n -> float_of_int n /. 16.) (int_bound 15) >>= fun loss ->
+  map (fun n -> float_of_int n /. 32.) (int_bound 15) >>= fun dup_prob ->
+  int_bound 10 >>= fun jitter ->
+  list_size (int_bound 2)
+    (triple (int_bound 5_000) (int_bound 5_000)
+       (list_size (map (fun n -> n + 1) (int_bound 2)) (int_bound 4)))
+  >>= fun partitions ->
+  list_size (int_bound 4) (pair (int_bound 200) (int_bound 1))
+  >>= fun forced ->
+  let faults = { Schedule.loss; dup_prob; jitter; partitions; forced } in
   mutation >>= fun mutation ->
   int_bound 1_000_000 >>= fun seed ->
   return
-    (Schedule.make ~window ~mutation ~crashes ?client_crash_at ?noise ~shifts
-       ~seed ())
+    (Schedule.make ~window ~mutation ~crashes ?client_crash_at ?noise ~faults
+       ~shifts ~seed ())
 
 let arb_schedule =
   QCheck.make ~print:(fun s -> Schedule.to_string s) gen_schedule
@@ -349,6 +380,57 @@ let test_fault_enum_covers_plan () =
   checki "pairs add C(n,2) schedules" 10 v.Explorer.explored;
   checki "faithful survives crash pairs" 0 (List.length v.Explorer.violating)
 
+let test_net_fault_covers_plan_and_stays_clean () =
+  (* loss levels × (no partition + windows × groups) × seeds, and the
+     faithful protocol stays x-able on every lossy schedule because the
+     ARQ channel is installed under it. *)
+  let sc = Explorer.booking ~requests:2 () in
+  let strat =
+    Strategy.net_fault ~dup:0.1
+      ~partition_windows:[ (200, 800) ]
+      ~groups:[ [ 0 ] ] ~seeds:3
+      ~loss_levels:[ 0.1; 0.2 ]
+      ()
+  in
+  let v = Explorer.explore sc strat in
+  checki "explored = 2 * (1 + 1*1) * 3" 12 v.Explorer.explored;
+  checki "faithful survives the lossy wire" 0
+    (List.length v.Explorer.violating)
+
+let test_net_fault_pool_size_independent () =
+  (* Fault sampling rides the transport's split RNG keyed by the engine
+     seed, so lossy sweeps are byte-identical across pool sizes too. *)
+  let sc = Explorer.booking ~requests:2 () in
+  let strat =
+    Strategy.net_fault ~dup:0.1 ~seeds:(if quick then 4 else 8)
+      ~loss_levels:[ 0.15 ] ()
+  in
+  let v1 = Explorer.explore ~jobs:1 sc strat in
+  let v4 = Explorer.explore ~jobs:4 sc strat in
+  checks "lossy verdict JSON byte-identical across JOBS"
+    (Explorer.verdict_to_json v1)
+    (Explorer.verdict_to_json v4)
+
+let test_lossy_schedule_replays () =
+  (* A schedule line carrying a fault plan replays byte-identically, like
+     any other schedule: the plan is part of the run's identity. *)
+  let sc = Explorer.booking ~requests:2 () in
+  let faults =
+    { Schedule.no_faults with Schedule.loss = 0.2; dup_prob = 0.1 }
+  in
+  let s = Schedule.make ~window:1 ~faults ~seed:11 () in
+  let line = Schedule.to_string s in
+  match Schedule.of_string line with
+  | None -> Alcotest.fail "lossy schedule line does not parse"
+  | Some s' ->
+      let o1 = Explorer.run_schedule sc s in
+      let o2 = Explorer.run_schedule sc s' in
+      Alcotest.(check (list string)) "violations" o1.Explorer.violations
+        o2.Explorer.violations;
+      checki "events" o1.Explorer.events o2.Explorer.events;
+      checki "end_time" o1.Explorer.end_time o2.Explorer.end_time;
+      checkb "clean under ARQ" false (Explorer.violating o1)
+
 let () =
   Alcotest.run "xexplore"
     [
@@ -360,6 +442,8 @@ let () =
             test_schedule_roundtrip_full;
           Alcotest.test_case "round-trip awkward float" `Quick
             test_schedule_roundtrip_awkward_float;
+          Alcotest.test_case "round-trip fault plan" `Quick
+            test_schedule_roundtrip_faults;
           Alcotest.test_case "of_string rejects garbage" `Quick
             test_schedule_of_string_garbage;
           Alcotest.test_case "chooser replays shifts" `Quick
@@ -407,5 +491,14 @@ let () =
             test_faithful_clean;
           Alcotest.test_case "fault enumeration" `Quick
             test_fault_enum_covers_plan;
+        ] );
+      ( "network faults",
+        [
+          Alcotest.test_case "net-fault sweep covers plan, faithful clean"
+            `Quick test_net_fault_covers_plan_and_stays_clean;
+          Alcotest.test_case "lossy verdict independent of pool size" `Quick
+            test_net_fault_pool_size_independent;
+          Alcotest.test_case "lossy schedule line replays" `Quick
+            test_lossy_schedule_replays;
         ] );
     ]

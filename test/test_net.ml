@@ -76,6 +76,22 @@ let test_latency_phases () =
   checki "final regime" 10 (Latency.sample m rng ~now:500);
   checki "lower bound tracks regime" 10 (Latency.lower_bound m ~now:500)
 
+let test_latency_pp_roundtrip () =
+  (* Golden rendering for every constructor; the Phases regime marker
+     must close its bracket. *)
+  let render m = Format.asprintf "%a" Latency.pp m in
+  Alcotest.(check string) "constant" "constant(30)" (render (Latency.Constant 30));
+  Alcotest.(check string) "uniform" "uniform(10,20)"
+    (render (Latency.Uniform (10, 20)));
+  Alcotest.(check string) "exponential" "exp(min=15,mean=10.0)"
+    (render (Latency.Exponential { min = 15; mean = 10.0 }));
+  Alcotest.(check string) "phases"
+    "phases(<100:constant(50)>; <200:uniform(1,2)>; then constant(10))"
+    (render
+       (Latency.Phases
+          ( [ (100, Latency.Constant 50); (200, Latency.Uniform (1, 2)) ],
+            Latency.Constant 10 )))
+
 let setup () =
   let eng = Engine.create ~seed:5 () in
   let tr = Transport.create eng ~latency:(Latency.Constant 10) () in
@@ -174,6 +190,346 @@ let test_transport_to_dead_process () =
   (* Delivered into the mailbox, but no fiber of b will ever consume it. *)
   checki "queued at dead node" 1 (Xsim.Mailbox.length mbb)
 
+let test_transport_per_link_fifo () =
+  (* FIFO is per directed link, not per destination: a slow link must not
+     delay an independent fast link to the same receiver (the clamp used
+     to be keyed by destination only). *)
+  let eng = Engine.create ~seed:9 () in
+  let tr = Transport.create eng ~fifo:true ~latency:(Latency.Constant 10) () in
+  let a = Address.of_string "a"
+  and b = Address.of_string "b"
+  and c = Address.of_string "c" in
+  List.iter
+    (fun n ->
+      ignore
+        (Transport.register tr (Address.of_string n)
+           ~proc:(Xsim.Proc.create ~name:n)))
+    [ "a"; "b"; "c" ];
+  Transport.set_link_latency tr ~src:a ~dst:b (Latency.Constant 500);
+  let mbb = Transport.mailbox tr b in
+  Transport.send tr ~src:a ~dst:b "slow";
+  Transport.send tr ~src:c ~dst:b "fast";
+  let got = ref [] in
+  Engine.spawn eng ~name:"recv" (fun () ->
+      for _ = 1 to 2 do
+        let e = Xsim.Mailbox.take eng mbb in
+        got := (e.Transport.payload, Engine.now eng) :: !got
+      done);
+  Engine.run eng;
+  (match List.rev !got with
+  | [ ("fast", 10); ("slow", 500) ] -> ()
+  | other ->
+      Alcotest.failf "per-link FIFO broken: %s"
+        (String.concat "; "
+           (List.map (fun (p, t) -> Printf.sprintf "%s@%d" p t) other)));
+  (* FIFO still clamps within one link under racing latencies. *)
+  let eng = Engine.create ~seed:10 () in
+  let tr =
+    Transport.create eng ~fifo:true ~latency:(Latency.Uniform (5, 100)) ()
+  in
+  let senders = [ "a"; "c" ] in
+  List.iter
+    (fun n ->
+      ignore
+        (Transport.register tr (Address.of_string n)
+           ~proc:(Xsim.Proc.create ~name:n)))
+    ("b" :: senders);
+  for i = 1 to 10 do
+    List.iter
+      (fun n ->
+        Transport.send tr ~src:(Address.of_string n) ~dst:b (n, i))
+      senders
+  done;
+  let got = ref [] in
+  Engine.spawn eng ~name:"recv" (fun () ->
+      for _ = 1 to 20 do
+        got := (Xsim.Mailbox.take eng (Transport.mailbox tr b)).Transport.payload
+               :: !got
+      done);
+  Engine.run eng;
+  let per_link n =
+    List.filter_map (fun (m, i) -> if m = n then Some i else None)
+      (List.rev !got)
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "link %s->b in order" n)
+        (List.init 10 (fun i -> i + 1))
+        (per_link n))
+    senders
+
+(* ------------------------------------------------------------------ *)
+(* Fault plane *)
+
+module Fault = Xnet.Fault
+
+let test_fault_validation () =
+  Alcotest.check_raises "drop out of range"
+    (Invalid_argument "Fault.link: drop not in [0,1]") (fun () ->
+      ignore (Fault.link ~drop:1.5 ()));
+  Alcotest.check_raises "negative jitter"
+    (Invalid_argument "Fault.link: negative jitter") (fun () ->
+      ignore (Fault.link ~jitter:(-1) ()));
+  checkb "none is none" true (Fault.is_none Fault.none);
+  checkb "clean link" true (Fault.link_is_clean Fault.clean);
+  checkb "lossy link not clean" false
+    (Fault.link_is_clean (Fault.link ~drop:0.1 ()))
+
+let test_fault_partitioned () =
+  let a = Address.of_string "a"
+  and b = Address.of_string "b"
+  and c = Address.of_string "c" in
+  let f =
+    Fault.make
+      ~partitions:[ { Fault.from_t = 100; until_t = 200; group = [ a ] } ]
+      ()
+  in
+  checkb "severed in window" true (Fault.partitioned f ~src:a ~dst:b ~now:100);
+  checkb "severed both directions" true
+    (Fault.partitioned f ~src:b ~dst:a ~now:150);
+  checkb "not before" false (Fault.partitioned f ~src:a ~dst:b ~now:99);
+  checkb "healed at until" false (Fault.partitioned f ~src:a ~dst:b ~now:200);
+  checkb "outside pair unaffected" false
+    (Fault.partitioned f ~src:b ~dst:c ~now:150);
+  let both =
+    Fault.make
+      ~partitions:[ { Fault.from_t = 0; until_t = 100; group = [ a; b ] } ]
+      ()
+  in
+  checkb "same side stays connected" false
+    (Fault.partitioned both ~src:a ~dst:b ~now:50)
+
+let faulty_setup ?fifo ~faults () =
+  let eng = Engine.create ~seed:5 () in
+  let tr = Transport.create eng ?fifo ~faults ~latency:(Latency.Constant 10) () in
+  let a = Address.of_string "a" and b = Address.of_string "b" in
+  let _ = Transport.register tr a ~proc:(Xsim.Proc.create ~name:"a") in
+  let mbb = Transport.register tr b ~proc:(Xsim.Proc.create ~name:"b") in
+  (eng, tr, a, b, mbb)
+
+let test_transport_drop_all () =
+  let eng, tr, a, b, mbb =
+    faulty_setup ~faults:(Fault.make ~default:(Fault.link ~drop:1.0 ()) ()) ()
+  in
+  for _ = 1 to 5 do
+    Transport.send tr ~src:a ~dst:b "lost"
+  done;
+  Engine.run eng;
+  checki "nothing delivered" 0 (Xsim.Mailbox.length mbb);
+  let st = Transport.stats tr in
+  checki "sent counted" 5 st.Transport.sent;
+  checki "all dropped" 5 st.Transport.dropped;
+  checki "no deliveries" 0 st.Transport.delivered
+
+let test_transport_duplicate_all () =
+  let eng, tr, a, b, mbb =
+    faulty_setup ~faults:(Fault.make ~default:(Fault.link ~dup:1.0 ()) ()) ()
+  in
+  for _ = 1 to 3 do
+    Transport.send tr ~src:a ~dst:b "twice"
+  done;
+  Engine.run eng;
+  checki "every message doubled" 6 (Xsim.Mailbox.length mbb);
+  let st = Transport.stats tr in
+  checki "duplicates counted" 3 st.Transport.duplicated;
+  checki "deliveries include copies" 6 st.Transport.delivered
+
+let test_transport_partition_window () =
+  let faults =
+    Fault.make
+      ~partitions:
+        [ { Fault.from_t = 0; until_t = 100; group = [ Address.of_string "a" ] } ]
+      ()
+  in
+  let eng, tr, a, b, mbb = faulty_setup ~faults () in
+  Transport.send tr ~src:a ~dst:b "severed";
+  Engine.schedule eng ~delay:150 (fun () ->
+      Transport.send tr ~src:a ~dst:b "healed");
+  Engine.run eng;
+  checki "only the post-heal message" 1 (Xsim.Mailbox.length mbb);
+  checki "partition drop counted" 1
+    (Transport.stats tr).Transport.partition_dropped
+
+let test_transport_forced_faults () =
+  let faults =
+    Fault.make ~forced:[ (0, Fault.Drop); (1, Fault.Duplicate) ] ()
+  in
+  let eng, tr, a, b, mbb = faulty_setup ~faults () in
+  Transport.send tr ~src:a ~dst:b "dropped";
+  Transport.send tr ~src:a ~dst:b "doubled";
+  Transport.send tr ~src:a ~dst:b "normal";
+  Engine.run eng;
+  checki "drop + dup + normal = 3 deliveries" 3 (Xsim.Mailbox.length mbb);
+  let st = Transport.stats tr in
+  checki "forced actions counted" 2 st.Transport.forced_faults;
+  checki "forced drop counted" 1 st.Transport.dropped;
+  checki "forced dup counted" 1 st.Transport.duplicated
+
+let test_transport_faults_reproducible () =
+  let run () =
+    let eng, tr, a, b, mbb =
+      faulty_setup
+        ~faults:(Fault.make ~default:(Fault.link ~drop:0.3 ~dup:0.2 ()) ())
+        ()
+    in
+    for _ = 1 to 50 do
+      Transport.send tr ~src:a ~dst:b "m"
+    done;
+    Engine.run eng;
+    let st = Transport.stats tr in
+    (Xsim.Mailbox.length mbb, st.Transport.dropped, st.Transport.duplicated)
+  in
+  let d1, dr1, du1 = run () and d2, dr2, du2 = run () in
+  checki "same deliveries" d1 d2;
+  checki "same drops" dr1 dr2;
+  checki "same dups" du1 du2;
+  checkb "faults actually sampled" true (dr1 > 0 && du1 > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Reliable (ARQ) channel *)
+
+module Reliable = Xnet.Reliable
+
+let reliable_setup ?arq ~faults () =
+  let eng = Engine.create ~seed:5 () in
+  let r = Reliable.create eng ~faults ?arq ~latency:(Latency.Constant 10) () in
+  let a = Address.of_string "a" and b = Address.of_string "b" in
+  let pa = Xsim.Proc.create ~name:"a" and pb = Xsim.Proc.create ~name:"b" in
+  let _ = Reliable.register r a ~proc:pa in
+  let mbb = Reliable.register r b ~proc:pb in
+  (eng, r, (a, pa), (b, pb), mbb)
+
+let test_reliable_delivers_under_loss () =
+  let eng, r, (a, _), (b, _), mbb =
+    reliable_setup
+      ~faults:(Fault.make ~default:(Fault.link ~drop:0.4 ~dup:0.2 ()) ())
+      ()
+  in
+  let n = 20 in
+  for i = 1 to n do
+    Reliable.send r ~src:a ~dst:b i
+  done;
+  let got = ref [] in
+  Engine.spawn eng ~name:"recv" (fun () ->
+      for _ = 1 to n do
+        got := (Xsim.Mailbox.take eng mbb).Xnet.Transport.payload :: !got
+      done);
+  Engine.run eng;
+  Alcotest.(check (list int))
+    "exactly once, in order"
+    (List.init n (fun i -> i + 1))
+    (List.rev !got);
+  checki "nothing extra queued" 0 (Xsim.Mailbox.length mbb);
+  let st = Reliable.stats r in
+  checki "app deliveries" n st.Reliable.app_delivered;
+  checkb "loss forced retransmissions" true (st.Reliable.retransmits > 0);
+  checkb "duplicates were deduplicated" true (st.Reliable.dedup_dropped > 0)
+
+let test_reliable_partition_heals () =
+  let faults =
+    Fault.make
+      ~partitions:
+        [ { Fault.from_t = 0; until_t = 600; group = [ Address.of_string "a" ] } ]
+      ()
+  in
+  let eng, r, (a, _), (b, _), mbb = reliable_setup ~faults () in
+  Reliable.send r ~src:a ~dst:b "through";
+  let got = ref None in
+  Engine.spawn eng ~name:"recv" (fun () ->
+      got := Some (Xsim.Mailbox.take eng mbb).Xnet.Transport.payload);
+  Engine.run eng;
+  Alcotest.(check (option string)) "delivered after heal" (Some "through") !got;
+  checkb "healed past the partition" true (Engine.now eng >= 600);
+  checkb "retransmitted across the window" true
+    ((Reliable.stats r).Reliable.retransmits > 0)
+
+let test_reliable_crashed_sender_stops () =
+  let eng, r, (a, pa), (b, _), mbb =
+    reliable_setup
+      ~faults:(Fault.make ~default:(Fault.link ~drop:1.0 ()) ())
+      ()
+  in
+  Reliable.send r ~src:a ~dst:b "doomed";
+  Xsim.Proc.kill pa;
+  (* Total loss + dead sender: the first armed timer fires, sees the dead
+     sender, and stops.  The run must terminate on its own. *)
+  Engine.run eng;
+  checki "nothing delivered" 0 (Xsim.Mailbox.length mbb);
+  checki "no retransmissions from the dead" 0
+    (Reliable.stats r).Reliable.retransmits
+
+let test_reliable_cap_is_metric_only () =
+  let arq =
+    { Reliable.rto = 20; backoff = 2; max_rto = 40; retransmit_cap = 2 }
+  in
+  let faults =
+    Fault.make
+      ~partitions:
+        [ { Fault.from_t = 0; until_t = 900; group = [ Address.of_string "a" ] } ]
+      ()
+  in
+  let eng, r, (a, _), (b, _), mbb = reliable_setup ~arq ~faults () in
+  Reliable.send r ~src:a ~dst:b "stubborn";
+  Engine.spawn eng ~name:"recv" (fun () ->
+      ignore (Xsim.Mailbox.take eng mbb));
+  Engine.run eng;
+  let st = Reliable.stats r in
+  checki "delivered despite the cap" 1 st.Reliable.app_delivered;
+  checkb "cap hit recorded" true (st.Reliable.cap_hits > 0)
+
+(* The paper's section 5.2 channel contract as a property: for any fault
+   plane with drop < 1 and any seed, every message sent between correct
+   processes is delivered exactly once, links independently FIFO. *)
+let prop_reliable_exactly_once_fifo =
+  let gen =
+    QCheck.Gen.(
+      quad
+        (map (fun n -> float_of_int n /. 20.) (int_bound 15)) (* drop <= .75 *)
+        (map (fun n -> float_of_int n /. 20.) (int_bound 10)) (* dup <= .5 *)
+        (int_bound 30) (* jitter *)
+        (int_bound 10_000) (* seed *))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (drop, dup, jitter, seed) ->
+        Printf.sprintf "drop=%g dup=%g jitter=%d seed=%d" drop dup jitter seed)
+      gen
+  in
+  QCheck.Test.make ~name:"Reliable: exactly-once FIFO per link (section 5.2)"
+    ~count:40 arb (fun (drop, dup, jitter, seed) ->
+      let eng = Engine.create ~seed () in
+      let r =
+        Reliable.create eng
+          ~faults:(Fault.make ~default:(Fault.link ~drop ~dup ~jitter ()) ())
+          ~latency:(Latency.Uniform (5, 25))
+          ()
+      in
+      let reg n =
+        let a = Address.of_string n in
+        (a, Reliable.register r a ~proc:(Xsim.Proc.create ~name:n))
+      in
+      let a, _ = reg "a" and c, _ = reg "c" and b, mbb = reg "b" in
+      let n = 8 in
+      for i = 1 to n do
+        Reliable.send r ~src:a ~dst:b ("a", i);
+        Reliable.send r ~src:c ~dst:b ("c", i)
+      done;
+      let got = ref [] in
+      Engine.spawn eng ~name:"recv" (fun () ->
+          for _ = 1 to 2 * n do
+            got := (Xsim.Mailbox.take eng mbb).Xnet.Transport.payload :: !got
+          done);
+      Engine.run eng;
+      let per_link l =
+        List.filter_map (fun (m, i) -> if m = l then Some i else None)
+          (List.rev !got)
+      in
+      let expect = List.init n (fun i -> i + 1) in
+      Xsim.Mailbox.length mbb = 0
+      && per_link "a" = expect
+      && per_link "c" = expect)
+
 let test_transport_members_order () =
   let _, tr, (a, _, _), (b, _, _) = setup () in
   Alcotest.(check (list string)) "registration order" [ "a"; "b" ]
@@ -195,6 +551,7 @@ let () =
           tc "exponential min" test_latency_exponential_min;
           tc "never negative" test_latency_never_negative;
           tc "phases" test_latency_phases;
+          tc "pp golden" test_latency_pp_roundtrip;
         ] );
       ( "transport",
         [
@@ -203,9 +560,28 @@ let () =
           tc "unknown destination" test_transport_unknown_destination;
           tc "broadcast" test_transport_broadcast;
           tc "fifo" test_transport_fifo;
+          tc "per-link fifo" test_transport_per_link_fifo;
           tc "link override" test_transport_link_override;
           tc "stats" test_transport_stats;
           tc "delivery to dead process" test_transport_to_dead_process;
           tc "members order" test_transport_members_order;
+        ] );
+      ( "faults",
+        [
+          tc "validation" test_fault_validation;
+          tc "partition windows" test_fault_partitioned;
+          tc "drop all" test_transport_drop_all;
+          tc "duplicate all" test_transport_duplicate_all;
+          tc "partition drops then heals" test_transport_partition_window;
+          tc "forced fault actions" test_transport_forced_faults;
+          tc "sampled faults reproducible" test_transport_faults_reproducible;
+        ] );
+      ( "reliable",
+        [
+          tc "delivers under loss" test_reliable_delivers_under_loss;
+          tc "partition heals" test_reliable_partition_heals;
+          tc "crashed sender stops" test_reliable_crashed_sender_stops;
+          tc "retransmit cap is metric-only" test_reliable_cap_is_metric_only;
+          QCheck_alcotest.to_alcotest prop_reliable_exactly_once_fifo;
         ] );
     ]
