@@ -184,7 +184,46 @@ let client_crash_arg =
     & info [ "client-crash" ] ~docv:"TIME"
         ~doc:"Crash the client at a virtual time (at-most-once semantics).")
 
-let make_spec ?(faults = Xexplore.Schedule.no_faults) seed n_replicas crashes
+(* Batching / pipelining / load knobs (the amortized hot path). *)
+let batch_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Coalesce up to N concurrently-pending requests into one batch \
+           (one consensus sequence per batch).  1 (default) keeps the \
+           per-request protocol.")
+
+let pipeline_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "pipeline" ] ~docv:"N"
+        ~doc:"Batches in flight at once per replica (with $(b,--batch)).")
+
+let clients_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "clients" ] ~docv:"N"
+        ~doc:"Closed-loop client processes driving the workload.")
+
+let inflight_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "inflight" ] ~docv:"K"
+        ~doc:"Concurrent outstanding requests per client.")
+
+let batching_of ~batch ~pipeline =
+  if batch > 1 || pipeline > 1 then
+    Some
+      {
+        Xreplication.Batcher.default_config with
+        size = max 1 batch;
+        depth = max 1 pipeline;
+      }
+  else None
+
+let make_spec ?(faults = Xexplore.Schedule.no_faults) ?(batch = 1)
+    ?(pipeline = 1) ?(clients = 1) ?(inflight = 1) seed n_replicas crashes
     noise fail_prob backend detector client_crash =
   let net_faults = Xexplore.Explorer.net_faults_of_plan faults in
   let channel =
@@ -212,6 +251,7 @@ let make_spec ?(faults = Xexplore.Schedule.no_faults) seed n_replicas crashes
                 initial_timeout = 160;
                 timeout_increment = 120;
               });
+      batching = batching_of ~batch ~pipeline;
     }
   in
   {
@@ -223,6 +263,8 @@ let make_spec ?(faults = Xexplore.Schedule.no_faults) seed n_replicas crashes
     service_config;
     time_limit = 5_000_000;
     quiesce_grace = 20_000;
+    clients;
+    inflight;
   }
 
 let print_result (r : Runner.result) =
@@ -272,11 +314,11 @@ let print_result (r : Runner.result) =
 let run_cmd =
   let doc = "Run one replication scenario and verify R1-R4." in
   let run seed n crashes noise fail_prob backend detector requests mix
-      client_crash loss dup jitter partitions =
+      client_crash loss dup jitter partitions batch pipeline clients inflight =
     let faults = fault_plan_of loss dup jitter partitions in
     let spec =
-      make_spec ~faults seed n crashes noise fail_prob backend detector
-        client_crash
+      make_spec ~faults ~batch ~pipeline ~clients ~inflight seed n crashes
+        noise fail_prob backend detector client_crash
     in
     let r, _ =
       Runner.run ~spec ~setup:Workloads.setup_all
@@ -289,7 +331,8 @@ let run_cmd =
     Term.(
       const run $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
       $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
-      $ client_crash_arg $ loss_arg $ dup_arg $ jitter_arg $ partitions_arg)
+      $ client_crash_arg $ loss_arg $ dup_arg $ jitter_arg $ partitions_arg
+      $ batch_arg $ pipeline_arg $ clients_arg $ inflight_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
@@ -484,6 +527,7 @@ let explore_cmd =
                ("dfs", `Dfs);
                ("faults", `Faults);
                ("net", `Net);
+               ("batch", `Batch);
                ("all", `All);
              ])
           `All
@@ -491,7 +535,9 @@ let explore_cmd =
           ~doc:
             "$(b,walk) (replayable random walk), $(b,dfs) (delay-bounded \
              systematic), $(b,faults) (crash-time enumeration), $(b,net) \
-             (network fault-plane sweep over the ARQ channel), or $(b,all).")
+             (network fault-plane sweep over the ARQ channel), $(b,batch) \
+             (batch-boundary adversity with batching/pipelining on), or \
+             $(b,all).")
   in
   let seeds_arg =
     Arg.(
@@ -530,7 +576,7 @@ let explore_cmd =
           ~doc:"Append verdicts and counterexamples as JSON Lines to FILE.")
   in
   let explore scenario requests seed noise mutation strategy trials budget
-      window jobs expect out loss dup jitter partitions seeds =
+      window jobs expect out loss dup jitter partitions seeds batch pipeline =
     (* Under walk/dfs/faults, any --loss/--dup/--partition plan is stamped
        on every schedule; the net strategy sweeps its own plans instead. *)
     let base_faults = fault_plan_of loss dup jitter partitions in
@@ -559,11 +605,21 @@ let explore_cmd =
         Strategy.net_fault ~dup ~jitter ~partition_windows ~groups ~seeds
           ~loss_levels ()
       in
+      let batch_boundary =
+        (* --batch/--pipeline default to 1 (batching off) elsewhere; for
+           the boundary sweep that would test nothing, so fall back to
+           the strategy's own defaults (16/4) unless overridden. *)
+        Strategy.batch_boundary
+          ~batch:(if batch > 1 then batch else 16)
+          ~pipeline:(if pipeline > 1 then pipeline else 4)
+          ~seeds ()
+      in
       match strategy with
       | `Walk -> [ walk ]
       | `Dfs -> [ dfs ]
       | `Faults -> [ faults ]
       | `Net -> [ net ]
+      | `Batch -> [ batch_boundary ]
       | `All -> [ walk; dfs; faults; net ]
     in
     let emit =
@@ -623,7 +679,7 @@ let explore_cmd =
       const explore $ scenario_arg $ requests_arg $ seed_arg $ noise_arg
       $ mutation_arg $ strategy_arg $ trials_arg $ budget_arg $ window_arg
       $ jobs_arg $ expect_arg $ out_arg $ loss_arg $ dup_arg $ jitter_arg
-      $ partitions_arg $ seeds_arg)
+      $ partitions_arg $ seeds_arg $ batch_arg $ pipeline_arg)
 
 let replay_cmd =
   let doc = "Replay a schedule printed by $(b,xrepl explore)." in
@@ -758,13 +814,14 @@ let stats_cmd =
              sweep.")
   in
   let stats seed n crashes noise fail_prob backend detector requests mix
-      client_crash trials obs_json loss dup jitter partitions =
+      client_crash trials obs_json loss dup jitter partitions batch pipeline
+      clients inflight =
     Xobs.set_enabled true;
     Xobs.reset ();
     let faults = fault_plan_of loss dup jitter partitions in
     let spec =
-      make_spec ~faults seed n crashes noise fail_prob backend detector
-        client_crash
+      make_spec ~faults ~batch ~pipeline ~clients ~inflight seed n crashes
+        noise fail_prob backend detector client_crash
     in
     let r, _ =
       Runner.run ~spec ~setup:Workloads.setup_all
@@ -815,7 +872,293 @@ let stats_cmd =
       const stats $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
       $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
       $ client_crash_arg $ explore_trials_arg $ obs_json_arg $ loss_arg
-      $ dup_arg $ jitter_arg $ partitions_arg)
+      $ dup_arg $ jitter_arg $ partitions_arg $ batch_arg $ pipeline_arg
+      $ clients_arg $ inflight_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bench --compare: diff two bench JSON reports (bench/main.exe --json),
+   numeric path by numeric path, and call out the regressions. *)
+
+(* A minimal JSON reader (stdlib only), just enough for the bench
+   harness's own output: objects, arrays, strings, numbers, booleans,
+   null.  No unicode unescaping — the reports are ASCII. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance ()
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ lit)
+    in
+    let string_body () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+            | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+            | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+            | Some 'u' ->
+                (* Keep the escape verbatim; paths never contain these. *)
+                Buffer.add_string b "\\u";
+                advance ();
+                go ()
+            | Some c -> Buffer.add_char b c; advance (); go ()
+            | None -> fail "unterminated escape")
+        | Some c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = string_body () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (fields [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec items acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            List (items [])
+          end
+      | Some '"' -> Str (string_body ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> number ()
+      | None -> fail "empty input"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  (* Flatten to (path, number) rows, depth-first in document order.
+     Booleans flatten to 0/1 so "all_ok" flips show up in the diff. *)
+  let flatten (j : t) : (string * float) list =
+    let rows = ref [] in
+    let rec go path = function
+      | Null | Str _ -> ()
+      | Bool b -> rows := (path, if b then 1.0 else 0.0) :: !rows
+      | Num f -> rows := (path, f) :: !rows
+      | List xs ->
+          List.iteri (fun i x -> go (Printf.sprintf "%s[%d]" path i) x) xs
+      | Obj fields ->
+          List.iter
+            (fun (k, v) ->
+              go (if path = "" then k else path ^ "." ^ k) v)
+            fields
+    in
+    go "" j;
+    List.rev !rows
+end
+
+(* Is a larger value of this metric better, worse, or unjudged?  Matched
+   on the leaf name so the table can mark regressions without a schema. *)
+let metric_direction path =
+  let leaf =
+    match String.rindex_opt path '.' with
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    | None -> path
+  in
+  let has sub =
+    let ls = String.length sub and ll = String.length leaf in
+    let rec at i = i + ls <= ll && (String.sub leaf i ls = sub || at (i + 1)) in
+    at 0
+  in
+  if
+    has "req_per_s" || has "speedup" || has "ok" || has "identical"
+    || has "explored"
+  then `Higher_better
+  else if
+    has "latency" || has "wall_s" || has "ns_per_run" || has "violating"
+    || has "consensus_per_request"
+    || has "wire_messages_per_request"
+    || has "retransmit" || has "drops" || has "_s"
+  then `Lower_better
+  else `Unjudged
+
+let bench_cmd =
+  let doc = "Compare two bench JSON reports (bench/main.exe --json)." in
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Diff the two FILE arguments numeric-path by numeric-path \
+             (currently the only mode, and therefore required).")
+  in
+  let file_a =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A.json")
+  in
+  let file_b =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"B.json")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"Relative change (percent) below which a delta is noise.")
+  in
+  let bench compare a b threshold =
+    if not compare then begin
+      prerr_endline "xrepl bench: only --compare is implemented; pass it.";
+      2
+    end
+    else
+      let load path =
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        Json.parse s
+      in
+      match (load a, load b) with
+      | exception Sys_error e ->
+          prerr_endline ("xrepl bench: " ^ e);
+          2
+      | exception Json.Parse_error e ->
+          prerr_endline ("xrepl bench: parse error: " ^ e);
+          2
+      | ja, jb ->
+          let fa = Json.flatten ja and fb = Json.flatten jb in
+          let tb = Hashtbl.create 256 in
+          List.iter (fun (k, v) -> Hashtbl.replace tb k v) fb;
+          let sa = Hashtbl.create 256 in
+          List.iter (fun (k, _) -> Hashtbl.replace sa k ()) fa;
+          let regressions = ref 0 and shown = ref 0 and compared = ref 0 in
+          Format.printf "%-58s %12s %12s %9s@." "metric"
+            (Filename.basename a) (Filename.basename b) "delta";
+          let show path va vb =
+            let delta_pct =
+              if va = 0.0 then if vb = 0.0 then 0.0 else Float.infinity
+              else (vb -. va) /. Float.abs va *. 100.0
+            in
+            if Float.abs delta_pct >= threshold then begin
+              incr shown;
+              let verdict =
+                match metric_direction path with
+                | `Higher_better when delta_pct < 0.0 -> " REGRESSION"
+                | `Lower_better when delta_pct > 0.0 -> " REGRESSION"
+                | `Higher_better | `Lower_better -> " improved"
+                | `Unjudged -> ""
+              in
+              if verdict = " REGRESSION" then incr regressions;
+              Format.printf "%-58s %12.4g %12.4g %+8.1f%%%s@." path va vb
+                delta_pct verdict
+            end
+          in
+          List.iter
+            (fun (path, va) ->
+              match Hashtbl.find_opt tb path with
+              | Some vb ->
+                  incr compared;
+                  show path va vb
+              | None -> Format.printf "%-58s %12.4g %12s@." path va "-")
+            fa;
+          List.iter
+            (fun (path, vb) ->
+              if not (Hashtbl.mem sa path) then
+                Format.printf "%-58s %12s %12.4g@." path "-" vb)
+            fb;
+          Format.printf
+            "@.%d numeric paths compared, %d over the %.1f%% threshold, %d \
+             regressions@."
+            !compared !shown threshold !regressions;
+          0
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const bench $ compare_arg $ file_a $ file_b $ threshold_arg)
 
 let () =
   let doc = "x-ability replication simulator (Frolund & Guerraoui, 2000)" in
@@ -823,4 +1166,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; sweep_cmd; trace_cmd; explore_cmd; replay_cmd; stats_cmd ]))
+          [
+            run_cmd;
+            sweep_cmd;
+            trace_cmd;
+            explore_cmd;
+            replay_cmd;
+            stats_cmd;
+            bench_cmd;
+          ]))

@@ -197,12 +197,20 @@ let backoff g attempt =
   let base = g.backoff_base * (1 lsl cap) in
   (base / 2) + Xsim.Rng.int g.rng (max 1 base)
 
-let propose { group = g; st; inst } v =
+let propose { group = g; st; inst } ?(weight = 1) v =
   g.proposals <- g.proposals + 1;
   let obs_on = Xobs.enabled () in
   let t0 = Xsim.Engine.now g.eng in
   let ballots0 = g.ballots in
-  if obs_on then Xobs.Counter.incr (Xobs.counter "consensus.proposals");
+  if obs_on then begin
+    Xobs.Counter.incr (Xobs.counter "consensus.proposals");
+    (* An aggregate value (a batch of requests) runs the two phases once
+       for the whole list payload — no per-element ballots. *)
+    if weight > 1 then begin
+      Xobs.Counter.incr (Xobs.counter "consensus.aggregate_values");
+      Xobs.Histogram.record (Xobs.histogram "consensus.value_weight") weight
+    end
+  end;
   let n = List.length g.member_list in
   let rec campaign attempt =
     let a = acceptor st inst in

@@ -42,8 +42,12 @@ type 'v handle
 
 val handle : 'v group -> member:Xnet.Address.t -> inst:string -> 'v handle
 
-val propose : 'v handle -> 'v -> 'v
-(** Blocks (fiber) until the instance decides; returns the decided value. *)
+val propose : 'v handle -> ?weight:int -> 'v -> 'v
+(** Blocks (fiber) until the instance decides; returns the decided value.
+    [weight] (default 1) is the cardinality of an aggregate value (e.g. a
+    batch of requests): the two phases run once for the whole list
+    payload, and weights > 1 are recorded to the
+    [consensus.value_weight] histogram. *)
 
 val read : 'v handle -> 'v option
 (** This member's current knowledge of the decision (local, instant). *)

@@ -11,14 +11,20 @@ let create eng ?(latency = 20) ~name () =
 
 let name t = t.rname
 
-let propose t v =
+let propose t ?(weight = 1) v =
   t.proposals <- t.proposals + 1;
   let obs_on = Xobs.enabled () in
   let t0 = Xsim.Engine.now t.eng in
   if obs_on then begin
     Xobs.Counter.incr (Xobs.counter "consensus.proposals");
     (* One round-trip to the register = one round. *)
-    Xobs.Counter.incr (Xobs.counter "consensus.rounds")
+    Xobs.Counter.incr (Xobs.counter "consensus.rounds");
+    (* Aggregate values (batched requests) ride one round-trip no matter
+       their cardinality; make the amortization visible. *)
+    if weight > 1 then begin
+      Xobs.Counter.incr (Xobs.counter "consensus.aggregate_values");
+      Xobs.Histogram.record (Xobs.histogram "consensus.value_weight") weight
+    end
   end;
   (* Request travels to the register... *)
   Xsim.Engine.sleep t.eng t.latency;

@@ -15,7 +15,12 @@ val create : Xsim.Engine.t -> ?latency:int -> name:string -> unit -> 'v t
 
 val name : 'v t -> string
 
-val propose : 'v t -> 'v -> 'v
+val propose : 'v t -> ?weight:int -> 'v -> 'v
+(** [weight] (default 1) is the cardinality of an aggregate value (e.g. a
+    batch of requests): the register decides the whole list payload in one
+    round-trip, and weights > 1 are recorded to the
+    [consensus.value_weight] histogram. *)
+
 val read : 'v t -> 'v option
 
 val peek : 'v t -> 'v option

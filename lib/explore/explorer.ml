@@ -129,13 +129,29 @@ let apply scenario (sch : Schedule.t) : Runner.spec =
             Xreplication.Service.Arq Xnet.Reliable.default_arq
         | c -> c )
   in
+  (* Batching/load dimensions: a schedule that carries them overrides
+     the scenario; one that does not leaves the scenario's own setting
+     (usually off/sequential) untouched. *)
+  let batching =
+    match sch.Schedule.batching with
+    | Some (size, depth, tick) -> Some { Xreplication.Batcher.size; tick; depth }
+    | None -> sc.Xreplication.Service.batching
+  in
+  let clients, inflight =
+    match sch.Schedule.load with
+    | Some (c, k) -> (c, k)
+    | None -> (scenario.spec.Runner.clients, scenario.spec.Runner.inflight)
+  in
   {
     scenario.spec with
     Runner.seed = sch.Schedule.seed;
     crashes = sch.Schedule.crashes;
     client_crash_at = sch.Schedule.client_crash_at;
     noise = sch.Schedule.noise;
-    service_config = { sc with Xreplication.Service.replica; faults; channel };
+    clients;
+    inflight;
+    service_config =
+      { sc with Xreplication.Service.replica; faults; channel; batching };
   }
 
 (* Run a schedule with chooser [choose] installed; [sch] is the identity
@@ -389,6 +405,54 @@ let explore ?jobs ?(chunk = 16) ?(stop_on_first = false)
                  in
                  { base with Schedule.faults = plan }))
            plans)
+  | Strategy.Batch_boundary { seeds; batch; pipeline; tick } ->
+      let seed0 = scenario.spec.Runner.seed in
+      (* The instants the batcher acts at: around the first few epoch
+         ticks (partial-batch flushes) and their immediate neighbours.
+         50 schedules per seed: 9 owner crashes + 9 suspicion bursts +
+         32 single-deferral reorders. *)
+      let edges =
+        [
+          tick / 2;
+          tick - 1;
+          tick;
+          tick + 1;
+          tick + (tick / 4);
+          2 * tick;
+          (2 * tick) + 1;
+          3 * tick;
+          4 * tick;
+        ]
+      in
+      let schedules_for seed =
+        let base window =
+          {
+            (base_schedule scenario ~mutation ~window ~seed) with
+            Schedule.batching = Some (batch, pipeline, tick);
+            load = Some (2, 4);
+          }
+        in
+        (* Kill the dispatching replica exactly at a flush boundary:
+           batches die between slot claim and outcome. *)
+        List.map (fun e -> { (base 1) with Schedule.crashes = [ (e, 0) ] }) edges
+        (* False-suspicion bursts ending just after each boundary: a
+           cleaner races the live owner for a partial batch's outcome. *)
+        @ List.map
+            (fun e ->
+              { (base 1) with Schedule.noise = Some (0.5, 200, e + 400) })
+            edges
+        (* Single early deferrals: reorder overlapping pipelined batch
+           fibers against each other. *)
+        @ List.concat_map
+            (fun step ->
+              List.map
+                (fun k -> { (base 4) with Schedule.shifts = [ (step, k) ] })
+                [ 1; 2 ])
+            (List.init 16 Fun.id)
+      in
+      run_list
+        (fun ~cache sch -> run_schedule ~cache scenario sch)
+        (List.concat_map schedules_for (List.init seeds (fun i -> seed0 + i)))
   | Strategy.Delay_dfs { budget; max_delays; horizon; window } ->
       let seed = scenario.spec.Runner.seed in
       let root = base_schedule scenario ~mutation ~window ~seed in

@@ -34,6 +34,12 @@ type t = {
   noise : (float * int * int) option;
       (** oracle false-suspicion noise: (probability, duration, until) *)
   faults : fault_plan;
+  batching : (int * int * int) option;
+      (** replica-side request batching: (batch size, pipeline depth,
+          epoch tick); [None] = per-request protocol *)
+  load : (int * int) option;
+      (** workload concurrency: (clients, inflight lanes per client);
+          [None] = the scenario's own (sequential) load *)
   shifts : (int * int) list;
       (** sparse scheduling decisions: at choice point [step], pick ready
           entry [k] (> 0) instead of the default front of the queue;
@@ -41,8 +47,8 @@ type t = {
 }
 
 let make ?(window = 4) ?(mutation = Xreplication.Mutation.Faithful)
-    ?(crashes = []) ?client_crash_at ?noise ?(faults = no_faults)
-    ?(shifts = []) ~seed () =
+    ?(crashes = []) ?client_crash_at ?noise ?(faults = no_faults) ?batching
+    ?load ?(shifts = []) ~seed () =
   {
     seed;
     window;
@@ -51,6 +57,8 @@ let make ?(window = 4) ?(mutation = Xreplication.Mutation.Faithful)
     client_crash_at;
     noise;
     faults;
+    batching;
+    load;
     shifts = List.sort (fun (a, _) (b, _) -> Int.compare a b) shifts;
   }
 
@@ -153,7 +161,7 @@ let to_string t =
   in
   Printf.sprintf
     "v1 seed=%d win=%d mut=%s crashes=%s ccrash=%s noise=%s net=%s parts=%s \
-     netf=%s shifts=%s"
+     netf=%s bat=%s load=%s shifts=%s"
     t.seed t.window
     (Xreplication.Mutation.to_string t.mutation)
     (string_of_pairs ':' t.crashes)
@@ -162,6 +170,12 @@ let to_string t =
     (string_of_net t.faults)
     (string_of_partitions t.faults.partitions)
     (string_of_pairs ':' t.faults.forced)
+    (match t.batching with
+    | None -> "-"
+    | Some (size, depth, tick) -> Printf.sprintf "%d:%d:%d" size depth tick)
+    (match t.load with
+    | None -> "-"
+    | Some (c, k) -> Printf.sprintf "%d:%d" c k)
     (string_of_pairs ':' t.shifts)
 
 let of_string line =
@@ -218,10 +232,36 @@ let of_string line =
       let* forced =
         pairs_of_string ':' (Option.value (field "netf") ~default:"-")
       in
+      (* Batching/load tokens also default when absent (pre-batching
+         lines). *)
+      let* batching =
+        match Option.value (field "bat") ~default:"-" with
+        | "-" -> Some None
+        | s -> (
+            match String.split_on_char ':' s with
+            | [ b; d; t ] -> (
+                match
+                  (int_of_string_opt b, int_of_string_opt d, int_of_string_opt t)
+                with
+                | Some b, Some d, Some t -> Some (Some (b, d, t))
+                | _ -> None)
+            | _ -> None)
+      in
+      let* load =
+        match Option.value (field "load") ~default:"-" with
+        | "-" -> Some None
+        | s -> (
+            match String.split_on_char ':' s with
+            | [ c; k ] -> (
+                match (int_of_string_opt c, int_of_string_opt k) with
+                | Some c, Some k -> Some (Some (c, k))
+                | _ -> None)
+            | _ -> None)
+      in
       let faults = { loss; dup_prob; jitter; partitions; forced } in
       Some
         (make ~window ~mutation ~crashes ?client_crash_at ?noise ~faults
-           ~shifts ~seed ())
+           ?batching ?load ~shifts ~seed ())
   | _ -> None
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
@@ -258,3 +298,25 @@ let to_json t =
          ^ "]")
          (pairs t.faults.forced))
     (pairs t.shifts)
+  |> fun base ->
+  (* Extend the object with the batching/load dimensions when present,
+     keeping pre-batching JSON byte-identical. *)
+  match (t.batching, t.load) with
+  | None, None -> base
+  | _ ->
+      let extra =
+        (match t.batching with
+        | None -> []
+        | Some (b, d, tick) ->
+            [
+              Printf.sprintf
+                "\"batching\":{\"size\":%d,\"depth\":%d,\"tick\":%d}" b d tick;
+            ])
+        @
+        match t.load with
+        | None -> []
+        | Some (c, k) ->
+            [ Printf.sprintf "\"load\":{\"clients\":%d,\"inflight\":%d}" c k ]
+      in
+      String.sub base 0 (String.length base - 1)
+      ^ "," ^ String.concat "," extra ^ "}"

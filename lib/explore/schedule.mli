@@ -35,6 +35,12 @@ type t = {
   noise : (float * int * int) option;
       (** oracle false-suspicion noise: (probability, duration, until) *)
   faults : fault_plan;
+  batching : (int * int * int) option;
+      (** replica-side request batching: (batch size, pipeline depth,
+          epoch tick); [None] = per-request protocol *)
+  load : (int * int) option;
+      (** workload concurrency: (clients, inflight lanes per client);
+          [None] = the scenario's own (sequential) load *)
   shifts : (int * int) list;
       (** sparse scheduling decisions: at choice point [step] pick ready
           entry [k] instead of the queue front; sorted, [0 < k < window] *)
@@ -47,12 +53,14 @@ val make :
   ?client_crash_at:int ->
   ?noise:float * int * int ->
   ?faults:fault_plan ->
+  ?batching:int * int * int ->
+  ?load:int * int ->
   ?shifts:(int * int) list ->
   seed:int ->
   unit ->
   t
-(** Defaults: window 4, faithful protocol, no faults, no shifts.
-    [shifts] is sorted by step. *)
+(** Defaults: window 4, faithful protocol, no faults, no batching,
+    sequential load, no shifts.  [shifts] is sorted by step. *)
 
 val equal : t -> t -> bool
 (** Structural equality (schedules are plain data). *)
@@ -68,7 +76,8 @@ val to_string : t -> string
 val of_string : string -> t option
 (** Inverse of {!to_string}: [of_string (to_string t) = Some t].  Lines
     written before the fault plan existed (no [net=]/[parts=]/[netf=]
-    tokens) parse with {!no_faults}. *)
+    tokens) parse with {!no_faults}; lines without [bat=]/[load=] tokens
+    parse with batching and load off. *)
 
 val to_json : t -> string
 (** JSON object, for machine-readable counterexample dumps. *)

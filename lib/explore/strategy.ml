@@ -27,7 +27,17 @@
      windows across candidate minority groups, several engine seeds per
      fault point.  This probes the channel dimension: the paper assumes
      reliable links, so the protocol must stay x-able when that
-     assumption is discharged by the ARQ layer instead. *)
+     assumption is discharged by the ARQ layer instead.
+
+   - [Batch_boundary]: adversity at the edges of the batched hot path.
+     With batching/pipelining on and a concurrent workload, enumerate
+     owner crashes at epoch-tick boundaries (mid-batch and just before /
+     after a flush), false-suspicion bursts ending near those boundaries
+     (a cleaner deciding a slot's outcome against a live owner — the
+     partial-batch decision race), and single deferred choice points
+     early in the run (reordering pipelined batch fibers).  This targets
+     exactly the windows the batch log opens: between slot claim and
+     outcome, and between overlapping in-flight batches. *)
 
 type t =
   | Random_walk of { trials : int; p_defer : float; window : int }
@@ -46,6 +56,12 @@ type t =
       partition_windows : (int * int) list;  (** (start, heal) to try *)
       groups : int list list;  (** candidate severed replica groups *)
     }
+  | Batch_boundary of {
+      seeds : int;  (** engine seeds per boundary plan *)
+      batch : int;  (** batch size under test *)
+      pipeline : int;  (** pipeline depth under test *)
+      tick : int;  (** epoch tick — defines the boundary instants *)
+    }
 
 let random_walk ?(trials = 100) ?(p_defer = 0.15) ?(window = 4) () =
   Random_walk { trials; p_defer; window }
@@ -61,11 +77,16 @@ let net_fault ?(dup = 0.0) ?(jitter = 0) ?(partition_windows = [])
     ?(groups = [ [ 0 ] ]) ?(seeds = 10) ~loss_levels () =
   Net_fault { seeds; loss_levels; dup; jitter; partition_windows; groups }
 
+let batch_boundary ?(batch = 16) ?(pipeline = 4) ?(tick = 100) ?(seeds = 10) ()
+    =
+  Batch_boundary { seeds; batch; pipeline; tick }
+
 let name = function
   | Random_walk _ -> "random-walk"
   | Delay_dfs _ -> "delay-dfs"
   | Fault_enum _ -> "fault-enum"
   | Net_fault _ -> "net-fault"
+  | Batch_boundary _ -> "batch-boundary"
 
 let describe = function
   | Random_walk { trials; p_defer; window } ->
@@ -83,3 +104,6 @@ let describe = function
         (List.length loss_levels) dup jitter
         (List.length partition_windows)
         (List.length groups) seeds
+  | Batch_boundary { seeds; batch; pipeline; tick } ->
+      Printf.sprintf "batch-boundary batch=%d pipeline=%d tick=%d seeds=%d"
+        batch pipeline tick seeds

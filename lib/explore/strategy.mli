@@ -24,7 +24,13 @@
       candidate minority groups — with several engine seeds per point.
       This is the dimension the paper {e assumes} away (section 5.2
       reliable channels); with the {!Xnet.Reliable} ARQ layer installed
-      the protocol must stay x-able anyway. *)
+      the protocol must stay x-able anyway.
+    - {b Batch boundaries}: with batching/pipelining on and a concurrent
+      workload, place owner crashes at epoch-tick boundaries, end
+      false-suspicion bursts near them (cleaner-vs-owner partial-batch
+      decision races), and defer single early choice points (pipeline
+      reorder) — the windows the batch log opens between slot claim and
+      outcome. *)
 
 type t =
   | Random_walk of { trials : int; p_defer : float; window : int }
@@ -47,6 +53,12 @@ type t =
           (** (start, heal) partition windows to try, besides none *)
       groups : int list list;  (** candidate severed replica groups *)
     }  (** Channel fault-plane sweep; see {!net_fault}. *)
+  | Batch_boundary of {
+      seeds : int;  (** engine seeds per boundary plan *)
+      batch : int;  (** batch size under test *)
+      pipeline : int;  (** pipeline depth under test *)
+      tick : int;  (** epoch tick — defines the boundary instants *)
+    }  (** Batch-edge adversity sweep; see {!batch_boundary}. *)
 
 val random_walk : ?trials:int -> ?p_defer:float -> ?window:int -> unit -> t
 (** Defaults: [trials] 100, [p_defer] 0.15, [window] 4. *)
@@ -79,9 +91,16 @@ val net_fault :
     engine seeds each.  Defaults: [dup] 0, [jitter] 0, no partition
     windows, [groups] [[[0]]], [seeds] 10. *)
 
+val batch_boundary :
+  ?batch:int -> ?pipeline:int -> ?tick:int -> ?seeds:int -> unit -> t
+(** 50 schedules per seed: owner crashes at 9 tick-relative boundary
+    instants, false-suspicion bursts ending near those 9 instants, and
+    32 single-deferral reorder schedules.  Defaults: [batch] 16,
+    [pipeline] 4, [tick] 100, [seeds] 10 (= 500 schedules). *)
+
 val name : t -> string
 (** Short family tag: ["random-walk"], ["delay-dfs"], ["fault-enum"],
-    ["net-fault"]. *)
+    ["net-fault"], ["batch-boundary"]. *)
 
 val describe : t -> string
 (** One-line rendering with parameters, for verdict tables. *)

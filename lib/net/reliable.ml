@@ -5,18 +5,24 @@
    that contract on top of a {!Transport} configured with a fault plane,
    with the classic automatic-repeat-request machinery:
 
-   - per directed link, data packets carry consecutive sequence numbers;
-   - the receiver acks every data packet it sees (re-acking duplicates,
-     because a duplicate usually means the previous ack was lost), drops
-     already-delivered sequence numbers, buffers out-of-order arrivals,
-     and releases payloads to the application strictly in sequence order
-     — so delivery is exactly-once and FIFO per link even though the raw
-     wire loses, duplicates and reorders;
-   - the sender retransmits unacked packets on a timer with exponential
-     backoff (capped at [max_rto]); retransmission never gives up, which
-     is what makes delivery between correct processes {e eventual} for
-     any drop probability < 1 — [retransmit_cap] is a metric threshold,
-     not a cutoff.
+   - per directed link, data packets carry consecutive sequence numbers
+     and a piggybacked cumulative acknowledgement for the reverse link;
+   - the receiver acknowledges cumulatively ("everything below [ack]"),
+     preferring to piggyback the ack on the next data frame it sends
+     back; when no reverse traffic shows up within [ack_delay] ticks a
+     pure [Ack] frame is flushed instead.  Duplicates re-raise the owed
+     ack (a duplicate usually means the previous ack was lost), are
+     dropped, and out-of-order arrivals are buffered and released to the
+     application strictly in sequence order — so delivery is
+     exactly-once and FIFO per link even though the raw wire loses,
+     duplicates and reorders;
+   - the sender keeps ONE retransmission timer per directed link (not
+     per packet): on expiry it resends the oldest unacked packet with
+     exponential backoff (capped at [max_rto]); any ack progress resets
+     the backoff.  Retransmission never gives up, which is what makes
+     delivery between correct processes {e eventual} for any drop
+     probability < 1 — [retransmit_cap] is a metric threshold, not a
+     cutoff.
 
    ARQ runs below the process level, in scheduler context (the simulated
    NIC): a crashed receiver still acks, which is unobservable to the
@@ -38,32 +44,44 @@ module Link_tbl = Hashtbl.Make (struct
   let hash (a, b) = Hashtbl.hash (Address.hash a, Address.hash b)
 end)
 
-type 'm packet = Data of { seq : int; payload : 'm } | Ack of { seq : int }
+type 'm packet =
+  | Data of { seq : int; ack : int; payload : 'm }
+  | Ack of { ack : int }
 
 type arq = {
   rto : int;  (* initial retransmission timeout *)
   backoff : int;  (* timeout multiplier per retry *)
   max_rto : int;  (* backoff ceiling *)
   retransmit_cap : int;  (* metric threshold: retries per packet *)
+  ack_delay : int;  (* wait for a piggyback ride before a pure Ack *)
 }
 
-let default_arq = { rto = 150; backoff = 2; max_rto = 2400; retransmit_cap = 8 }
+let default_arq =
+  { rto = 150; backoff = 2; max_rto = 2400; retransmit_cap = 8; ack_delay = 25 }
 
 type 'm tx_state = {
   mutable next_seq : int;
   unacked : (int, 'm) Hashtbl.t;
+  (* One coalesced retransmission timer per directed link. *)
+  mutable timer_armed : bool;
+  mutable rto_cur : int;  (* current backoff level *)
+  mutable attempts : int;  (* retransmissions since the last ack progress *)
 }
 
 type 'm rx_state = {
   mutable expected : int;  (* next in-order sequence number *)
   buffer : (int, 'm) Hashtbl.t;  (* out-of-order arrivals *)
+  mutable ack_owed : bool;  (* data arrived since our last ack *)
+  mutable ack_timer_armed : bool;
 }
 
 type stats = {
   app_sent : int;
   app_delivered : int;
   retransmits : int;
-  acks_sent : int;
+  acks_sent : int;  (* pure Ack frames only *)
+  piggyback_acks : int;  (* acks that rode a reverse-link data frame *)
+  ack_flushes : int;  (* delayed-ack timers that had to fire *)
   dedup_dropped : int;
   cap_hits : int;
 }
@@ -79,6 +97,8 @@ type 'm t = {
   mutable app_delivered : int;
   mutable retransmits : int;
   mutable acks_sent : int;
+  mutable piggyback_acks : int;
+  mutable ack_flushes : int;
   mutable dedup_dropped : int;
   mutable cap_hits : int;
 }
@@ -92,7 +112,15 @@ let tx_state t key =
   match Link_tbl.find_opt t.tx key with
   | Some st -> st
   | None ->
-      let st = { next_seq = 0; unacked = Hashtbl.create 8 } in
+      let st =
+        {
+          next_seq = 0;
+          unacked = Hashtbl.create 8;
+          timer_armed = false;
+          rto_cur = t.arq.rto;
+          attempts = 0;
+        }
+      in
       Link_tbl.replace t.tx key st;
       st
 
@@ -100,27 +128,107 @@ let rx_state t key =
   match Link_tbl.find_opt t.rx key with
   | Some r -> r
   | None ->
-      let r = { expected = 0; buffer = Hashtbl.create 8 } in
+      let r =
+        {
+          expected = 0;
+          buffer = Hashtbl.create 8;
+          ack_owed = false;
+          ack_timer_armed = false;
+        }
+      in
       Link_tbl.replace t.rx key r;
       r
+
+(* Cumulative ack for data flowing [src] -> [dst], as [dst] would state
+   it: everything below [expected] has been released in order. *)
+let ack_for t ~src ~dst =
+  match Link_tbl.find_opt t.rx (src, dst) with
+  | Some rx -> rx.expected
+  | None -> 0
+
+(* Apply a cumulative ack to the (sender, receiver) data link. *)
+let apply_ack t key ~ack =
+  match Link_tbl.find_opt t.tx key with
+  | None -> ()
+  | Some st ->
+      let progress = ref false in
+      Hashtbl.iter
+        (fun seq _ -> if seq < ack then progress := true)
+        st.unacked;
+      if !progress then begin
+        Hashtbl.filter_map_inplace
+          (fun seq payload -> if seq < ack then None else Some payload)
+          st.unacked;
+        (* Forward progress: the link is passing traffic again. *)
+        st.rto_cur <- t.arq.rto;
+        st.attempts <- 0
+      end
+
+(* Sender side: one self-rearming timer per directed link.  On expiry the
+   oldest unacked packet is retransmitted with backoff; ack progress
+   (seen in [apply_ack]) resets the backoff.  A dead sender process stops
+   retransmitting (crash-stop). *)
+let rec arm_link t ~src ~dst st =
+  if (not st.timer_armed) && Hashtbl.length st.unacked > 0 then begin
+    st.timer_armed <- true;
+    let rto = st.rto_cur in
+    Xsim.Engine.schedule t.eng ~label:"timer" ~delay:rto (fun () ->
+        st.timer_armed <- false;
+        if Hashtbl.length st.unacked > 0 then
+          if Xsim.Proc.alive (Transport.proc_of t.raw src) then begin
+            let oldest =
+              Hashtbl.fold (fun seq _ acc -> min seq acc) st.unacked max_int
+            in
+            let payload = Hashtbl.find st.unacked oldest in
+            t.retransmits <- t.retransmits + 1;
+            obs_incr "net.retransmits";
+            obs_backoff rto;
+            st.attempts <- st.attempts + 1;
+            if st.attempts = t.arq.retransmit_cap then begin
+              t.cap_hits <- t.cap_hits + 1;
+              obs_incr "net.retransmit_cap_hits"
+            end;
+            Transport.send t.raw ~src ~dst
+              (Data { seq = oldest; ack = ack_for t ~src:dst ~dst:src; payload });
+            st.rto_cur <- min (st.rto_cur * t.arq.backoff) t.arq.max_rto;
+            arm_link t ~src ~dst st
+          end)
+  end
+
+(* Delayed ack: wait [ack_delay] for a data frame to carry the ack back;
+   flush a pure Ack if none does.  Runs at NIC level — a crashed
+   receiver still acks (silencing retransmissions to the dead). *)
+let arm_ack_flush t ~src ~dst rx =
+  if not rx.ack_timer_armed then begin
+    rx.ack_timer_armed <- true;
+    Xsim.Engine.schedule t.eng ~label:"timer" ~delay:t.arq.ack_delay (fun () ->
+        rx.ack_timer_armed <- false;
+        if rx.ack_owed then begin
+          rx.ack_owed <- false;
+          t.acks_sent <- t.acks_sent + 1;
+          t.ack_flushes <- t.ack_flushes + 1;
+          obs_incr "net.acks";
+          obs_incr "net.piggyback_flushes";
+          Transport.send t.raw ~src:dst ~dst:src (Ack { ack = rx.expected })
+        end)
+  end
 
 (* Receiver side, in scheduler context (wire delivery hook). *)
 let handle t (e : 'm packet Transport.envelope) =
   match e.Transport.payload with
-  | Ack { seq } -> (
+  | Ack { ack } ->
       (* The ack travelled dst->src, acknowledging the (dst, src) data
          link as seen from the original sender [e.dst]. *)
-      match Link_tbl.find_opt t.tx (e.Transport.dst, e.Transport.src) with
-      | Some st -> Hashtbl.remove st.unacked seq
-      | None -> ())
-  | Data { seq; payload } ->
+      apply_ack t (e.Transport.dst, e.Transport.src) ~ack
+  | Data { seq; ack; payload } ->
       let src = e.Transport.src and dst = e.Transport.dst in
-      (* Always ack, even duplicates: a duplicate data packet usually
-         means the previous ack was lost. *)
-      t.acks_sent <- t.acks_sent + 1;
-      obs_incr "net.acks";
-      Transport.send t.raw ~src:dst ~dst:src (Ack { seq });
+      (* The piggybacked ack covers our reverse-direction data. *)
+      apply_ack t (dst, src) ~ack;
       let rx = rx_state t (src, dst) in
+      (* Owe an ack in all cases, duplicates included: a duplicate data
+         packet usually means the previous ack was lost. *)
+      rx.ack_owed <- true;
+      arm_ack_flush t ~src ~dst rx;
       if seq < rx.expected || Hashtbl.mem rx.buffer seq then begin
         t.dedup_dropped <- t.dedup_dropped + 1;
         obs_incr "net.dedup_drops"
@@ -151,6 +259,8 @@ let create eng ?fifo ?faults ?(arq = default_arq) ~latency () =
       app_delivered = 0;
       retransmits = 0;
       acks_sent = 0;
+      piggyback_acks = 0;
+      ack_flushes = 0;
       dedup_dropped = 0;
       cap_hits = 0;
     }
@@ -176,26 +286,6 @@ let register t addr ~proc =
 let mailbox t addr = Addr_tbl.find t.mailboxes addr
 let members t = Transport.members t.raw
 
-(* Sender side.  The retransmit timer re-arms itself until the packet is
-   acked; a dead sender process stops retransmitting (crash-stop). *)
-let rec arm t ~src ~dst st seq ~attempt ~rto =
-  Xsim.Engine.schedule t.eng ~label:"timer" ~delay:rto (fun () ->
-      match Hashtbl.find_opt st.unacked seq with
-      | None -> ()
-      | Some payload ->
-          if Xsim.Proc.alive (Transport.proc_of t.raw src) then begin
-            t.retransmits <- t.retransmits + 1;
-            obs_incr "net.retransmits";
-            obs_backoff rto;
-            if attempt = t.arq.retransmit_cap then begin
-              t.cap_hits <- t.cap_hits + 1;
-              obs_incr "net.retransmit_cap_hits"
-            end;
-            Transport.send t.raw ~src ~dst (Data { seq; payload });
-            arm t ~src ~dst st seq ~attempt:(attempt + 1)
-              ~rto:(min (rto * t.arq.backoff) t.arq.max_rto)
-          end)
-
 let send t ~src ~dst payload =
   ignore (Transport.mailbox t.raw dst);  (* Not_found on unregistered dst *)
   t.app_sent <- t.app_sent + 1;
@@ -203,8 +293,16 @@ let send t ~src ~dst payload =
   let seq = st.next_seq in
   st.next_seq <- seq + 1;
   Hashtbl.replace st.unacked seq payload;
-  Transport.send t.raw ~src ~dst (Data { seq; payload });
-  arm t ~src ~dst st seq ~attempt:1 ~rto:t.arq.rto
+  (* Any owed ack for the reverse direction rides this frame for free. *)
+  (match Link_tbl.find_opt t.rx (dst, src) with
+  | Some rx when rx.ack_owed ->
+      rx.ack_owed <- false;
+      t.piggyback_acks <- t.piggyback_acks + 1;
+      obs_incr "net.piggyback_acks"
+  | _ -> ());
+  Transport.send t.raw ~src ~dst
+    (Data { seq; ack = ack_for t ~src:dst ~dst:src; payload });
+  arm_link t ~src ~dst st
 
 let broadcast t ~src ?(include_self = false) payload =
   List.iter
@@ -219,6 +317,8 @@ let stats t =
     app_delivered = t.app_delivered;
     retransmits = t.retransmits;
     acks_sent = t.acks_sent;
+    piggyback_acks = t.piggyback_acks;
+    ack_flushes = t.ack_flushes;
     dedup_dropped = t.dedup_dropped;
     cap_hits = t.cap_hits;
   }

@@ -4,8 +4,11 @@
     between correct processes is delivered exactly once.  This module
     {e implements} that contract on top of a {!Transport} configured
     with a {!Fault.t}, using automatic repeat request: per-link sequence
-    numbers, acknowledgements, retransmission timers with exponential
-    backoff, and receiver-side deduplication plus in-order release.
+    numbers, cumulative acknowledgements piggybacked on reverse-link
+    data frames (with a delayed pure-[Ack] flush when there is no ride),
+    one coalesced retransmission timer per directed link with
+    exponential backoff, and receiver-side deduplication plus in-order
+    release.
 
     Guarantees between correct processes, for any fault plane with
     per-link drop probability < 1 and any healing partition schedule:
@@ -28,29 +31,39 @@
     time limit. *)
 
 type 'm packet =
-  | Data of { seq : int; payload : 'm }
-  | Ack of { seq : int }
-      (** Wire format carried by the underlying raw transport. *)
+  | Data of { seq : int; ack : int; payload : 'm }
+      (** [ack] is the piggybacked cumulative acknowledgement for the
+          reverse link: "I have released everything below [ack]". *)
+  | Ack of { ack : int }
+      (** Pure cumulative ack, sent only when no data frame came along
+          to carry it within [ack_delay]. *)
 
 type arq = {
   rto : int;  (** initial retransmission timeout (virtual ticks) *)
   backoff : int;  (** timeout multiplier per retry *)
   max_rto : int;  (** backoff ceiling *)
   retransmit_cap : int;
-      (** retries per packet after which [net.retransmit_cap_hits] is
-          counted — a health metric, not a delivery cutoff *)
+      (** retries (without ack progress) per link after which
+          [net.retransmit_cap_hits] is counted — a health metric, not a
+          delivery cutoff *)
+  ack_delay : int;
+      (** how long a receiver waits for a reverse-link data frame to
+          piggyback its ack before flushing a pure [Ack] *)
 }
 
 val default_arq : arq
-(** [{ rto = 150; backoff = 2; max_rto = 2400; retransmit_cap = 8 }] *)
+(** [{ rto = 150; backoff = 2; max_rto = 2400; retransmit_cap = 8;
+      ack_delay = 25 }] *)
 
 type stats = {
   app_sent : int;  (** application-level sends *)
   app_delivered : int;  (** exactly-once deliveries to app mailboxes *)
   retransmits : int;
-  acks_sent : int;
+  acks_sent : int;  (** pure [Ack] frames put on the wire *)
+  piggyback_acks : int;  (** acks that rode a reverse-link data frame *)
+  ack_flushes : int;  (** delayed-ack timers that had to fire *)
   dedup_dropped : int;  (** duplicate data packets discarded at receivers *)
-  cap_hits : int;  (** packets whose retries reached [retransmit_cap] *)
+  cap_hits : int;  (** links whose retries reached [retransmit_cap] *)
 }
 
 type 'm t

@@ -198,6 +198,21 @@ let jitter_of t profile =
     | None -> 0
     | Some rng -> Xsim.Rng.int rng (profile.Fault.jitter + 1)
 
+(* Hot-path helpers, hoisted out of [send]: the send path used to build
+   a [sample_delay] closure (capturing src/dst/now/profile) and a
+   [forced] closure for every single message — two heap allocations per
+   enqueue before the engine even saw the event.  The RNG draw order
+   (latency sample, then jitter) is exactly the closure's, so schedules
+   are byte-identical. *)
+let sample_delay t ~src ~dst ~now profile =
+  Latency.sample (link_model t ~src ~dst) t.rng ~now + jitter_of t profile
+
+let note_forced t f =
+  if f then begin
+    t.forced_faults <- t.forced_faults + 1;
+    obs_incr "net.forced_faults"
+  end
+
 let send t ~src ~dst payload =
   ignore (Addr_tbl.find t.nodes dst : node);
   let now = Xsim.Engine.now t.eng in
@@ -205,40 +220,34 @@ let send t ~src ~dst payload =
   t.send_idx <- idx + 1;
   t.sent <- t.sent + 1;
   let profile = link_profile t ~src ~dst in
-  let sample_delay () =
-    Latency.sample (link_model t ~src ~dst) t.rng ~now + jitter_of t profile
-  in
-  let forced f =
-    if f then begin
-      t.forced_faults <- t.forced_faults + 1;
-      obs_incr "net.forced_faults"
-    end
-  in
   match decide t ~src ~dst ~now ~idx profile with
   | `Partition ->
       (* Latency is still sampled so that healing a partition does not
          shift the RNG stream of the surviving messages. *)
-      ignore (sample_delay () : int);
+      ignore (sample_delay t ~src ~dst ~now profile : int);
       t.partition_dropped <- t.partition_dropped + 1;
       obs_incr "net.partition_drops"
   | `Drop f ->
-      ignore (sample_delay () : int);
-      forced f;
+      ignore (sample_delay t ~src ~dst ~now profile : int);
+      note_forced t f;
       t.dropped <- t.dropped + 1;
       obs_incr "net.drops"
   | `Deliver ->
       deliver t ~src ~dst ~label:("net:" ^ Address.to_string dst)
-        (sample_delay ()) payload
+        (sample_delay t ~src ~dst ~now profile)
+        payload
   | `Duplicate f ->
-      forced f;
+      note_forced t f;
       t.duplicated <- t.duplicated + 1;
       obs_incr "net.dups";
       deliver t ~src ~dst ~label:("net:" ^ Address.to_string dst)
-        (sample_delay ()) payload;
+        (sample_delay t ~src ~dst ~now profile)
+        payload;
       (* The copy is independently delayed and separately labelled, so it
          is its own choice point for the explorer. *)
       deliver t ~src ~dst ~label:("netdup:" ^ Address.to_string dst)
-        (sample_delay ()) payload
+        (sample_delay t ~src ~dst ~now profile)
+        payload
 
 let broadcast t ~src ?(include_self = false) payload =
   List.iter

@@ -1,0 +1,47 @@
+(** Request coalescing and pipelining at the current owner.
+
+    Concurrently-pending client requests are coalesced into one batch —
+    bounded by [size], or flushed after the [tick] epoch timer when
+    traffic is too thin to fill a batch — and at most [depth] batches are
+    in flight at once (the replica's bounded pipeline).  Each flush runs
+    [run ~bid batch] in its own fiber; the batch-log protocol itself
+    lives in {!Replica}.
+
+    X-ability is closed under composition (paper, Section 4): a batch of
+    requests decided and settled as one unit is still x-able per request,
+    which is what makes this amortization provable by the repo's own
+    checker rather than merely measurable. *)
+
+type config = {
+  size : int;  (** max requests per batch *)
+  tick : int;  (** epoch timer: flush a partial batch after this delay *)
+  depth : int;  (** max batches in flight (pipeline depth) *)
+}
+
+val default_config : config
+(** size 16, tick 100, depth 4. *)
+
+type 'req t
+
+val create :
+  eng:Xsim.Engine.t ->
+  config:config ->
+  spawn:(string -> (unit -> unit) -> unit) ->
+  run:(bid:int -> 'req list -> unit) ->
+  unit ->
+  'req t
+(** [spawn name fn] must start a fiber on the owning replica's process
+    (so batches die with it, crash-stop); [run ~bid batch] is the batch
+    body, executed inside that fiber.  [bid] counts flushes from 1 and is
+    the batch's identity at this owner. *)
+
+val enqueue : 'req t -> 'req -> unit
+(** Add a request to the current epoch.  Flushes immediately when a full
+    batch is waiting and a pipeline slot is free; otherwise the epoch
+    timer or a batch completion will flush it. *)
+
+val pending : 'req t -> int
+(** Requests queued and not yet flushed. *)
+
+val in_flight : 'req t -> int
+(** Batches flushed and not yet completed. *)

@@ -2,7 +2,7 @@ type backend =
   [ `Register of int
   | `Paxos of Xnet.Latency.t ]
 
-type t =
+type impl =
   | Registers of {
       eng : Xsim.Engine.t;
       latency : int;
@@ -13,16 +13,32 @@ type t =
     }
   | Paxos of Pval.t Xconsensus.Paxos.group
 
-let create eng ~backend ~members () =
-  match backend with
-  | `Register latency ->
-      ignore members;
-      Registers { eng; latency; table = Hashtbl.create 64; proposals = 0 }
-  | `Paxos latency ->
-      Paxos (Xconsensus.Paxos.create_group eng ~latency ~members ())
+type t = {
+  impl : impl;
+  eng : Xsim.Engine.t;
+  (* Serial-substrate model: a Multi-Paxos-style log sequences proposals,
+     it does not run them all concurrently.  Each proposal occupies the
+     substrate for [service_time] ticks (one log slot — a batched
+     aggregate value still costs one slot, which is exactly what batching
+     amortizes).  0 (the default) keeps the substrate unserialised and
+     every pre-existing run byte-identical. *)
+  service_time : int;
+  mutable busy_until : int;
+}
+
+let create eng ?(service_time = 0) ~backend ~members () =
+  let impl =
+    match backend with
+    | `Register latency ->
+        ignore members;
+        Registers { eng; latency; table = Hashtbl.create 64; proposals = 0 }
+    | `Paxos latency ->
+        Paxos (Xconsensus.Paxos.create_group eng ~latency ~members ())
+  in
+  { impl; eng; service_time; busy_until = 0 }
 
 let register_obj r inst =
-  match r with
+  match r.impl with
   | Registers { eng; latency; table; _ } -> (
       match Hashtbl.find_opt table inst with
       | Some obj -> obj
@@ -37,32 +53,91 @@ let register_obj r inst =
          `Register backend"
 
 (* Pval names instances "o/..."/"r/..."/"x/..." (owner / result /
-   outcome); classify consensus traffic per protocol decision family. *)
+   outcome) and "b/..."/"y/..." (batch slot / batch outcome); classify
+   consensus traffic per protocol decision family. *)
 let count_decision_family inst =
   if Xobs.enabled () && String.length inst >= 2 && inst.[1] = '/' then
     match inst.[0] with
     | 'o' -> Xobs.Counter.incr (Xobs.counter "coord.owner_decisions")
     | 'r' -> Xobs.Counter.incr (Xobs.counter "coord.result_decisions")
     | 'x' -> Xobs.Counter.incr (Xobs.counter "coord.outcome_decisions")
+    | 'b' -> Xobs.Counter.incr (Xobs.counter "coord.batch_decisions")
+    | 'y' -> Xobs.Counter.incr (Xobs.counter "coord.batch_outcome_decisions")
     | _ -> ()
 
+(* Cardinality of an aggregate proposal: a batch slot or batch outcome
+   settles one consensus instance for all its members at once. *)
+let weight_of = function
+  | Pval.Batch { members; _ } -> max 1 (List.length members)
+  | Pval.Batch_outcome { results; _ } -> max 1 (List.length results)
+  | Pval.Owner _ | Pval.Result _ | Pval.Outcome _ -> 1
+
 let propose t ~member ~inst v =
+  (* Take this proposal's turn on the serial substrate before touching
+     the backend.  Turn order is the (deterministic) order fibers reach
+     this point; the reservation happens before the sleep so concurrent
+     proposers queue rather than racing for the same slot. *)
+  if t.service_time > 0 then begin
+    let now = Xsim.Engine.now t.eng in
+    let start = max now t.busy_until in
+    t.busy_until <- start + t.service_time;
+    if Xobs.enabled () then
+      Xobs.Histogram.record
+        (Xobs.histogram "coord.serial_wait")
+        (start - now);
+    if start > now then Xsim.Timer.sleep t.eng (start - now)
+  end;
   count_decision_family inst;
-  match t with
+  let weight = weight_of v in
+  match t.impl with
   | Registers r ->
       r.proposals <- r.proposals + 1;
       ignore member;
-      Xconsensus.Register.propose (register_obj t inst) v
+      Xconsensus.Register.propose (register_obj t inst) ~weight v
   | Paxos g ->
-      Xconsensus.Paxos.propose (Xconsensus.Paxos.handle g ~member ~inst) v
+      Xconsensus.Paxos.propose (Xconsensus.Paxos.handle g ~member ~inst) ~weight v
 
 let read t ~member ~inst =
   if Xobs.enabled () then Xobs.Counter.incr (Xobs.counter "coord.reads");
-  match t with
+  match t.impl with
   | Registers _ ->
       ignore member;
       Xconsensus.Register.read (register_obj t inst)
   | Paxos g -> Xconsensus.Paxos.read (Xconsensus.Paxos.handle g ~member ~inst)
+
+(* Instant local view of a decision: no latency, no messages.  For the
+   `Register backend this is globally accurate; for `Paxos it is the
+   member's knowledge (decisions it has learned). *)
+let peek t ~member ~inst =
+  match t.impl with
+  | Registers { table; _ } -> (
+      ignore member;
+      match Hashtbl.find_opt table inst with
+      | Some obj -> Xconsensus.Register.peek obj
+      | None -> None)
+  | Paxos g -> Xconsensus.Paxos.decided_at g ~member ~inst
+
+(* Decided batch-log slots known at this member, as (slot, decision)
+   pairs.  Cleaners use this to discover batches whose owner crashed. *)
+let known_batch_slots t ~member =
+  let collect acc inst peek_v =
+    match Pval.parse_batch_inst inst with
+    | Some slot -> (
+        match peek_v () with Some v -> (slot, v) :: acc | None -> acc)
+    | None -> acc
+  in
+  match t.impl with
+  | Registers { table; _ } ->
+      Hashtbl.fold
+        (fun inst obj acc ->
+          collect acc inst (fun () -> Xconsensus.Register.peek obj))
+        table []
+  | Paxos g ->
+      List.fold_left
+        (fun acc inst ->
+          collect acc inst (fun () -> Xconsensus.Paxos.decided_at g ~member ~inst))
+        []
+        (Xconsensus.Paxos.instances_known g ~member)
 
 let known_owner_instances t ~member =
   let parse acc inst =
@@ -70,7 +145,7 @@ let known_owner_instances t ~member =
     | Some pair -> pair :: acc
     | None -> acc
   in
-  match t with
+  match t.impl with
   | Registers { table; _ } ->
       Hashtbl.fold
         (fun inst obj acc ->
@@ -82,10 +157,12 @@ let known_owner_instances t ~member =
       List.fold_left parse []
         (Xconsensus.Paxos.instances_known g ~member)
 
-let total_proposals = function
+let total_proposals t =
+  match t.impl with
   | Registers { proposals; _ } -> proposals
   | Paxos g -> (Xconsensus.Paxos.stats g).proposals
 
-let messages_sent = function
+let messages_sent t =
+  match t.impl with
   | Registers _ -> 0
   | Paxos g -> (Xconsensus.Paxos.stats g).messages_sent

@@ -19,10 +19,18 @@ type t
 
 val create :
   Xsim.Engine.t ->
+  ?service_time:int ->
   backend:backend ->
   members:(Xnet.Address.t * Xsim.Proc.t) list ->
   unit ->
   t
+(** [service_time] models the serial consensus substrate: a
+    Multi-Paxos-style log sequences proposals instead of running them all
+    concurrently, so each proposal occupies the substrate for that many
+    ticks before its round starts — one log slot per proposal, whether
+    the value is a single request or a batched aggregate (which is
+    exactly the cost batching amortizes).  The default [0] keeps the
+    substrate unserialised and pre-existing runs byte-identical. *)
 
 val propose : t -> member:Xnet.Address.t -> inst:string -> Pval.t -> Pval.t
 (** Blocking (fiber). *)
@@ -35,6 +43,15 @@ val known_owner_instances : t -> member:Xnet.Address.t -> (int * int) list
 (** Owner-agreement instances with a decision known at this member, as
     (rid, round) pairs.  Cleaners use this to discover requests and their
     latest rounds. *)
+
+val peek : t -> member:Xnet.Address.t -> inst:string -> Pval.t option
+(** Instant local view of a decision: no latency, no messages.  Globally
+    accurate for [`Register]; this member's knowledge for [`Paxos]. *)
+
+val known_batch_slots : t -> member:Xnet.Address.t -> (int * Pval.t) list
+(** Batch-log slots with a decision known at this member, as
+    (slot, decision) pairs (unsorted).  Cleaners use this to discover
+    batches whose owner is suspected. *)
 
 val total_proposals : t -> int
 val messages_sent : t -> int

@@ -26,10 +26,38 @@ type t =
     }
   | Result of Value.t option  (** [None] is the paper's [empty-result] *)
   | Outcome of { outcome : outcome; result : Value.t option }
+  | Batch of {
+      owner : Xnet.Address.t;
+      bid : int;  (** the owner's local batch counter: (owner, bid) is the
+                      batch's identity, used to detect losing a slot race *)
+      members : (Xsm.Request.t * Xnet.Address.t) list;
+    }
+      (** owner-agreement over a whole batch: one slot of the global batch
+          log claims round 1 of every member request at once (sound
+          because x-ability is closed under composition, Section 4) *)
+  | Batch_outcome of {
+      outcome : outcome;
+      results : (int * Value.t option) list;  (** per member rid *)
+    }
+      (** result/outcome-agreement for a whole slot: [Commit] carries the
+          per-member results ([None] = member skipped because an earlier
+          slot already claimed its rid); [Abort] vetoes every member, the
+          cleaner's abort-all (all results [None]) *)
 
 let owner_inst ~rid ~round = Printf.sprintf "o/%d/%d" rid round
 let result_inst ~rid ~round = Printf.sprintf "r/%d/%d" rid round
 let outcome_inst ~rid ~round = Printf.sprintf "x/%d/%d" rid round
+
+(* The batch log: slot [n] of a single global sequence shared by all
+   replicas, and its outcome instance.  Slots are proposed in order, so
+   decided slots always form a contiguous prefix. *)
+let batch_inst ~slot = Printf.sprintf "b/%d" slot
+let batch_outcome_inst ~slot = Printf.sprintf "y/%d" slot
+
+let parse_batch_inst s =
+  match String.split_on_char '/' s with
+  | [ "b"; slot ] -> int_of_string_opt slot
+  | _ -> None
 
 (** Parse an owner instance id back into (rid, round). *)
 let parse_owner_inst s =
@@ -54,3 +82,20 @@ let pp ppf = function
         (match result with
         | None -> "empty"
         | Some v -> Value.to_string v)
+  | Batch { owner; bid; members } ->
+      Format.fprintf ppf "Batch(%a#%d,[%s])" Xnet.Address.pp owner bid
+        (String.concat ";"
+           (List.map
+              (fun ((r : Xsm.Request.t), _) -> string_of_int r.rid)
+              members))
+  | Batch_outcome { outcome; results } ->
+      Format.fprintf ppf "BatchOutcome(%s,[%s])"
+        (outcome_to_string outcome)
+        (String.concat ";"
+           (List.map
+              (fun (rid, v) ->
+                Printf.sprintf "%d=%s" rid
+                  (match v with
+                  | None -> "empty"
+                  | Some v -> Value.to_string v))
+              results))

@@ -4,10 +4,19 @@ type config = {
   cleaner_poll : int;
   veto_check : bool;
   mutation : Mutation.t;
+  batching : Batcher.config option;
+      (** [None] (the default) is the paper's per-request hot path,
+          byte-identical to the pre-batching protocol; [Some _] routes
+          round-1 requests through the batch log (see [process_batch]). *)
 }
 
 let default_config =
-  { cleaner_poll = 200; veto_check = true; mutation = Mutation.Faithful }
+  {
+    cleaner_poll = 200;
+    veto_check = true;
+    mutation = Mutation.Faithful;
+    batching = None;
+  }
 
 type metrics = {
   mutable requests_seen : int;
@@ -40,6 +49,18 @@ type obs = {
   o_dup_replies : Xobs.Counter.t;   (* replica.duplicate_replies *)
   o_replies : Xobs.Counter.t;       (* replica.replies *)
   o_round : Xobs.Span.t;            (* replica.round *)
+  o_batch_commits : Xobs.Counter.t;      (* repl.batch_commits *)
+  o_batch_aborts : Xobs.Counter.t;       (* repl.batch_aborts *)
+  o_batch_skips : Xobs.Counter.t;        (* repl.batch_skips *)
+  o_batch_slot_retries : Xobs.Counter.t; (* repl.batch_slot_retries *)
+  o_batch : Xobs.Span.t;                 (* repl.batch_span *)
+}
+
+(* One slot of the global batch log, as locally observed. *)
+type slot = {
+  s_owner : Xnet.Address.t;
+  s_bid : int;
+  s_members : (Xsm.Request.t * Xnet.Address.t) list;
 }
 
 type t = {
@@ -59,6 +80,21 @@ type t = {
           deliveries of the same request *)
   suspicion_events : Xnet.Address.t Xsim.Mailbox.t;
   mutable fiber_counter : int;
+  (* --- batch-log state (inert unless cfg.batching is set) --- *)
+  mutable batcher : (Xsm.Request.t * Xnet.Address.t) Batcher.t option;
+  slots : (int, slot) Hashtbl.t;  (** locally observed batch-log slots *)
+  claims : (int, int) Hashtbl.t;
+      (** rid -> first slot claiming it; computed by scanning slots in
+          order, so it is identical at every replica *)
+  mutable scanned_slot : int;
+      (** contiguous prefix of the log folded into [claims] *)
+  mutable next_slot : int;  (** next slot to propose at *)
+  mutable slot_lock : bool;
+      (** serializes this replica's slot claims so its own slots are
+          proposed in order (pipelining overlaps execute/outcome only) *)
+  slot_waiters : unit Xsim.Ivar.t Queue.t;
+  batch_pending : (int, unit) Hashtbl.t;
+      (** rids queued or in flight in this replica's own batches *)
   obs : obs option;
   mutable mode_active : bool;
       (** Paper §5 "asynchronous flavor": [false] while the replica
@@ -208,10 +244,29 @@ let result_coordination t (req : Xsm.Request.t) value =
 (* ------------------------------------------------------------------ *)
 (* Result lookup for requests this replica does not own.               *)
 
+let slot_outcome_peek t slot =
+  Coord.peek t.coord ~member:t.r_addr ~inst:(Pval.batch_outcome_inst ~slot)
+
+(* A result settled by the batch log: the rid's claiming slot committed
+   with a real result.  Instant (local peek), no consensus traffic. *)
+let batch_result t ~rid =
+  match Hashtbl.find_opt t.claims rid with
+  | None -> None
+  | Some slot -> (
+      match slot_outcome_peek t slot with
+      | Some (Pval.Batch_outcome { outcome = Pval.Commit; results }) -> (
+          match List.assoc_opt rid results with
+          | Some (Some v) -> Some v
+          | _ -> None)
+      | _ -> None)
+
 let known_result t rs (req : Xsm.Request.t) =
   match rs.settled with
   | Some v -> Some v
-  | None ->
+  | None -> (
+      match batch_result t ~rid:req.rid with
+      | Some v -> Some v
+      | None ->
       let rec scan round =
         if round > rs.max_round then None
         else
@@ -236,7 +291,7 @@ let known_result t rs (req : Xsm.Request.t) =
           in
           match found with Some v -> Some v | None -> scan (round + 1)
       in
-      scan 1
+      scan 1)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 6: process-request.                                          *)
@@ -377,6 +432,311 @@ and clean_request t rs =
                 send_result t ~client ~rid:rs.rid v)
         | _ -> ())
 
+let spawn_named t base fn =
+  t.fiber_counter <- t.fiber_counter + 1;
+  Xsim.Engine.spawn t.eng ~proc:t.r_proc
+    ~name:
+      (Printf.sprintf "%s:%s#%d" (Xnet.Address.to_string t.r_addr) base
+         t.fiber_counter)
+    fn
+
+(* ------------------------------------------------------------------ *)
+(* The batch log (Batcher + slots): round 1 of every member of a batch
+   is claimed by one slot of a global, totally ordered log; one outcome
+   agreement settles the whole slot.  Rounds >= 2 (recovery) go through
+   the per-request path above unchanged.                               *)
+
+let record_slot t n (b : slot) =
+  if not (Hashtbl.mem t.slots n) then Hashtbl.replace t.slots n b;
+  if n >= t.next_slot then t.next_slot <- n + 1
+
+(* Fold newly decided slots into [claims], strictly in slot order: the
+   first slot containing a rid claims it, every replica computes the same
+   mapping.  Only the contiguous decided prefix is folded, so a slot
+   learned out of order (possible under `Paxos local knowledge) waits. *)
+let integrate_slots t =
+  while Hashtbl.mem t.slots (t.scanned_slot + 1) do
+    t.scanned_slot <- t.scanned_slot + 1;
+    let s = Hashtbl.find t.slots t.scanned_slot in
+    List.iter
+      (fun ((req : Xsm.Request.t), client) ->
+        if not (Hashtbl.mem t.claims req.rid) then
+          Hashtbl.replace t.claims req.rid t.scanned_slot;
+        let rs = state_of t req.rid in
+        if rs.client = None then rs.client <- Some client)
+      s.s_members
+  done
+
+let lock_slots t =
+  if t.slot_lock then begin
+    let iv = Xsim.Ivar.create () in
+    Queue.add iv t.slot_waiters;
+    Xsim.Ivar.read t.eng iv
+  end
+  else t.slot_lock <- true
+
+let unlock_slots t =
+  match Queue.take_opt t.slot_waiters with
+  | Some iv -> Xsim.Ivar.fill iv () (* hand the lock over *)
+  | None -> t.slot_lock <- false
+
+(* Claim the next free slot of the log for this batch.  Proposals are
+   serialized per replica (so our own slots land in order) and walk
+   forward on contention: losing slot [n] to another owner's batch both
+   teaches us that batch and moves us to [n + 1]. *)
+let claim_slot t ~bid members =
+  lock_slots t;
+  let rec go () =
+    let n = max t.next_slot (t.scanned_slot + 1) in
+    let decision =
+      Coord.propose t.coord ~member:t.r_addr ~inst:(Pval.batch_inst ~slot:n)
+        (Pval.Batch { owner = t.r_addr; bid; members })
+    in
+    match decision with
+    | Pval.Batch b ->
+        record_slot t n
+          { s_owner = b.owner; s_bid = b.bid; s_members = b.members };
+        integrate_slots t;
+        if Xnet.Address.equal b.owner t.r_addr && b.bid = bid then n
+        else begin
+          obs_incr t (fun o -> o.o_batch_slot_retries);
+          go ()
+        end
+    | other ->
+        failwith
+          (Format.asprintf "batch slot decided a foreign value: %a" Pval.pp
+             other)
+  in
+  let n = go () in
+  unlock_slots t;
+  n
+
+(* execute-until-success for one batch member.  The veto evidence for a
+   batched round 1 is its slot's outcome instance (a cleaner deciding
+   abort-all), checked with an instant local peek. *)
+let rec execute_member t ~slot (req : Xsm.Request.t) =
+  if t.cfg.veto_check && slot_outcome_peek t slot <> None then None
+  else begin
+    t.m.executions <- t.m.executions + 1;
+    obs_incr t (fun o -> o.o_execs);
+    match Xsm.Statemachine.execute t.sm req with
+    | Ok v -> Some v
+    | Error _ ->
+        obs_incr t (fun o -> o.o_retries);
+        (match kind_of_request t req with
+        | Action.Idempotent -> ()
+        | Action.Undoable ->
+            obs_incr t (fun o -> o.o_undos);
+            ignore (finalize_until_success t (Xsm.Request.cancel_of req)));
+        execute_member t ~slot req
+  end
+
+(* A slot committed: finalize and answer every member with a real result
+   that is not already settled here.  Run by the owner after winning the
+   outcome, and by cleaners that find a committed slot whose owner may
+   have crashed between deciding and replying. *)
+let settle_slot_commit t (s : slot) agreed =
+  List.iter
+    (fun ((req : Xsm.Request.t), client) ->
+      match List.assoc_opt req.rid agreed with
+      | Some (Some v) ->
+          let rs = state_of t req.rid in
+          if rs.settled = None then begin
+            (match kind_of_request t req with
+            | Action.Undoable ->
+                ignore (finalize_until_success t (Xsm.Request.commit_of req))
+            | Action.Idempotent -> ());
+            rs.settled <- Some v;
+            Hashtbl.remove t.batch_pending req.rid;
+            send_result t ~client ~rid:req.rid v
+          end
+      | _ -> Hashtbl.remove t.batch_pending req.rid)
+    s.s_members
+
+(* A slot aborted: cancel the members it claimed (idempotent, so the
+   owner and any number of cleaners may each do it), and — when cleaning —
+   carry each unsettled member forward as round 2 of the per-request
+   protocol. *)
+let continue_aborted_slot t ~slot (s : slot) ~takeover =
+  List.iter
+    (fun ((req : Xsm.Request.t), client) ->
+      if Hashtbl.find_opt t.claims req.rid = Some slot then begin
+        let rs = state_of t req.rid in
+        Hashtbl.remove t.batch_pending req.rid;
+        if rs.settled = None then begin
+          (* Mutation hook: the skip-undo variant terminates the slot
+             without issuing the cancellations. *)
+          if not (Mutation.equal t.cfg.mutation Mutation.Skip_undo_on_takeover)
+          then (
+            match kind_of_request t req with
+            | Action.Undoable ->
+                obs_incr t (fun o -> o.o_undos);
+                ignore (finalize_until_success t (Xsm.Request.cancel_of req))
+            | Action.Idempotent -> ());
+          if takeover && max_round_of t ~rid:req.rid < 2 then begin
+            t.m.takeovers <- t.m.takeovers + 1;
+            obs_incr t (fun o -> o.o_takeovers);
+            process_request t (Xsm.Request.with_round req 2) client
+          end
+        end
+      end)
+    s.s_members
+
+(* Figure 6's process-request lifted to a whole batch: one slot claim
+   (owner-agreement for round 1 of every member), one execution sweep,
+   one outcome agreement, then per-member replies. *)
+let process_batch t ~bid members =
+  let span_t0 = Xsim.Engine.now t.eng in
+  let slot = claim_slot t ~bid members in
+  tracef t "batch %d -> slot %d (%d members)" bid slot (List.length members);
+  (* Classify members first (cheap, non-blocking), then execute the
+     runnable ones in parallel fibers: members of one batch are
+     independent requests, and executing them in sequence would make the
+     batch as slow as its members summed — the opposite of amortization. *)
+  let plans =
+    List.map
+      (fun ((req : Xsm.Request.t), client) ->
+        if Hashtbl.find_opt t.claims req.rid <> Some slot then begin
+          (* An earlier slot already claimed this rid (the client retried
+             to another replica): that slot's owner or cleaner answers. *)
+          obs_incr t (fun o -> o.o_batch_skips);
+          `Skip (req, client)
+        end
+        else if slot_outcome_peek t slot <> None then `Skip (req, client)
+        else begin
+          Hashtbl.replace t.owned_rounds (req.rid, 1) ();
+          t.m.rounds_owned <- t.m.rounds_owned + 1;
+          obs_incr t (fun o -> o.o_rounds);
+          `Run (req, client)
+        end)
+      members
+  in
+  let outcomes : (int, Value.t option) Hashtbl.t = Hashtbl.create 16 in
+  let all_done = Xsim.Ivar.create () in
+  let remaining =
+    ref
+      (List.length
+         (List.filter (function `Run _ -> true | `Skip _ -> false) plans))
+  in
+  if !remaining > 0 then begin
+    List.iter
+      (function
+        | `Skip _ -> ()
+        | `Run ((req : Xsm.Request.t), _) ->
+            spawn_named t
+              (Printf.sprintf "batch%d.r%d" bid req.rid)
+              (fun () ->
+                Hashtbl.replace outcomes req.rid (execute_member t ~slot req);
+                decr remaining;
+                if !remaining = 0 then Xsim.Ivar.fill all_done ()))
+      plans;
+    Xsim.Ivar.read t.eng all_done
+  end;
+  let executed =
+    List.map
+      (function
+        | `Skip (req, client) -> (req, client, None)
+        | `Run ((req : Xsm.Request.t), client) ->
+            (req, client, Option.join (Hashtbl.find_opt outcomes req.rid)))
+      plans
+  in
+  let results =
+    List.map (fun ((req : Xsm.Request.t), _, r) -> (req.rid, r)) executed
+  in
+  let decision =
+    Coord.propose t.coord ~member:t.r_addr
+      ~inst:(Pval.batch_outcome_inst ~slot)
+      (Pval.Batch_outcome { outcome = Pval.Commit; results })
+  in
+  let s = Hashtbl.find t.slots slot in
+  (match decision with
+  | Pval.Batch_outcome { outcome = Pval.Commit; results = agreed } ->
+      obs_incr t (fun o -> o.o_batch_commits);
+      settle_slot_commit t s agreed;
+      (* A batch settling cleanly is round-1 behaviour: primary-backup. *)
+      note_mode t false
+  | Pval.Batch_outcome { outcome = Pval.Abort; _ } ->
+      obs_incr t (fun o -> o.o_batch_aborts);
+      tracef t "slot %d vetoed" slot;
+      (* A cleaner aborted the whole slot while we were executing: cancel
+         our work; the cleaner carries the members forward. *)
+      continue_aborted_slot t ~slot s ~takeover:false
+  | other ->
+      failwith
+        (Format.asprintf "batch outcome decided a foreign value: %a" Pval.pp
+           other));
+  match t.obs with
+  | Some o -> Xobs.Span.record o.o_batch ~t0:span_t0 ~t1:(Xsim.Engine.now t.eng)
+  | None -> ()
+
+(* Cleaner activity over the batch log: discover decided slots, abort
+   slots whose owner is suspected before the outcome is settled, and
+   finish the work of deciders that crashed after the outcome. *)
+let clean_batches t =
+  List.iter
+    (fun (n, v) ->
+      match v with
+      | Pval.Batch b ->
+          record_slot t n
+            { s_owner = b.owner; s_bid = b.bid; s_members = b.members }
+      | _ -> ())
+    (Coord.known_batch_slots t.coord ~member:t.r_addr);
+  integrate_slots t;
+  for slot = 1 to t.scanned_slot do
+    let s = Hashtbl.find t.slots slot in
+    (* Only ever act on another replica's slot when its owner is
+       suspected: a live owner settles (or aborts) its own slots in
+       [process_batch], and repairing behind its back would triple every
+       reply.  The owner-crashed-after-deciding case is exactly what the
+       repair arms below cover. *)
+    let orphaned =
+      (not (Xnet.Address.equal s.s_owner t.r_addr))
+      && Xdetect.Detector.suspects t.detector ~observer:t.r_addr
+           ~target:s.s_owner
+    in
+    match slot_outcome_peek t slot with
+    | None ->
+        if
+          orphaned
+          && List.exists
+               (fun ((req : Xsm.Request.t), _) ->
+                 (state_of t req.rid).settled = None)
+               s.s_members
+        then begin
+          t.m.cleanups <- t.m.cleanups + 1;
+          obs_incr t (fun o -> o.o_cleanups);
+          note_mode t true;
+          tracef t "cleaning slot %d (suspect %s)" slot
+            (Xnet.Address.to_string s.s_owner);
+          let results =
+            List.map
+              (fun ((req : Xsm.Request.t), _) -> (req.rid, None))
+              s.s_members
+          in
+          let decision =
+            Coord.propose t.coord ~member:t.r_addr
+              ~inst:(Pval.batch_outcome_inst ~slot)
+              (Pval.Batch_outcome { outcome = Pval.Abort; results })
+          in
+          match decision with
+          | Pval.Batch_outcome { outcome = Pval.Abort; _ } ->
+              continue_aborted_slot t ~slot s ~takeover:true
+          | Pval.Batch_outcome { outcome = Pval.Commit; results = agreed } ->
+              (* The owner won the race: make sure the clients get their
+                 results (they may never have been sent). *)
+              settle_slot_commit t s agreed
+          | other ->
+              failwith
+                (Format.asprintf "batch outcome decided a foreign value: %a"
+                   Pval.pp other)
+        end
+    | Some (Pval.Batch_outcome { outcome = Pval.Commit; results = agreed }) ->
+        if orphaned then settle_slot_commit t s agreed
+    | Some (Pval.Batch_outcome { outcome = Pval.Abort; _ }) ->
+        if orphaned then continue_aborted_slot t ~slot s ~takeover:true
+    | Some _ -> ()
+  done
+
 let discover_requests t =
   List.iter
     (fun (rid, round) ->
@@ -385,6 +745,7 @@ let discover_requests t =
     (Coord.known_owner_instances t.coord ~member:t.r_addr)
 
 let cleaner_pass t =
+  if t.batcher <> None then clean_batches t;
   discover_requests t;
   (* Snapshot: cleaning may create request states. *)
   let states = Hashtbl.fold (fun _ rs acc -> rs :: acc) t.requests [] in
@@ -403,14 +764,6 @@ let cleaner_pass t =
     (List.sort (fun a b -> Int.compare a.rid b.rid) states)
 
 (* ------------------------------------------------------------------ *)
-
-let spawn_named t base fn =
-  t.fiber_counter <- t.fiber_counter + 1;
-  Xsim.Engine.spawn t.eng ~proc:t.r_proc
-    ~name:
-      (Printf.sprintf "%s:%s#%d" (Xnet.Address.to_string t.r_addr) base
-         t.fiber_counter)
-    fn
 
 let create ~eng ~env ~transport ~detector ~coord ~addr:r_addr ~proc:r_proc
     ?(config = default_config) () =
@@ -439,6 +792,14 @@ let create ~eng ~env ~transport ~detector ~coord ~addr:r_addr ~proc:r_proc
       owned_rounds = Hashtbl.create 32;
       suspicion_events = Xsim.Mailbox.create ~name:"suspicions" ();
       fiber_counter = 0;
+      batcher = None;
+      slots = Hashtbl.create 8;
+      claims = Hashtbl.create 32;
+      scanned_slot = 0;
+      next_slot = 1;
+      slot_lock = false;
+      slot_waiters = Queue.create ();
+      batch_pending = Hashtbl.create 16;
       obs =
         (if Xobs.enabled () then
            Some
@@ -454,6 +815,11 @@ let create ~eng ~env ~transport ~detector ~coord ~addr:r_addr ~proc:r_proc
                o_dup_replies = Xobs.counter "replica.duplicate_replies";
                o_replies = Xobs.counter "replica.replies";
                o_round = Xobs.span "replica.round";
+               o_batch_commits = Xobs.counter "repl.batch_commits";
+               o_batch_aborts = Xobs.counter "repl.batch_aborts";
+               o_batch_skips = Xobs.counter "repl.batch_skips";
+               o_batch_slot_retries = Xobs.counter "repl.batch_slot_retries";
+               o_batch = Xobs.span "repl.batch_span";
              }
          else None);
       mode_active = false;
@@ -461,19 +827,54 @@ let create ~eng ~env ~transport ~detector ~coord ~addr:r_addr ~proc:r_proc
   in
   Xdetect.Detector.on_suspicion detector ~observer:r_addr (fun target ->
       Xsim.Mailbox.put t.suspicion_events target);
+  (match config.batching with
+  | Some bcfg ->
+      t.batcher <-
+        Some
+          (Batcher.create ~eng ~config:bcfg ~spawn:(spawn_named t)
+             ~run:(fun ~bid batch -> process_batch t ~bid batch)
+             ())
+  | None -> ());
   (* Request activity: one dispatcher fiber; each request is processed in
-     its own fiber so a slow execution does not block other clients. *)
+     its own fiber so a slow execution does not block other clients.
+     With batching enabled, round-1 requests instead join the batcher's
+     current epoch and ride the batch log. *)
   spawn_named t "main" (fun () ->
       let rec loop () =
         let envelope = Xsim.Mailbox.take eng mbox in
         (match envelope.Xnet.Transport.payload with
-        | Wire.Request { req; client } ->
+        | Wire.Request { req; client } -> (
             t.m.requests_seen <- t.m.requests_seen + 1;
             obs_incr t (fun o -> o.o_requests);
             let req = Xsm.Request.with_round req 1 in
-            spawn_named t
-              (Printf.sprintf "req%d" req.rid)
-              (fun () -> process_request t req client)
+            match t.batcher with
+            | None ->
+                spawn_named t
+                  (Printf.sprintf "req%d" req.rid)
+                  (fun () -> process_request t req client)
+            | Some b ->
+                let rs = state_of t req.rid in
+                if rs.client = None then rs.client <- Some client;
+                let settled =
+                  match rs.settled with
+                  | Some v -> Some v
+                  | None -> batch_result t ~rid:req.rid
+                in
+                (match settled with
+                | Some v ->
+                    (* Duplicate of an already-settled request: answer
+                       from local knowledge, never re-batch. *)
+                    obs_incr t (fun o -> o.o_dup_replies);
+                    send_result t ~client ~rid:req.rid v
+                | None ->
+                    if
+                      not
+                        (Hashtbl.mem t.batch_pending req.rid
+                        || Hashtbl.mem t.claims req.rid)
+                    then begin
+                      Hashtbl.replace t.batch_pending req.rid ();
+                      Batcher.enqueue b (req, client)
+                    end))
         | Wire.Result _ -> () (* replicas do not expect results *));
         loop ()
       in

@@ -33,6 +33,11 @@ type config = {
       (** deliberately buggy protocol variant (default {!Mutation.Faithful});
           see {!Mutation} — used to validate that the schedule explorer
           can actually find x-ability violations *)
+  batching : Batcher.config option;
+      (** when [Some], round-1 requests are coalesced through the batch
+          log ({!Batcher}): one slot claim and one outcome agreement per
+          batch instead of per request.  [None] (the default) keeps the
+          pre-batching per-request path byte-identical. *)
 }
 
 val default_config : config

@@ -20,6 +20,12 @@ type config = {
   backend : Coord.backend;
   detector : detector_config;
   replica : Replica.config;
+  batching : Batcher.config option;
+      (* convenience override: [Some] turns batching on at every replica
+         without spelling out the whole Replica.config *)
+  consensus_service_time : int;
+      (* serial-substrate occupancy per consensus proposal (ticks);
+         0 = unserialised substrate (the historical model) *)
 }
 
 let default_config =
@@ -32,6 +38,8 @@ let default_config =
     backend = `Register 25;
     detector = Oracle { detection_delay = 50; poll_interval = 25 };
     replica = Replica.default_config;
+    batching = None;
+    consensus_service_time = 0;
   }
 
 (* Which channel implementation carries the service's Wire messages.
@@ -85,7 +93,10 @@ let create eng env (cfg : config) =
         let proc = Xsim.Proc.create ~name:(Xnet.Address.to_string addr) in
         (addr, proc))
   in
-  let s_coord = Coord.create eng ~backend:cfg.backend ~members:replica_members () in
+  let s_coord =
+    Coord.create eng ~service_time:cfg.consensus_service_time
+      ~backend:cfg.backend ~members:replica_members ()
+  in
   let s_detector, s_oracle, s_heartbeat =
     match cfg.detector with
     | Oracle { detection_delay; poll_interval } ->
@@ -105,13 +116,18 @@ let create eng env (cfg : config) =
         in
         (Xdetect.Heartbeat.detector hb, None, Some hb)
   in
+  let replica_config =
+    match cfg.batching with
+    | None -> cfg.replica
+    | Some _ as batching -> { cfg.replica with Replica.batching }
+  in
   let s_replicas =
     Array.of_list
       (List.map
          (fun (addr, proc) ->
            Replica.create ~eng ~env ~transport:s_transport
              ~detector:s_detector ~coord:s_coord ~addr ~proc
-             ~config:cfg.replica ())
+             ~config:replica_config ())
          replica_members)
   in
   let replica_addrs = List.map fst replica_members in

@@ -36,6 +36,16 @@ type config = {
   backend : Coord.backend;
   detector : detector_config;
   replica : Replica.config;
+  batching : Batcher.config option;
+      (** when [Some], every replica batches round-1 requests through the
+          batch log (overrides [replica.batching]); [None] (default)
+          leaves [replica.batching] as given *)
+  consensus_service_time : int;
+      (** serial consensus substrate: ticks each proposal occupies the
+          (Multi-Paxos-style, sequenced) log before its round starts —
+          one slot per proposal, aggregate or not, so batching amortizes
+          it.  [0] (default) keeps the substrate unserialised and
+          pre-existing runs byte-identical; see {!Coord.create} *)
 }
 
 val default_config : config

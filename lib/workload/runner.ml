@@ -9,6 +9,8 @@ type spec = {
   noise : (float * int * int) option;
   time_limit : int;
   quiesce_grace : int;
+  clients : int;  (* closed-loop client processes *)
+  inflight : int;  (* concurrent lanes (outstanding requests) per client *)
 }
 
 let default_spec =
@@ -21,6 +23,8 @@ let default_spec =
     noise = None;
     time_limit = 1_000_000;
     quiesce_grace = 8_000;
+    clients = 1;
+    inflight = 1;
   }
 
 type submission = { req : Xsm.Request.t; reply : Value.t; latency : int }
@@ -28,6 +32,7 @@ type submission = { req : Xsm.Request.t; reply : Value.t; latency : int }
 type result = {
   completed : bool;
   end_time : int;
+  work_end_time : int;
   submissions : submission list;
   report : Checker.report;
   r4_ok : bool;
@@ -64,6 +69,19 @@ let failures r =
   else [ Printf.sprintf "duplicate effects: %d" r.duplicate_effects ]
 
 let run ~spec ?prepare ?(aborted = fun () -> false) ?cache ~setup ~workload () =
+  let n_clients = max 1 spec.clients in
+  let n_lanes = max 1 spec.inflight in
+  let workers = n_clients * n_lanes in
+  let spec =
+    if n_clients <= spec.service_config.Xreplication.Service.n_clients then
+      spec
+    else
+      {
+        spec with
+        service_config =
+          { spec.service_config with Xreplication.Service.n_clients };
+      }
+  in
   let eng = Xsim.Engine.create ~seed:spec.seed ~trace_enabled:false () in
   let env = Xsm.Environment.create eng ~config:spec.env_config () in
   (match prepare with Some f -> f eng env | None -> ());
@@ -73,7 +91,7 @@ let run ~spec ?prepare ?(aborted = fun () -> false) ?cache ~setup ~workload () =
   let submissions_rev = ref [] in
   let issued_rev = ref [] in
   let done_iv = Xsim.Ivar.create () in
-  let submit req =
+  let submit_on client req =
     issued_rev := req :: !issued_rev;
     let t0 = Xsim.Engine.now eng in
     let reply = Xreplication.Client.submit_until_success client req in
@@ -81,12 +99,32 @@ let run ~spec ?prepare ?(aborted = fun () -> false) ?cache ~setup ~workload () =
       { req; reply; latency = Xsim.Engine.now eng - t0 } :: !submissions_rev;
     reply
   in
-  Xsim.Engine.spawn eng
-    ~proc:(Xreplication.Client.proc client)
-    ~name:"workload"
-    (fun () ->
-      workload srv client submit;
-      Xsim.Ivar.fill done_iv ());
+  let submit = submit_on client in
+  if workers = 1 then
+    Xsim.Engine.spawn eng
+      ~proc:(Xreplication.Client.proc client)
+      ~name:"workload"
+      (fun () ->
+        workload srv client submit;
+        Xsim.Ivar.fill done_iv ())
+  else begin
+    (* Closed loop: [clients] client processes, each driving [inflight]
+       concurrent lanes of the workload.  The run completes when every
+       lane has. *)
+    let remaining = ref workers in
+    for c = 0 to n_clients - 1 do
+      let cl = Xreplication.Service.client svc c in
+      for k = 0 to n_lanes - 1 do
+        Xsim.Engine.spawn eng
+          ~proc:(Xreplication.Client.proc cl)
+          ~name:(Printf.sprintf "workload%d.%d" c k)
+          (fun () ->
+            workload srv cl (submit_on cl);
+            decr remaining;
+            if !remaining = 0 then Xsim.Ivar.fill done_iv ())
+      done
+    done
+  end;
   List.iter
     (fun (at, idx) ->
       Xsim.Engine.schedule eng ~delay:at (fun () ->
@@ -102,7 +140,9 @@ let run ~spec ?prepare ?(aborted = fun () -> false) ?cache ~setup ~workload () =
       Xdetect.Oracle.enable_noise o ~probability ~duration ~until ()
   | _ -> ());
   (* Drive until the workload completes (or the hard limit). *)
+  let work_end = ref 0 in
   Xsim.Ivar.watch done_iv (fun () ->
+      work_end := Xsim.Engine.now eng;
       Xsim.Engine.request_stop eng;
       true);
   Xsim.Engine.run ~limit:spec.time_limit eng;
@@ -134,9 +174,10 @@ let run ~spec ?prepare ?(aborted = fun () -> false) ?cache ~setup ~workload () =
   let kinds = Xsm.Environment.kind_of env in
   let expected = List.map (Xsm.Environment.checker_expected env) issued in
   let check exp =
+    (* Concurrent lanes have no per-client sequential order to check. *)
     Checker.check ~kinds ~logical_of:Xsm.Request.logical_of_env_iv
-      ~round_of:Xsm.Request.round_of_env_iv ~engine:`Hybrid ?cache
-      ~expected:exp history
+      ~round_of:Xsm.Request.round_of_env_iv ~engine:`Hybrid
+      ~check_order:(workers = 1) ?cache ~expected:exp history
   in
   let report =
     let full = check expected in
@@ -214,6 +255,7 @@ let run ~spec ?prepare ?(aborted = fun () -> false) ?cache ~setup ~workload () =
     {
       completed;
       end_time = Xsim.Engine.now eng;
+      work_end_time = (if completed then !work_end else Xsim.Engine.now eng);
       submissions;
       report;
       r4_ok = r4_violations = [];

@@ -28,6 +28,12 @@ type spec = {
           suspicion duration, active until) *)
   time_limit : int;  (** hard stop for the whole run *)
   quiesce_grace : int;  (** extra time after the workload completes *)
+  clients : int;
+      (** closed-loop client processes (default 1); when > 1 the workload
+          is run once per client × lane, and the R3 check drops the
+          per-client sequential-order requirement ([check_order:false],
+          there being no single issue order to check) *)
+  inflight : int;  (** concurrent lanes per client (default 1) *)
 }
 
 val default_spec : spec
@@ -43,6 +49,9 @@ type submission = {
 type result = {
   completed : bool;  (** the workload fiber ran to completion *)
   end_time : int;
+  work_end_time : int;
+      (** virtual time the last workload lane finished (excludes the
+          quiesce grace) — the makespan throughput is measured against *)
   submissions : submission list;
   report : Xability.Checker.report;  (** R3 verdict over the env history *)
   r4_ok : bool;

@@ -461,7 +461,7 @@ let test_reliable_crashed_sender_stops () =
 
 let test_reliable_cap_is_metric_only () =
   let arq =
-    { Reliable.rto = 20; backoff = 2; max_rto = 40; retransmit_cap = 2 }
+    { Reliable.rto = 20; backoff = 2; max_rto = 40; retransmit_cap = 2; ack_delay = 5 }
   in
   let faults =
     Fault.make
