@@ -212,6 +212,20 @@ let inflight_arg =
     & info [ "inflight" ] ~docv:"K"
         ~doc:"Concurrent outstanding requests per client.")
 
+let codec_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("structural", Service.Structural); ("flat", Service.Flat) ])
+        Service.Structural
+    & info [ "codec" ] ~docv:"C"
+        ~doc:
+          "Wire representation: $(b,structural) (messages pass by pointer; \
+           the default) or $(b,flat) (every message is encoded into a \
+           reusable byte frame at send time and decoded at delivery). \
+           Verdicts are identical either way; flat exercises the codecs and \
+           the allocation-free send path.")
+
 let batching_of ~batch ~pipeline =
   if batch > 1 || pipeline > 1 then
     Some
@@ -223,8 +237,9 @@ let batching_of ~batch ~pipeline =
   else None
 
 let make_spec ?(faults = Xexplore.Schedule.no_faults) ?(batch = 1)
-    ?(pipeline = 1) ?(clients = 1) ?(inflight = 1) seed n_replicas crashes
-    noise fail_prob backend detector client_crash =
+    ?(pipeline = 1) ?(clients = 1) ?(inflight = 1)
+    ?(codec = Service.Structural) seed n_replicas crashes noise fail_prob
+    backend detector client_crash =
   let net_faults = Xexplore.Explorer.net_faults_of_plan faults in
   let channel =
     if Xexplore.Schedule.faults_are_none faults then Service.Assumed_reliable
@@ -252,6 +267,7 @@ let make_spec ?(faults = Xexplore.Schedule.no_faults) ?(batch = 1)
                 timeout_increment = 120;
               });
       batching = batching_of ~batch ~pipeline;
+      codec;
     }
   in
   {
@@ -314,11 +330,12 @@ let print_result (r : Runner.result) =
 let run_cmd =
   let doc = "Run one replication scenario and verify R1-R4." in
   let run seed n crashes noise fail_prob backend detector requests mix
-      client_crash loss dup jitter partitions batch pipeline clients inflight =
+      client_crash loss dup jitter partitions batch pipeline clients inflight
+      codec =
     let faults = fault_plan_of loss dup jitter partitions in
     let spec =
-      make_spec ~faults ~batch ~pipeline ~clients ~inflight seed n crashes
-        noise fail_prob backend detector client_crash
+      make_spec ~faults ~batch ~pipeline ~clients ~inflight ~codec seed n
+        crashes noise fail_prob backend detector client_crash
     in
     let r, _ =
       Runner.run ~spec ~setup:Workloads.setup_all
@@ -332,7 +349,7 @@ let run_cmd =
       const run $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
       $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
       $ client_crash_arg $ loss_arg $ dup_arg $ jitter_arg $ partitions_arg
-      $ batch_arg $ pipeline_arg $ clients_arg $ inflight_arg)
+      $ batch_arg $ pipeline_arg $ clients_arg $ inflight_arg $ codec_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
@@ -360,7 +377,7 @@ let sweep_cmd =
              collected in seed order, so the table is identical whatever the \
              pool size.")
   in
-  let sweep points seeds jobs =
+  let sweep points seeds jobs codec =
     Xpar.Pool.with_pool ?domains:jobs (fun pool ->
         Format.printf "%-12s %-10s %-14s %-12s %-8s@." "noise-prob"
           "rounds/req" "execs/req" "cleanups/req" "x-able";
@@ -376,6 +393,11 @@ let sweep_cmd =
                     noise =
                       (if prob > 0.0 then Some (prob, 150, 8_000) else None);
                     time_limit = 5_000_000;
+                    service_config =
+                      {
+                        Runner.default_spec.Runner.service_config with
+                        Service.codec;
+                      };
                   }
                 in
                 let r, _ =
@@ -402,7 +424,7 @@ let sweep_cmd =
         0)
   in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const sweep $ points_arg $ seeds_arg $ jobs_arg)
+    Term.(const sweep $ points_arg $ seeds_arg $ jobs_arg $ codec_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace *)
@@ -576,11 +598,29 @@ let explore_cmd =
           ~doc:"Append verdicts and counterexamples as JSON Lines to FILE.")
   in
   let explore scenario requests seed noise mutation strategy trials budget
-      window jobs expect out loss dup jitter partitions seeds batch pipeline =
+      window jobs expect out loss dup jitter partitions seeds batch pipeline
+      codec =
     (* Under walk/dfs/faults, any --loss/--dup/--partition plan is stamped
        on every schedule; the net strategy sweeps its own plans instead. *)
     let base_faults = fault_plan_of loss dup jitter partitions in
     let scen = make_scenario ~faults:base_faults scenario requests seed noise in
+    (* The scenario-level codec flows into every schedule's [codec] field
+       via the strategies' base schedule, so counterexample lines record
+       the wire representation they were found under. *)
+    let scen =
+      {
+        scen with
+        Explorer.spec =
+          {
+            scen.Explorer.spec with
+            Runner.service_config =
+              {
+                scen.Explorer.spec.Runner.service_config with
+                Service.codec;
+              };
+          };
+      }
+    in
     let strategies =
       let walk = Strategy.random_walk ~trials ~window () in
       let dfs = Strategy.delay_dfs ~budget ~window () in
@@ -679,7 +719,7 @@ let explore_cmd =
       const explore $ scenario_arg $ requests_arg $ seed_arg $ noise_arg
       $ mutation_arg $ strategy_arg $ trials_arg $ budget_arg $ window_arg
       $ jobs_arg $ expect_arg $ out_arg $ loss_arg $ dup_arg $ jitter_arg
-      $ partitions_arg $ seeds_arg $ batch_arg $ pipeline_arg)
+      $ partitions_arg $ seeds_arg $ batch_arg $ pipeline_arg $ codec_arg)
 
 let replay_cmd =
   let doc = "Replay a schedule printed by $(b,xrepl explore)." in
@@ -815,13 +855,13 @@ let stats_cmd =
   in
   let stats seed n crashes noise fail_prob backend detector requests mix
       client_crash trials obs_json loss dup jitter partitions batch pipeline
-      clients inflight =
+      clients inflight codec =
     Xobs.set_enabled true;
     Xobs.reset ();
     let faults = fault_plan_of loss dup jitter partitions in
     let spec =
-      make_spec ~faults ~batch ~pipeline ~clients ~inflight seed n crashes
-        noise fail_prob backend detector client_crash
+      make_spec ~faults ~batch ~pipeline ~clients ~inflight ~codec seed n
+        crashes noise fail_prob backend detector client_crash
     in
     let r, _ =
       Runner.run ~spec ~setup:Workloads.setup_all
@@ -873,200 +913,11 @@ let stats_cmd =
       $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
       $ client_crash_arg $ explore_trials_arg $ obs_json_arg $ loss_arg
       $ dup_arg $ jitter_arg $ partitions_arg $ batch_arg $ pipeline_arg
-      $ clients_arg $ inflight_arg)
+      $ clients_arg $ inflight_arg $ codec_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench --compare: diff two bench JSON reports (bench/main.exe --json),
    numeric path by numeric path, and call out the regressions. *)
-
-(* A minimal JSON reader (stdlib only), just enough for the bench
-   harness's own output: objects, arrays, strings, numbers, booleans,
-   null.  No unicode unescaping — the reports are ASCII. *)
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  exception Parse_error of string
-
-  let parse (s : string) : t =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-          advance ();
-          skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      if peek () = Some c then advance ()
-      else fail (Printf.sprintf "expected '%c'" c)
-    in
-    let literal lit v =
-      let l = String.length lit in
-      if !pos + l <= n && String.sub s !pos l = lit then begin
-        pos := !pos + l;
-        v
-      end
-      else fail ("expected " ^ lit)
-    in
-    let string_body () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        match peek () with
-        | None -> fail "unterminated string"
-        | Some '"' -> advance ()
-        | Some '\\' -> (
-            advance ();
-            match peek () with
-            | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
-            | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
-            | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
-            | Some 'u' ->
-                (* Keep the escape verbatim; paths never contain these. *)
-                Buffer.add_string b "\\u";
-                advance ();
-                go ()
-            | Some c -> Buffer.add_char b c; advance (); go ()
-            | None -> fail "unterminated escape")
-        | Some c ->
-            Buffer.add_char b c;
-            advance ();
-            go ()
-      in
-      go ();
-      Buffer.contents b
-    in
-    let number () =
-      let start = !pos in
-      let is_num_char c =
-        match c with
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while (match peek () with Some c -> is_num_char c | None -> false) do
-        advance ()
-      done;
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> Num f
-      | None -> fail "bad number"
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' ->
-          advance ();
-          skip_ws ();
-          if peek () = Some '}' then begin
-            advance ();
-            Obj []
-          end
-          else begin
-            let rec fields acc =
-              skip_ws ();
-              let k = string_body () in
-              skip_ws ();
-              expect ':';
-              let v = value () in
-              skip_ws ();
-              match peek () with
-              | Some ',' ->
-                  advance ();
-                  fields ((k, v) :: acc)
-              | Some '}' ->
-                  advance ();
-                  List.rev ((k, v) :: acc)
-              | _ -> fail "expected ',' or '}'"
-            in
-            Obj (fields [])
-          end
-      | Some '[' ->
-          advance ();
-          skip_ws ();
-          if peek () = Some ']' then begin
-            advance ();
-            List []
-          end
-          else begin
-            let rec items acc =
-              let v = value () in
-              skip_ws ();
-              match peek () with
-              | Some ',' ->
-                  advance ();
-                  items (v :: acc)
-              | Some ']' ->
-                  advance ();
-                  List.rev (v :: acc)
-              | _ -> fail "expected ',' or ']'"
-            in
-            List (items [])
-          end
-      | Some '"' -> Str (string_body ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> number ()
-      | None -> fail "empty input"
-    in
-    let v = value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-
-  (* Flatten to (path, number) rows, depth-first in document order.
-     Booleans flatten to 0/1 so "all_ok" flips show up in the diff. *)
-  let flatten (j : t) : (string * float) list =
-    let rows = ref [] in
-    let rec go path = function
-      | Null | Str _ -> ()
-      | Bool b -> rows := (path, if b then 1.0 else 0.0) :: !rows
-      | Num f -> rows := (path, f) :: !rows
-      | List xs ->
-          List.iteri (fun i x -> go (Printf.sprintf "%s[%d]" path i) x) xs
-      | Obj fields ->
-          List.iter
-            (fun (k, v) ->
-              go (if path = "" then k else path ^ "." ^ k) v)
-            fields
-    in
-    go "" j;
-    List.rev !rows
-end
-
-(* Is a larger value of this metric better, worse, or unjudged?  Matched
-   on the leaf name so the table can mark regressions without a schema. *)
-let metric_direction path =
-  let leaf =
-    match String.rindex_opt path '.' with
-    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
-    | None -> path
-  in
-  let has sub =
-    let ls = String.length sub and ll = String.length leaf in
-    let rec at i = i + ls <= ll && (String.sub leaf i ls = sub || at (i + 1)) in
-    at 0
-  in
-  if
-    has "req_per_s" || has "speedup" || has "ok" || has "identical"
-    || has "explored"
-  then `Higher_better
-  else if
-    has "latency" || has "wall_s" || has "ns_per_run" || has "violating"
-    || has "consensus_per_request"
-    || has "wire_messages_per_request"
-    || has "retransmit" || has "drops" || has "_s"
-  then `Lower_better
-  else `Unjudged
 
 let bench_cmd =
   let doc = "Compare two bench JSON reports (bench/main.exe --json)." in
@@ -1096,65 +947,27 @@ let bench_cmd =
       2
     end
     else
+      let module B = Xworkload.Bench_compare in
       let load path =
         let ic = open_in_bin path in
         let len = in_channel_length ic in
         let s = really_input_string ic len in
         close_in ic;
-        Json.parse s
+        B.Json.parse s
       in
       match (load a, load b) with
       | exception Sys_error e ->
           prerr_endline ("xrepl bench: " ^ e);
           2
-      | exception Json.Parse_error e ->
+      | exception B.Json.Parse_error e ->
           prerr_endline ("xrepl bench: parse error: " ^ e);
           2
       | ja, jb ->
-          let fa = Json.flatten ja and fb = Json.flatten jb in
-          let tb = Hashtbl.create 256 in
-          List.iter (fun (k, v) -> Hashtbl.replace tb k v) fb;
-          let sa = Hashtbl.create 256 in
-          List.iter (fun (k, _) -> Hashtbl.replace sa k ()) fa;
-          let regressions = ref 0 and shown = ref 0 and compared = ref 0 in
-          Format.printf "%-58s %12s %12s %9s@." "metric"
-            (Filename.basename a) (Filename.basename b) "delta";
-          let show path va vb =
-            let delta_pct =
-              if va = 0.0 then if vb = 0.0 then 0.0 else Float.infinity
-              else (vb -. va) /. Float.abs va *. 100.0
-            in
-            if Float.abs delta_pct >= threshold then begin
-              incr shown;
-              let verdict =
-                match metric_direction path with
-                | `Higher_better when delta_pct < 0.0 -> " REGRESSION"
-                | `Lower_better when delta_pct > 0.0 -> " REGRESSION"
-                | `Higher_better | `Lower_better -> " improved"
-                | `Unjudged -> ""
-              in
-              if verdict = " REGRESSION" then incr regressions;
-              Format.printf "%-58s %12.4g %12.4g %+8.1f%%%s@." path va vb
-                delta_pct verdict
-            end
+          let _ : B.summary =
+            B.diff ~ppf:Format.std_formatter ~threshold
+              ~name_a:(Filename.basename a) ~name_b:(Filename.basename b) ja
+              jb
           in
-          List.iter
-            (fun (path, va) ->
-              match Hashtbl.find_opt tb path with
-              | Some vb ->
-                  incr compared;
-                  show path va vb
-              | None -> Format.printf "%-58s %12.4g %12s@." path va "-")
-            fa;
-          List.iter
-            (fun (path, vb) ->
-              if not (Hashtbl.mem sa path) then
-                Format.printf "%-58s %12s %12.4g@." path "-" vb)
-            fb;
-          Format.printf
-            "@.%d numeric paths compared, %d over the %.1f%% threshold, %d \
-             regressions@."
-            !compared !shown threshold !regressions;
           0
   in
   Cmd.v (Cmd.info "bench" ~doc)

@@ -142,6 +142,13 @@ let apply scenario (sch : Schedule.t) : Runner.spec =
     | Some (c, k) -> (c, k)
     | None -> (scenario.spec.Runner.clients, scenario.spec.Runner.inflight)
   in
+  (* A [Flat] schedule switches the wire representation on; [Structural]
+     (the default) leaves the scenario's own setting untouched. *)
+  let codec =
+    match sch.Schedule.codec with
+    | Xreplication.Service.Flat -> Xreplication.Service.Flat
+    | Xreplication.Service.Structural -> sc.Xreplication.Service.codec
+  in
   {
     scenario.spec with
     Runner.seed = sch.Schedule.seed;
@@ -151,7 +158,7 @@ let apply scenario (sch : Schedule.t) : Runner.spec =
     clients;
     inflight;
     service_config =
-      { sc with Xreplication.Service.replica; faults; channel; batching };
+      { sc with Xreplication.Service.replica; faults; channel; batching; codec };
   }
 
 (* Run a schedule with chooser [choose] installed; [sch] is the identity
@@ -314,7 +321,10 @@ let fold_outcomes v outcomes =
 let base_schedule scenario ~mutation ~window ~seed =
   Schedule.make ~window ~mutation ~crashes:scenario.spec.Runner.crashes
     ?client_crash_at:scenario.spec.Runner.client_crash_at
-    ?noise:scenario.spec.Runner.noise ~faults:scenario.faults ~seed ()
+    ?noise:scenario.spec.Runner.noise ~faults:scenario.faults
+    ~codec:
+      scenario.spec.Runner.service_config.Xreplication.Service.codec
+    ~seed ()
 
 let take n xs = List.filteri (fun i _ -> i < n) xs
 let drop n xs = List.filteri (fun i _ -> i >= n) xs

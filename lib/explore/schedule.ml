@@ -40,6 +40,9 @@ type t = {
   load : (int * int) option;
       (** workload concurrency: (clients, inflight lanes per client);
           [None] = the scenario's own (sequential) load *)
+  codec : Xreplication.Service.codec_mode;
+      (** wire representation under exploration; [Structural] = the
+          scenario's own setting (the default) *)
   shifts : (int * int) list;
       (** sparse scheduling decisions: at choice point [step], pick ready
           entry [k] (> 0) instead of the default front of the queue;
@@ -48,7 +51,7 @@ type t = {
 
 let make ?(window = 4) ?(mutation = Xreplication.Mutation.Faithful)
     ?(crashes = []) ?client_crash_at ?noise ?(faults = no_faults) ?batching
-    ?load ?(shifts = []) ~seed () =
+    ?load ?(codec = Xreplication.Service.Structural) ?(shifts = []) ~seed () =
   {
     seed;
     window;
@@ -59,6 +62,7 @@ let make ?(window = 4) ?(mutation = Xreplication.Mutation.Faithful)
     faults;
     batching;
     load;
+    codec;
     shifts = List.sort (fun (a, _) (b, _) -> Int.compare a b) shifts;
   }
 
@@ -161,7 +165,7 @@ let to_string t =
   in
   Printf.sprintf
     "v1 seed=%d win=%d mut=%s crashes=%s ccrash=%s noise=%s net=%s parts=%s \
-     netf=%s bat=%s load=%s shifts=%s"
+     netf=%s bat=%s load=%s codec=%s shifts=%s"
     t.seed t.window
     (Xreplication.Mutation.to_string t.mutation)
     (string_of_pairs ':' t.crashes)
@@ -176,6 +180,9 @@ let to_string t =
     (match t.load with
     | None -> "-"
     | Some (c, k) -> Printf.sprintf "%d:%d" c k)
+    (match t.codec with
+    | Xreplication.Service.Structural -> "-"
+    | Xreplication.Service.Flat -> "flat")
     (string_of_pairs ':' t.shifts)
 
 let of_string line =
@@ -258,10 +265,17 @@ let of_string line =
                 | _ -> None)
             | _ -> None)
       in
+      (* Codec token also defaults when absent (pre-codec lines). *)
+      let* codec =
+        match Option.value (field "codec") ~default:"-" with
+        | "-" -> Some Xreplication.Service.Structural
+        | "flat" -> Some Xreplication.Service.Flat
+        | _ -> None
+      in
       let faults = { loss; dup_prob; jitter; partitions; forced } in
       Some
         (make ~window ~mutation ~crashes ?client_crash_at ?noise ~faults
-           ?batching ?load ~shifts ~seed ())
+           ?batching ?load ~codec ~shifts ~seed ())
   | _ -> None
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
@@ -299,10 +313,10 @@ let to_json t =
          (pairs t.faults.forced))
     (pairs t.shifts)
   |> fun base ->
-  (* Extend the object with the batching/load dimensions when present,
-     keeping pre-batching JSON byte-identical. *)
-  match (t.batching, t.load) with
-  | None, None -> base
+  (* Extend the object with the batching/load/codec dimensions when
+     present, keeping pre-batching JSON byte-identical. *)
+  match (t.batching, t.load, t.codec) with
+  | None, None, Xreplication.Service.Structural -> base
   | _ ->
       let extra =
         (match t.batching with
@@ -312,11 +326,14 @@ let to_json t =
               Printf.sprintf
                 "\"batching\":{\"size\":%d,\"depth\":%d,\"tick\":%d}" b d tick;
             ])
+        @ (match t.load with
+          | None -> []
+          | Some (c, k) ->
+              [ Printf.sprintf "\"load\":{\"clients\":%d,\"inflight\":%d}" c k ])
         @
-        match t.load with
-        | None -> []
-        | Some (c, k) ->
-            [ Printf.sprintf "\"load\":{\"clients\":%d,\"inflight\":%d}" c k ]
+        match t.codec with
+        | Xreplication.Service.Structural -> []
+        | Xreplication.Service.Flat -> [ "\"codec\":\"flat\"" ]
       in
       String.sub base 0 (String.length base - 1)
       ^ "," ^ String.concat "," extra ^ "}"

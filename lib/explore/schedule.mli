@@ -41,6 +41,9 @@ type t = {
   load : (int * int) option;
       (** workload concurrency: (clients, inflight lanes per client);
           [None] = the scenario's own (sequential) load *)
+  codec : Xreplication.Service.codec_mode;
+      (** wire representation under exploration; [Structural] (default)
+          leaves the scenario's own setting untouched *)
   shifts : (int * int) list;
       (** sparse scheduling decisions: at choice point [step] pick ready
           entry [k] instead of the queue front; sorted, [0 < k < window] *)
@@ -55,6 +58,7 @@ val make :
   ?faults:fault_plan ->
   ?batching:int * int * int ->
   ?load:int * int ->
+  ?codec:Xreplication.Service.codec_mode ->
   ?shifts:(int * int) list ->
   seed:int ->
   unit ->
@@ -77,7 +81,8 @@ val of_string : string -> t option
 (** Inverse of {!to_string}: [of_string (to_string t) = Some t].  Lines
     written before the fault plan existed (no [net=]/[parts=]/[netf=]
     tokens) parse with {!no_faults}; lines without [bat=]/[load=] tokens
-    parse with batching and load off. *)
+    parse with batching and load off, and lines without a [codec=] token
+    parse as [Structural]. *)
 
 val to_json : t -> string
 (** JSON object, for machine-readable counterexample dumps. *)

@@ -8,7 +8,7 @@ let index t = t.index
 let to_string t =
   if t.index = 0 && not (String.contains t.role '.') then
     if String.equal t.role "" then "?" else t.role
-  else Printf.sprintf "%s.%d" t.role t.index
+  else t.role ^ "." ^ string_of_int t.index
 
 let equal a b = a.index = b.index && String.equal a.role b.role
 
@@ -16,5 +16,7 @@ let compare a b =
   let c = String.compare a.role b.role in
   if c <> 0 then c else Int.compare a.index b.index
 
-let hash t = Hashtbl.hash (t.role, t.index)
+(* Mix role and index without building the tuple [Hashtbl.hash] would
+   need — this runs on every transport table lookup. *)
+let hash t = (Hashtbl.hash t.role + (t.index * 0x9e3779b1)) land max_int
 let pp ppf t = Format.pp_print_string ppf (to_string t)

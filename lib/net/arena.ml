@@ -1,0 +1,31 @@
+type slot = { sw : Codec.writer; mutable refs : int }
+
+type t = {
+  mutable free : slot list;
+  mutable slots : int;
+  mutable acquires : int;
+}
+
+let create () = { free = []; slots = 0; acquires = 0 }
+
+let acquire t =
+  t.acquires <- t.acquires + 1;
+  match t.free with
+  | s :: rest ->
+      t.free <- rest;
+      Codec.reset s.sw;
+      s.refs <- 1;
+      s
+  | [] ->
+      t.slots <- t.slots + 1;
+      { sw = Codec.writer (); refs = 1 }
+
+let retain s = s.refs <- s.refs + 1
+
+let release t s =
+  s.refs <- s.refs - 1;
+  if s.refs = 0 then t.free <- s :: t.free
+
+type stats = { slots : int; acquires : int }
+
+let stats (t : t) = { slots = t.slots; acquires = t.acquires }

@@ -1,0 +1,36 @@
+(** Per-link buffer pool for the flat send path.
+
+    Each in-flight flat message occupies one {!slot}: the sender acquires
+    a slot, encodes into its writer, and the delivery closure decodes from
+    it and releases it back to the pool.  Slots are refcounted so a
+    duplicated delivery shares one encoding; buffers are grow-only and
+    reused across sends, so once the pool has seen the link's peak
+    in-flight count and largest message, steady-state sends allocate zero
+    minor words for encoding. *)
+
+type slot = {
+  sw : Codec.writer;  (** encode here after {!acquire} *)
+  mutable refs : int;
+}
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> slot
+(** A reset writer with [refs = 1]; allocates only when every slot is in
+    flight. *)
+
+val retain : slot -> unit
+(** One more pending delivery shares this slot (duplicate faults). *)
+
+val release : t -> slot -> unit
+(** Drop one reference; the slot returns to the pool when the last
+    reference is dropped. *)
+
+type stats = {
+  slots : int;  (** buffers ever allocated (pool high-water mark) *)
+  acquires : int;  (** total acquisitions; [acquires >> slots] at steady state *)
+}
+
+val stats : t -> stats

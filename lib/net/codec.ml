@@ -1,0 +1,199 @@
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(* Writer *)
+
+type writer = { mutable buf : Bytes.t; mutable len : int }
+
+let writer ?(capacity = 64) () =
+  { buf = Bytes.create (max 8 capacity); len = 0 }
+
+let reset w = w.len <- 0
+let length w = w.len
+let contents w = Bytes.sub w.buf 0 w.len
+
+let grow w need =
+  let cap = ref (Bytes.length w.buf) in
+  while !cap < need do
+    cap := !cap * 2
+  done;
+  let buf = Bytes.create !cap in
+  Bytes.blit w.buf 0 buf 0 w.len;
+  w.buf <- buf
+
+let ensure w extra =
+  if w.len + extra > Bytes.length w.buf then grow w (w.len + extra)
+
+let byte w b =
+  ensure w 1;
+  Bytes.unsafe_set w.buf w.len (Char.unsafe_chr (b land 0xff));
+  w.len <- w.len + 1
+
+let write_bool w b = byte w (if b then 1 else 0)
+
+let write_tag w t =
+  if t < 0 || t > 0xff then invalid_arg "Codec.write_tag: tag out of range";
+  byte w t
+
+(* LEB128: 7 payload bits per byte, low bits first, top bit = more.  An
+   OCaml int is 63 bits, so at most ceil(63/7) = 9 bytes.  The loops are
+   top-level (taking [w] as an argument) rather than inner [let rec]s:
+   an inner loop capturing [w] costs a closure allocation per varint,
+   which is exactly what the reused-writer path exists to avoid. *)
+let rec uint_loop w n =
+  if n < 0x80 then byte w n
+  else begin
+    byte w (0x80 lor (n land 0x7f));
+    uint_loop w (n lsr 7)
+  end
+
+let write_uint w n =
+  if n < 0 then invalid_arg "Codec.write_uint: negative";
+  uint_loop w n
+
+let rec zigzag_loop w u =
+  if u lsr 7 = 0 then byte w u
+  else begin
+    byte w (0x80 lor (u land 0x7f));
+    zigzag_loop w (u lsr 7)
+  end
+
+(* Zigzag maps small magnitudes of either sign to small unsigned ints:
+   0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...  [lsr] on the re-mapped value
+   makes the encoding total over the whole int range. *)
+let write_int w n = zigzag_loop w ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+
+let write_str w s =
+  let n = String.length s in
+  write_uint w n;
+  ensure w n;
+  Bytes.blit_string s 0 w.buf w.len n;
+  w.len <- w.len + n
+
+let write_option enc w = function
+  | None -> byte w 0
+  | Some v ->
+      byte w 1;
+      enc w v
+
+let rec write_elems enc w = function
+  | [] -> ()
+  | x :: tl ->
+      enc w x;
+      write_elems enc w tl
+
+let write_list enc w xs =
+  write_uint w (List.length xs);
+  write_elems enc w xs
+
+(* Reader *)
+
+type reader = { rbuf : Bytes.t; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?len buf =
+  let len = match len with Some l -> l | None -> Bytes.length buf - pos in
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Codec.reader: range out of bounds";
+  { rbuf = buf; pos; limit = pos + len }
+
+let of_writer w = { rbuf = w.buf; pos = 0; limit = w.len }
+let remaining r = r.limit - r.pos
+
+let read_byte r =
+  if r.pos >= r.limit then malformed "truncated input";
+  let b = Char.code (Bytes.unsafe_get r.rbuf r.pos) in
+  r.pos <- r.pos + 1;
+  b
+
+let read_bool r =
+  match read_byte r with
+  | 0 -> false
+  | 1 -> true
+  | b -> malformed "bool: invalid byte %d" b
+
+let read_tag r = read_byte r
+
+(* Shifts run 0,7,...,56: nine bytes cover all 63 bits of an OCaml int;
+   a tenth continuation byte is an overlong varint, not a longer int.
+   Top-level loop for the same no-closure reason as [uint_loop]. *)
+let rec varint_loop r shift acc =
+  if shift > 56 then malformed "varint: overlong (more than 9 bytes)";
+  let b = read_byte r in
+  let acc = acc lor ((b land 0x7f) lsl shift) in
+  if b land 0x80 = 0 then acc else varint_loop r (shift + 7) acc
+
+let read_raw_varint r = varint_loop r 0 0
+
+let read_uint r =
+  let u = read_raw_varint r in
+  if u < 0 then malformed "uint: negative after decode";
+  u
+
+let read_int r =
+  let u = read_raw_varint r in
+  (u lsr 1) lxor (-(u land 1))
+
+let read_str r =
+  let n = read_uint r in
+  (* Validate against what actually remains before allocating: a garbage
+     length prefix must not translate into a huge allocation. *)
+  if n > remaining r then
+    malformed "string: length %d exceeds %d remaining bytes" n (remaining r);
+  let s = Bytes.sub_string r.rbuf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_option dec r =
+  match read_byte r with
+  | 0 -> None
+  | 1 -> Some (dec r)
+  | b -> malformed "option: invalid presence byte %d" b
+
+let read_list dec r =
+  let n = read_uint r in
+  (* Every element takes at least one byte, so a count beyond the
+     remaining bytes cannot be honest. *)
+  if n > remaining r then
+    malformed "list: count %d exceeds %d remaining bytes" n (remaining r);
+  List.init n (fun _ -> dec r)
+
+let expect_end r =
+  if remaining r > 0 then
+    malformed "trailing garbage: %d bytes after message end" (remaining r)
+
+(* Message codecs *)
+
+type 'm t = { encode : writer -> 'm -> unit; decode : reader -> 'm }
+
+let to_bytes c m =
+  let w = writer () in
+  c.encode w m;
+  contents w
+
+let of_bytes c b =
+  let r = reader b in
+  let m = c.decode r in
+  expect_end r;
+  m
+
+let roundtrip c m =
+  let w = writer () in
+  c.encode w m;
+  let r = of_writer w in
+  let m' = c.decode r in
+  expect_end r;
+  m'
+
+let address =
+  {
+    encode =
+      (fun w a ->
+        write_str w (Address.role a);
+        write_int w (Address.index a));
+    decode =
+      (fun r ->
+        let role = read_str r in
+        let index = read_int r in
+        Address.make ~role ~index);
+  }

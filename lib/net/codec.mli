@@ -1,0 +1,121 @@
+(** Flat binary wire codecs over reusable [Bytes] buffers.
+
+    The structural transport moves OCaml values by pointer; this module
+    provides the machinery to move them as flat bytes instead: a growable
+    {!writer} that messages are encoded into, a bounds-checked {!reader}
+    that decodes them at delivery, and the primitive encodings every frame
+    is built from:
+
+    - {b varint ints} — zigzag LEB128: the int [n] is mapped to the
+      unsigned [(n lsl 1) lxor (n asr (Sys.int_size - 1))] and emitted
+      7 bits per byte, low bits first, the top bit of each byte marking
+      continuation.  Small magnitudes of either sign take one byte; an
+      OCaml int never takes more than nine.
+    - {b length-prefixed strings} — unsigned varint byte count, then the
+      raw bytes.  Decoding validates the count against the bytes actually
+      remaining {e before} allocating.
+    - {b tagged constructors} — a single tag byte selecting the variant,
+      then the fields in order.
+
+    Decoding is total: any input that is not a valid encoding — truncated,
+    overlong varint, length prefix past the end, unknown tag — raises
+    {!Malformed}, never an [Out_of_memory], [Invalid_argument] or a silent
+    misparse.
+
+    A ['m t] packages an encoder and decoder for one message type; the
+    per-message codecs themselves live next to their types
+    ([Wire.codec], [Pval.codec], [Paxos.msg_codec], [Reliable]'s frame
+    codec) since this library sits below them. *)
+
+exception Malformed of string
+(** Raised by every [read_*] function on input that is not a valid
+    encoding.  The string names the primitive and the reason. *)
+
+(** {1 Writer} *)
+
+type writer
+(** A growable byte buffer.  Grow-only: the underlying [Bytes] is never
+    shrunk, so a writer reused across sends ({!reset} between messages)
+    stops allocating once it has seen the largest message on its link. *)
+
+val writer : ?capacity:int -> unit -> writer
+val reset : writer -> unit
+(** Forget the contents, keep the buffer. *)
+
+val length : writer -> int
+(** Bytes written since the last {!reset}. *)
+
+val contents : writer -> bytes
+(** A fresh copy of the written bytes (tests and one-shot encodes). *)
+
+val write_bool : writer -> bool -> unit
+val write_tag : writer -> int -> unit
+(** One byte; the tag must be in [0..255]. *)
+
+val write_int : writer -> int -> unit
+(** Zigzag LEB128 varint; any OCaml int, at most nine bytes. *)
+
+val write_uint : writer -> int -> unit
+(** Plain LEB128 varint; raises [Invalid_argument] on negative input. *)
+
+val write_str : writer -> string -> unit
+(** Unsigned varint length, then the bytes. *)
+
+val write_option : (writer -> 'a -> unit) -> writer -> 'a option -> unit
+(** Presence byte (0 or 1), then the payload if present. *)
+
+val write_list : (writer -> 'a -> unit) -> writer -> 'a list -> unit
+(** Unsigned varint count, then the elements in order. *)
+
+(** {1 Reader} *)
+
+type reader
+(** A cursor over a byte range; every read is bounds-checked against the
+    range, never the whole buffer. *)
+
+val reader : ?pos:int -> ?len:int -> bytes -> reader
+(** Raises [Invalid_argument] if [pos]/[len] do not describe a valid
+    range of the buffer. *)
+
+val of_writer : writer -> reader
+(** Read back what was written, without copying.  The reader aliases the
+    writer's buffer: do not {!reset} or write until done reading. *)
+
+val remaining : reader -> int
+
+val read_bool : reader -> bool
+val read_tag : reader -> int
+val read_int : reader -> int
+val read_uint : reader -> int
+val read_str : reader -> string
+val read_option : (reader -> 'a) -> reader -> 'a option
+val read_list : (reader -> 'a) -> reader -> 'a list
+
+val expect_end : reader -> unit
+(** Raises {!Malformed} if any input remains: a complete message must
+    consume its frame exactly. *)
+
+(** {1 Message codecs} *)
+
+type 'm t = {
+  encode : writer -> 'm -> unit;
+  decode : reader -> 'm;
+}
+(** A message codec.  [decode] must be the exact inverse of [encode]
+    (checked per codec by qcheck round-trip properties) and must raise
+    {!Malformed} on anything else. *)
+
+val to_bytes : 'm t -> 'm -> bytes
+(** One-shot encode into a fresh buffer. *)
+
+val of_bytes : 'm t -> bytes -> 'm
+(** One-shot decode of a whole buffer; {!expect_end} enforced. *)
+
+val roundtrip : 'm t -> 'm -> 'm
+(** [decode (encode m)] through a scratch buffer — used by the structural
+    consensus register to give flat mode wire fidelity. *)
+
+(** {1 Primitive codecs} *)
+
+val address : Address.t t
+(** Role string + zigzag index. *)

@@ -37,16 +37,38 @@ module Addr_tbl = Hashtbl.Make (struct
   let hash = Address.hash
 end)
 
-module Link_tbl = Hashtbl.Make (struct
-  type t = Address.t * Address.t
-
-  let equal (a1, b1) (a2, b2) = Address.equal a1 a2 && Address.equal b1 b2
-  let hash (a, b) = Hashtbl.hash (Address.hash a, Address.hash b)
-end)
-
 type 'm packet =
   | Data of { seq : int; ack : int; payload : 'm }
   | Ack of { ack : int }
+
+(* Flat frame layout.  A [Data] frame carries its piggybacked cumulative
+   ack as a varint in the same buffer as the sequence number and payload
+   — the "ack in the same frame" the protocol comment above promises,
+   made literal in flat mode. *)
+let packet_codec (pc : 'm Codec.t) : 'm packet Codec.t =
+  {
+    Codec.encode =
+      (fun w -> function
+        | Data { seq; ack; payload } ->
+            Codec.write_tag w 0;
+            Codec.write_uint w seq;
+            Codec.write_uint w ack;
+            pc.Codec.encode w payload
+        | Ack { ack } ->
+            Codec.write_tag w 1;
+            Codec.write_uint w ack);
+    decode =
+      (fun r ->
+        match Codec.read_tag r with
+        | 0 ->
+            let seq = Codec.read_uint r in
+            let ack = Codec.read_uint r in
+            let payload = pc.Codec.decode r in
+            Data { seq; ack; payload }
+        | 1 -> Ack { ack = Codec.read_uint r }
+        | tag ->
+            raise (Codec.Malformed (Printf.sprintf "packet: unknown tag %d" tag)));
+  }
 
 type arq = {
   rto : int;  (* initial retransmission timeout *)
@@ -59,16 +81,21 @@ type arq = {
 let default_arq =
   { rto = 150; backoff = 2; max_rto = 2400; retransmit_cap = 8; ack_delay = 25 }
 
-type 'm tx_state = {
+(* Both halves of one node's view of one neighbour, in a single record:
+   the tx half tracks data we send to [other], the rx half data [other]
+   sends to us.  Fusing them means every ARQ operation — send with
+   piggybacked ack, data arrival (apply ack + sequence + owe ack),
+   retransmit — resolves its state with exactly one table lookup, where
+   the split tx/rx tables cost two or three. *)
+type 'm peer = {
+  (* tx half: our data -> other *)
   mutable next_seq : int;
   unacked : (int, 'm) Hashtbl.t;
   (* One coalesced retransmission timer per directed link. *)
   mutable timer_armed : bool;
   mutable rto_cur : int;  (* current backoff level *)
   mutable attempts : int;  (* retransmissions since the last ack progress *)
-}
-
-type 'm rx_state = {
+  (* rx half: other's data -> us *)
   mutable expected : int;  (* next in-order sequence number *)
   buffer : (int, 'm) Hashtbl.t;  (* out-of-order arrivals *)
   mutable ack_owed : bool;  (* data arrived since our last ack *)
@@ -91,8 +118,7 @@ type 'm t = {
   raw : 'm packet Transport.t;
   arq : arq;
   mailboxes : 'm Transport.envelope Xsim.Mailbox.t Addr_tbl.t;
-  tx : 'm tx_state Link_tbl.t;  (* keyed (src, dst) *)
-  rx : 'm rx_state Link_tbl.t;  (* keyed (src, dst) *)
+  peers : 'm peer Addr_tbl.t Addr_tbl.t;  (* me -> other -> peer *)
   mutable app_sent : int;
   mutable app_delivered : int;
   mutable retransmits : int;
@@ -108,108 +134,96 @@ let obs_incr name = if Xobs.enabled () then Xobs.Counter.incr (Xobs.counter name
 let obs_backoff rto =
   if Xobs.enabled () then Xobs.Histogram.record (Xobs.histogram "net.backoff") rto
 
-let tx_state t key =
-  match Link_tbl.find_opt t.tx key with
-  | Some st -> st
-  | None ->
-      let st =
+let peer t ~me ~other =
+  let by_other =
+    match Addr_tbl.find t.peers me with
+    | by_other -> by_other
+    | exception Not_found ->
+        let by_other = Addr_tbl.create 8 in
+        Addr_tbl.replace t.peers me by_other;
+        by_other
+  in
+  match Addr_tbl.find by_other other with
+  | p -> p
+  | exception Not_found ->
+      let p =
         {
           next_seq = 0;
           unacked = Hashtbl.create 8;
           timer_armed = false;
           rto_cur = t.arq.rto;
           attempts = 0;
-        }
-      in
-      Link_tbl.replace t.tx key st;
-      st
-
-let rx_state t key =
-  match Link_tbl.find_opt t.rx key with
-  | Some r -> r
-  | None ->
-      let r =
-        {
           expected = 0;
           buffer = Hashtbl.create 8;
           ack_owed = false;
           ack_timer_armed = false;
         }
       in
-      Link_tbl.replace t.rx key r;
-      r
+      Addr_tbl.replace by_other other p;
+      p
 
-(* Cumulative ack for data flowing [src] -> [dst], as [dst] would state
-   it: everything below [expected] has been released in order. *)
-let ack_for t ~src ~dst =
-  match Link_tbl.find_opt t.rx (src, dst) with
-  | Some rx -> rx.expected
-  | None -> 0
-
-(* Apply a cumulative ack to the (sender, receiver) data link. *)
-let apply_ack t key ~ack =
-  match Link_tbl.find_opt t.tx key with
-  | None -> ()
-  | Some st ->
-      let progress = ref false in
-      Hashtbl.iter
-        (fun seq _ -> if seq < ack then progress := true)
-        st.unacked;
-      if !progress then begin
-        Hashtbl.filter_map_inplace
-          (fun seq payload -> if seq < ack then None else Some payload)
-          st.unacked;
-        (* Forward progress: the link is passing traffic again. *)
-        st.rto_cur <- t.arq.rto;
-        st.attempts <- 0
-      end
+(* Apply a cumulative ack to a peer's tx half. *)
+let apply_ack t p ~ack =
+  let progress = ref false in
+  Hashtbl.iter (fun seq _ -> if seq < ack then progress := true) p.unacked;
+  if !progress then begin
+    Hashtbl.filter_map_inplace
+      (fun seq payload -> if seq < ack then None else Some payload)
+      p.unacked;
+    (* Forward progress: the link is passing traffic again. *)
+    p.rto_cur <- t.arq.rto;
+    p.attempts <- 0
+  end
 
 (* Sender side: one self-rearming timer per directed link.  On expiry the
    oldest unacked packet is retransmitted with backoff; ack progress
    (seen in [apply_ack]) resets the backoff.  A dead sender process stops
-   retransmitting (crash-stop). *)
-let rec arm_link t ~src ~dst st =
-  if (not st.timer_armed) && Hashtbl.length st.unacked > 0 then begin
-    st.timer_armed <- true;
-    let rto = st.rto_cur in
+   retransmitting (crash-stop).  [p] is peer (src, dst); its rx half
+   ([p.expected]) is exactly the cumulative ack we owe dst, so the
+   retransmitted frame piggybacks it with no extra lookup. *)
+let rec arm_link t ~src ~dst p =
+  if (not p.timer_armed) && Hashtbl.length p.unacked > 0 then begin
+    p.timer_armed <- true;
+    let rto = p.rto_cur in
     Xsim.Engine.schedule t.eng ~label:"timer" ~delay:rto (fun () ->
-        st.timer_armed <- false;
-        if Hashtbl.length st.unacked > 0 then
+        p.timer_armed <- false;
+        if Hashtbl.length p.unacked > 0 then
           if Xsim.Proc.alive (Transport.proc_of t.raw src) then begin
             let oldest =
-              Hashtbl.fold (fun seq _ acc -> min seq acc) st.unacked max_int
+              Hashtbl.fold (fun seq _ acc -> min seq acc) p.unacked max_int
             in
-            let payload = Hashtbl.find st.unacked oldest in
+            let payload = Hashtbl.find p.unacked oldest in
             t.retransmits <- t.retransmits + 1;
             obs_incr "net.retransmits";
             obs_backoff rto;
-            st.attempts <- st.attempts + 1;
-            if st.attempts = t.arq.retransmit_cap then begin
+            p.attempts <- p.attempts + 1;
+            if p.attempts = t.arq.retransmit_cap then begin
               t.cap_hits <- t.cap_hits + 1;
               obs_incr "net.retransmit_cap_hits"
             end;
             Transport.send t.raw ~src ~dst
-              (Data { seq = oldest; ack = ack_for t ~src:dst ~dst:src; payload });
-            st.rto_cur <- min (st.rto_cur * t.arq.backoff) t.arq.max_rto;
-            arm_link t ~src ~dst st
+              (Data { seq = oldest; ack = p.expected; payload });
+            p.rto_cur <- min (p.rto_cur * t.arq.backoff) t.arq.max_rto;
+            arm_link t ~src ~dst p
           end)
   end
 
 (* Delayed ack: wait [ack_delay] for a data frame to carry the ack back;
    flush a pure Ack if none does.  Runs at NIC level — a crashed
-   receiver still acks (silencing retransmissions to the dead). *)
-let arm_ack_flush t ~src ~dst rx =
-  if not rx.ack_timer_armed then begin
-    rx.ack_timer_armed <- true;
+   receiver still acks (silencing retransmissions to the dead).  [p] is
+   peer (dst, src): dst is us, src the data sender being acked. *)
+let arm_ack_flush t ~src ~dst p =
+  if not p.ack_timer_armed then begin
+    p.ack_timer_armed <- true;
     Xsim.Engine.schedule t.eng ~label:"timer" ~delay:t.arq.ack_delay (fun () ->
-        rx.ack_timer_armed <- false;
-        if rx.ack_owed then begin
-          rx.ack_owed <- false;
+        p.ack_timer_armed <- false;
+        if p.ack_owed then begin
+          p.ack_owed <- false;
           t.acks_sent <- t.acks_sent + 1;
           t.ack_flushes <- t.ack_flushes + 1;
           obs_incr "net.acks";
           obs_incr "net.piggyback_flushes";
-          Transport.send t.raw ~src:dst ~dst:src (Ack { ack = rx.expected })
+          Transport.send t.raw ~src:dst ~dst:src (Ack { ack = p.expected })
         end)
   end
 
@@ -217,44 +231,49 @@ let arm_ack_flush t ~src ~dst rx =
 let handle t (e : 'm packet Transport.envelope) =
   match e.Transport.payload with
   | Ack { ack } ->
-      (* The ack travelled dst->src, acknowledging the (dst, src) data
-         link as seen from the original sender [e.dst]. *)
-      apply_ack t (e.Transport.dst, e.Transport.src) ~ack
+      (* The ack travelled dst->src, acknowledging the data we ([e.dst])
+         sent towards [e.src]: peer (e.dst, e.src)'s tx half. *)
+      apply_ack t (peer t ~me:e.Transport.dst ~other:e.Transport.src) ~ack
   | Data { seq; ack; payload } ->
       let src = e.Transport.src and dst = e.Transport.dst in
-      (* The piggybacked ack covers our reverse-direction data. *)
-      apply_ack t (dst, src) ~ack;
-      let rx = rx_state t (src, dst) in
+      (* One record covers everything this frame touches at [dst]: the
+         piggybacked ack hits our tx half towards [src], the data itself
+         our rx half from [src]. *)
+      let p = peer t ~me:dst ~other:src in
+      apply_ack t p ~ack;
       (* Owe an ack in all cases, duplicates included: a duplicate data
          packet usually means the previous ack was lost. *)
-      rx.ack_owed <- true;
-      arm_ack_flush t ~src ~dst rx;
-      if seq < rx.expected || Hashtbl.mem rx.buffer seq then begin
+      p.ack_owed <- true;
+      arm_ack_flush t ~src ~dst p;
+      if seq < p.expected || Hashtbl.mem p.buffer seq then begin
         t.dedup_dropped <- t.dedup_dropped + 1;
         obs_incr "net.dedup_drops"
       end
       else begin
-        Hashtbl.replace rx.buffer seq payload;
+        Hashtbl.replace p.buffer seq payload;
         let mbox = Addr_tbl.find t.mailboxes dst in
-        while Hashtbl.mem rx.buffer rx.expected do
-          let p = Hashtbl.find rx.buffer rx.expected in
-          Hashtbl.remove rx.buffer rx.expected;
-          rx.expected <- rx.expected + 1;
+        while Hashtbl.mem p.buffer p.expected do
+          let pl = Hashtbl.find p.buffer p.expected in
+          Hashtbl.remove p.buffer p.expected;
+          p.expected <- p.expected + 1;
           t.app_delivered <- t.app_delivered + 1;
-          Xsim.Mailbox.put mbox { Transport.src; dst; payload = p }
+          Xsim.Mailbox.put mbox { Transport.src; dst; payload = pl }
         done
       end
 
-let create eng ?fifo ?faults ?(arq = default_arq) ~latency () =
-  let raw = Transport.create eng ?fifo ?faults ~latency () in
+let create eng ?fifo ?faults ?codec ?(arq = default_arq) ~latency () =
+  let raw =
+    Transport.create eng ?fifo ?faults
+      ?codec:(Option.map packet_codec codec)
+      ~latency ()
+  in
   let t =
     {
       eng;
       raw;
       arq;
       mailboxes = Addr_tbl.create 16;
-      tx = Link_tbl.create 32;
-      rx = Link_tbl.create 32;
+      peers = Addr_tbl.create 16;
       app_sent = 0;
       app_delivered = 0;
       retransmits = 0;
@@ -289,20 +308,19 @@ let members t = Transport.members t.raw
 let send t ~src ~dst payload =
   ignore (Transport.mailbox t.raw dst);  (* Not_found on unregistered dst *)
   t.app_sent <- t.app_sent + 1;
-  let st = tx_state t (src, dst) in
-  let seq = st.next_seq in
-  st.next_seq <- seq + 1;
-  Hashtbl.replace st.unacked seq payload;
-  (* Any owed ack for the reverse direction rides this frame for free. *)
-  (match Link_tbl.find_opt t.rx (dst, src) with
-  | Some rx when rx.ack_owed ->
-      rx.ack_owed <- false;
-      t.piggyback_acks <- t.piggyback_acks + 1;
-      obs_incr "net.piggyback_acks"
-  | _ -> ());
-  Transport.send t.raw ~src ~dst
-    (Data { seq; ack = ack_for t ~src:dst ~dst:src; payload });
-  arm_link t ~src ~dst st
+  let p = peer t ~me:src ~other:dst in
+  let seq = p.next_seq in
+  p.next_seq <- seq + 1;
+  Hashtbl.replace p.unacked seq payload;
+  (* Any owed ack for the reverse direction rides this frame for free:
+     [p.expected] is our cumulative ack for dst's data. *)
+  if p.ack_owed then begin
+    p.ack_owed <- false;
+    t.piggyback_acks <- t.piggyback_acks + 1;
+    obs_incr "net.piggyback_acks"
+  end;
+  Transport.send t.raw ~src ~dst (Data { seq; ack = p.expected; payload });
+  arm_link t ~src ~dst p
 
 let broadcast t ~src ?(include_self = false) payload =
   List.iter

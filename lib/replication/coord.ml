@@ -7,6 +7,7 @@ type impl =
       eng : Xsim.Engine.t;
       latency : int;
       table : (string, Pval.t Xconsensus.Register.t) Hashtbl.t;
+      codec : Pval.t Xnet.Codec.t option;
       (* Per-member local knowledge, so `Register reads stay honest about
          which member has observed which decision. *)
       mutable proposals : int;
@@ -26,24 +27,27 @@ type t = {
   mutable busy_until : int;
 }
 
-let create eng ?(service_time = 0) ~backend ~members () =
+let create eng ?(service_time = 0) ?codec ~backend ~members () =
   let impl =
     match backend with
     | `Register latency ->
         ignore members;
-        Registers { eng; latency; table = Hashtbl.create 64; proposals = 0 }
+        Registers
+          { eng; latency; table = Hashtbl.create 64; codec; proposals = 0 }
     | `Paxos latency ->
-        Paxos (Xconsensus.Paxos.create_group eng ~latency ~members ())
+        Paxos (Xconsensus.Paxos.create_group eng ~latency ~members ?codec ())
   in
   { impl; eng; service_time; busy_until = 0 }
 
 let register_obj r inst =
   match r.impl with
-  | Registers { eng; latency; table; _ } -> (
+  | Registers { eng; latency; table; codec; _ } -> (
       match Hashtbl.find_opt table inst with
       | Some obj -> obj
       | None ->
-          let obj = Xconsensus.Register.create eng ~latency ~name:inst () in
+          let obj =
+            Xconsensus.Register.create eng ~latency ?codec ~name:inst ()
+          in
           Hashtbl.replace table inst obj;
           obj)
   | Paxos _ ->

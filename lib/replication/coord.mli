@@ -20,6 +20,7 @@ type t
 val create :
   Xsim.Engine.t ->
   ?service_time:int ->
+  ?codec:Pval.t Xnet.Codec.t ->
   backend:backend ->
   members:(Xnet.Address.t * Xsim.Proc.t) list ->
   unit ->
@@ -30,7 +31,10 @@ val create :
     ticks before its round starts — one log slot per proposal, whether
     the value is a single request or a batched aggregate (which is
     exactly the cost batching amortizes).  The default [0] keeps the
-    substrate unserialised and pre-existing runs byte-identical. *)
+    substrate unserialised and pre-existing runs byte-identical.
+    [codec] switches the backend to the flat wire representation: the
+    [`Paxos] group transport carries encoded frames, and [`Register]
+    round-trips winning proposals for wire fidelity. *)
 
 val propose : t -> member:Xnet.Address.t -> inst:string -> Pval.t -> Pval.t
 (** Blocking (fiber). *)

@@ -11,6 +11,13 @@ type channel_config =
   | Assumed_reliable
   | Arq of Xnet.Reliable.arq
 
+(* How messages are represented on the simulated wire: [Structural]
+   passes the sender's value by pointer (the historical model, and the
+   byte-identical default); [Flat] encodes every message into a reusable
+   byte frame at send time and decodes it at delivery — service wire,
+   ARQ frames, and consensus backend alike. *)
+type codec_mode = Structural | Flat
+
 type config = {
   n_replicas : int;
   n_clients : int;
@@ -26,6 +33,7 @@ type config = {
   consensus_service_time : int;
       (* serial-substrate occupancy per consensus proposal (ticks);
          0 = unserialised substrate (the historical model) *)
+  codec : codec_mode;
 }
 
 let default_config =
@@ -40,6 +48,7 @@ let default_config =
     replica = Replica.default_config;
     batching = None;
     consensus_service_time = 0;
+    codec = Structural;
   }
 
 (* Which channel implementation carries the service's Wire messages.
@@ -65,13 +74,18 @@ type t = {
 }
 
 let create eng env (cfg : config) =
+  let wire_codec =
+    match cfg.codec with Structural -> None | Flat -> Some Wire.codec
+  in
   let s_net =
     match cfg.channel with
     | Assumed_reliable ->
-        Raw (Xnet.Transport.create eng ~faults:cfg.faults ~latency:cfg.net_latency ())
+        Raw
+          (Xnet.Transport.create eng ~faults:cfg.faults ?codec:wire_codec
+             ~latency:cfg.net_latency ())
     | Arq arq ->
         Reliable
-          (Xnet.Reliable.create eng ~faults:cfg.faults ~arq
+          (Xnet.Reliable.create eng ~faults:cfg.faults ?codec:wire_codec ~arq
              ~latency:cfg.net_latency ())
   in
   let s_transport =
@@ -95,6 +109,8 @@ let create eng env (cfg : config) =
   in
   let s_coord =
     Coord.create eng ~service_time:cfg.consensus_service_time
+      ?codec:
+        (match cfg.codec with Structural -> None | Flat -> Some Pval.codec)
       ~backend:cfg.backend ~members:replica_members ()
   in
   let s_detector, s_oracle, s_heartbeat =

@@ -25,6 +25,18 @@ type channel_config =
       (** reliable channels implemented over the faulty wire by the
           {!Xnet.Reliable} ARQ layer *)
 
+type codec_mode =
+  | Structural
+      (** messages move by pointer — the historical, byte-identical
+          default *)
+  | Flat
+      (** every message is encoded into a reusable byte frame at send
+          time and decoded at delivery: the service wire carries
+          {!Wire.codec} frames (inside ARQ {!Xnet.Reliable.packet_codec}
+          frames under [Arq]), and the consensus backend carries
+          {!Pval.codec} payloads.  A representation change only: RNG
+          draws, delays, and verdicts are identical to [Structural] *)
+
 type config = {
   n_replicas : int;
   n_clients : int;
@@ -46,6 +58,7 @@ type config = {
           one slot per proposal, aggregate or not, so batching amortizes
           it.  [0] (default) keeps the substrate unserialised and
           pre-existing runs byte-identical; see {!Coord.create} *)
+  codec : codec_mode;  (** wire representation (default [Structural]) *)
 }
 
 val default_config : config
