@@ -1732,6 +1732,164 @@ let e14 () =
       ]
 
 (* ------------------------------------------------------------------ *)
+(* E15: sharded scale-out.  N independent replica groups over one shared
+   wire, keys hash-partitioned with a router/directory tier in front
+   (lib/shard).  Weak scaling: the per-shard closed loop is constant
+   (2 sessions x 2 lanes x 5 requests, one cross-shard pair among them),
+   so total offered load grows with the shard count, and with each
+   group's serial consensus substrate being the bottleneck resource,
+   aggregate req/s should grow near-linearly.  Every cell re-verifies
+   R1-R4 through the section-4 composition checker (per-shard
+   projections conjoined), and the whole table is computed on 1-domain
+   and 4-domain pools, which must agree byte-for-byte.  The scaling
+   gate (shards=4 at >= 3x shards=1) is greppable as "e15 gate". *)
+
+let e15_shard : json ref = ref (J_obj [])
+
+let e15_spec ~shards ~seed () =
+  {
+    Runner.default_spec with
+    seed;
+    time_limit = 20_000_000;
+    quiesce_grace = 20_000;
+    (* Per-shard closed loop: 2 sessions x 2 lanes.  Constant per shard —
+       the sweep is weak scaling, offered load grows with the count. *)
+    clients = 2;
+    inflight = 2;
+    service_config =
+      {
+        Service.default_config with
+        (* Same serial consensus substrate as E13: each group's sequenced
+           log is the contended resource, so extra shards add capacity
+           instead of sharing one infinitely-parallel substrate. *)
+        consensus_service_time = 30;
+        shards;
+        n_clients = 2;
+        batching =
+          Some
+            { Xreplication.Batcher.default_config with size = 16; depth = 4 };
+      };
+  }
+
+let e15_run ~shards ~seed () =
+  Runner.run_sharded
+    ~spec:(e15_spec ~shards ~seed ())
+    ~setup:Workloads.setup_all
+    ~workload:(fun _ d sess ->
+      (* kv-only (undoable off): 64 shards x 20 lanes would exhaust the
+         stock booking service's 64 seats and measure sell-outs, not
+         scaling.  Every 4th request is a cross-shard pair. *)
+      Workloads.sharded_mix ~undoable:false ~n:4 ~cross_every:4 d sess)
+    ()
+
+(* One cell, aggregated over [n] seeds on [pool]; plain data out so two
+   pools' tables compare structurally. *)
+let e15_cell ~pool ~n ~shards =
+  let results =
+    Pool.map pool
+      (fun seed ->
+        let r, _, d = e15_run ~shards ~seed:(seed * 7919) () in
+        let requests = max 1 (List.length r.Runner.submissions) in
+        let totals = Xshard.Deployment.totals d in
+        ( Runner.ok r,
+          List.for_all (fun (_, rep) -> rep.Checker.ok) r.Runner.shard_reports,
+          Stats.ratio (1000 * requests) (max 1 r.Runner.work_end_time),
+          List.map
+            (fun s -> float_of_int s.Runner.latency)
+            r.Runner.submissions,
+          float_of_int totals.Xshard.Deployment.cross_requests,
+          float_of_int totals.Xshard.Deployment.router.Xshard.Router.lookups ))
+      (List.init n (fun i -> i + 1))
+  in
+  let ok = List.length (List.filter (fun (o, _, _, _, _, _) -> o) results) in
+  let shards_ok =
+    List.for_all (fun (_, so, _, _, _, _) -> so) results
+  in
+  let lats = List.concat_map (fun (_, _, _, l, _, _) -> l) results in
+  ( shards,
+    ok,
+    shards_ok,
+    Stats.mean (List.map (fun (_, _, t, _, _, _) -> t) results),
+    Stats.p50 lats,
+    Stats.p95 lats,
+    Stats.mean (List.map (fun (_, _, _, _, c, _) -> c) results),
+    Stats.mean (List.map (fun (_, _, _, _, _, lk) -> lk) results) )
+
+let e15 () =
+  header
+    "E15 Sharded scale-out  [N replica groups, hash partition + router \
+     tier; weak scaling; verdict composed per section 4]";
+  let n = seeds 3 in
+  let counts = [ 1; 4; 16; 64 ] in
+  let table pool = List.map (fun shards -> e15_cell ~pool ~n ~shards) counts in
+  let pool1 = Pool.create ~domains:1 () in
+  let pool4 = Pool.create ~domains:4 () in
+  let rows1 = table pool1 in
+  let rows4 = table pool4 in
+  Pool.shutdown pool1;
+  Pool.shutdown pool4;
+  let identical = rows1 = rows4 in
+  let rps_of (_, _, _, rps, _, _, _, _) = rps in
+  let base = rps_of (List.hd rows4) in
+  row "%-8s %-6s %-10s %-10s %-9s %-8s %-8s %-11s %-11s@." "shards" "ok"
+    "composed" "req/s" "speedup" "p50" "p95" "cross/run" "lookups/run";
+  List.iter
+    (fun ((shards, ok, shards_ok, rps, p50, p95, cross, lookups) as _row) ->
+      row "%-8d %-6s %-10b %-10.1f %-9.2f %-8.0f %-8.0f %-11.1f %-11.1f@."
+        shards
+        (Printf.sprintf "%d/%d" ok n)
+        shards_ok rps
+        (if base > 0.0 then rps /. base else 0.0)
+        p50 p95 cross lookups)
+    rows4;
+  let find shards = List.find (fun (s, _, _, _, _, _, _, _) -> s = shards) rows4 in
+  let speedup4 = rps_of (find 4) /. base in
+  let speedup16 = rps_of (find 16) /. base in
+  let speedup64 = rps_of (find 64) /. base in
+  let all_ok =
+    List.for_all (fun (_, ok, so, _, _, _, _, _) -> ok = n && so) rows4
+  in
+  let gate_ok = speedup4 >= 3.0 in
+  row "e15 gate shards=4 vs shards=1 speedup (must be >= 3): %.2fx pass=%b@."
+    speedup4 gate_ok;
+  row "e15 speedup shards=16: %.2fx  shards=64: %.2fx@." speedup16 speedup64;
+  row "e15 all cells x-able (composed): %b   jobs=1 vs jobs=4 tables \
+       identical: %b@."
+    all_ok identical;
+  row
+    "expected shape: req/s grows near-linearly with the shard count (each \
+     group brings its own serial consensus substrate); latency stays flat; \
+     every cell composes to x-able@.";
+  e15_shard :=
+    J_obj
+      [
+        ( "rows",
+          J_list
+            (List.map
+               (fun (shards, ok, shards_ok, rps, p50, p95, cross, lookups) ->
+                 J_obj
+                   [
+                     ("shards", J_int shards);
+                     ("runs", J_int n);
+                     ("ok", J_int ok);
+                     ("composed_ok", J_bool shards_ok);
+                     ("req_per_s", J_float rps);
+                     ("speedup", J_float (if base > 0.0 then rps /. base else 0.0));
+                     ("latency_p50", J_float p50);
+                     ("latency_p95", J_float p95);
+                     ("cross_requests_per_run", J_float cross);
+                     ("router_lookups_per_run", J_float lookups);
+                   ])
+               rows4) );
+        ("speedup_4_vs_1", J_float speedup4);
+        ("speedup_16_vs_1", J_float speedup16);
+        ("speedup_64_vs_1", J_float speedup64);
+        ("gate_4x_ge_3", J_bool gate_ok);
+        ("all_ok", J_bool all_ok);
+        ("jobs_tables_identical", J_bool identical);
+      ]
+
+(* ------------------------------------------------------------------ *)
 (* Parallel speedup calibration: one fixed sweep, sequential vs pool. *)
 
 let calibrate () =
@@ -1897,6 +2055,7 @@ let write_json path =
         ("e12_net", !e12_net);
         ("e13_batch", !e13_batch);
         ("e14_codec", !e14_codec);
+        ("e15_shard", !e15_shard);
         ("calibration", !calibration);
         ("microbench", J_list (List.rev !micro_rows));
       ]
@@ -1925,6 +2084,7 @@ let () =
   timed_exp "e12" e12;
   timed_exp "e13" e13;
   timed_exp "e14" e14;
+  timed_exp "e15" e15;
   timed_exp "calibration" calibrate;
   timed_exp "microbench" microbench;
   (match !json_arg with Some path -> write_json path | None -> ());

@@ -212,6 +212,17 @@ let inflight_arg =
     & info [ "inflight" ] ~docv:"K"
         ~doc:"Concurrent outstanding requests per client.")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Independent replica groups over a shared wire, keys partitioned \
+           by hash with a router/directory tier in front ($(b,lib/shard)). \
+           1 (default) keeps the single-group deployment; with N > 1 the \
+           workload becomes the cross-shard mix and the R3 verdict is the \
+           section-4 composition of per-shard checks.")
+
 let codec_arg =
   Arg.(
     value
@@ -238,8 +249,8 @@ let batching_of ~batch ~pipeline =
 
 let make_spec ?(faults = Xexplore.Schedule.no_faults) ?(batch = 1)
     ?(pipeline = 1) ?(clients = 1) ?(inflight = 1)
-    ?(codec = Service.Structural) seed n_replicas crashes noise fail_prob
-    backend detector client_crash =
+    ?(codec = Service.Structural) ?(shards = 1) seed n_replicas crashes noise
+    fail_prob backend detector client_crash =
   let net_faults = Xexplore.Explorer.net_faults_of_plan faults in
   let channel =
     if Xexplore.Schedule.faults_are_none faults then Service.Assumed_reliable
@@ -268,6 +279,7 @@ let make_spec ?(faults = Xexplore.Schedule.no_faults) ?(batch = 1)
               });
       batching = batching_of ~batch ~pipeline;
       codec;
+      shards;
     }
   in
   {
@@ -331,25 +343,51 @@ let run_cmd =
   let doc = "Run one replication scenario and verify R1-R4." in
   let run seed n crashes noise fail_prob backend detector requests mix
       client_crash loss dup jitter partitions batch pipeline clients inflight
-      codec =
+      codec shards =
     let faults = fault_plan_of loss dup jitter partitions in
     let spec =
-      make_spec ~faults ~batch ~pipeline ~clients ~inflight ~codec seed n
-        crashes noise fail_prob backend detector client_crash
+      make_spec ~faults ~batch ~pipeline ~clients ~inflight ~codec ~shards seed
+        n crashes noise fail_prob backend detector client_crash
     in
-    let r, _ =
-      Runner.run ~spec ~setup:Workloads.setup_all
-        ~workload:(fun _ c s -> Workloads.sequence mix ~n:requests c s)
-        ()
-    in
-    print_result r
+    if shards > 1 then begin
+      (* Sharded deployment: per-shard closed loop over the cross-shard
+         mix; verdict composed from per-shard projections (section 4). *)
+      let r, _, d =
+        Runner.run_sharded ~spec ~setup:Workloads.setup_all
+          ~workload:(fun _ dep sess ->
+            Workloads.sharded_mix ~n:requests ~cross_every:3 dep sess)
+          ()
+      in
+      let totals = Xshard.Deployment.totals d in
+      Format.printf "shards             : %d@." shards;
+      List.iter
+        (fun (s, rep) ->
+          Format.printf "shard %-2d x-able    : %b@." s
+            rep.Xability.Checker.ok)
+        r.Runner.shard_reports;
+      Format.printf
+        "submits local/routed/cross: %d / %d / %d (router lookups %d)@."
+        totals.Xshard.Deployment.local_submits
+        totals.Xshard.Deployment.routed_submits
+        totals.Xshard.Deployment.cross_requests
+        totals.Xshard.Deployment.router.Xshard.Router.lookups;
+      print_result r
+    end
+    else
+      let r, _ =
+        Runner.run ~spec ~setup:Workloads.setup_all
+          ~workload:(fun _ c s -> Workloads.sequence mix ~n:requests c s)
+          ()
+      in
+      print_result r
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
       $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
       $ client_crash_arg $ loss_arg $ dup_arg $ jitter_arg $ partitions_arg
-      $ batch_arg $ pipeline_arg $ clients_arg $ inflight_arg $ codec_arg)
+      $ batch_arg $ pipeline_arg $ clients_arg $ inflight_arg $ codec_arg
+      $ shards_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
@@ -550,6 +588,7 @@ let explore_cmd =
                ("faults", `Faults);
                ("net", `Net);
                ("batch", `Batch);
+               ("xshard", `Xshard);
                ("all", `All);
              ])
           `All
@@ -558,8 +597,10 @@ let explore_cmd =
             "$(b,walk) (replayable random walk), $(b,dfs) (delay-bounded \
              systematic), $(b,faults) (crash-time enumeration), $(b,net) \
              (network fault-plane sweep over the ARQ channel), $(b,batch) \
-             (batch-boundary adversity with batching/pipelining on), or \
-             $(b,all).")
+             (batch-boundary adversity with batching/pipelining on), \
+             $(b,xshard) (sharded-deployment adversity: owner crashes \
+             mid-cross-shard request and router partitions, verdicts \
+             composed per section 4), or $(b,all).")
   in
   let seeds_arg =
     Arg.(
@@ -599,7 +640,7 @@ let explore_cmd =
   in
   let explore scenario requests seed noise mutation strategy trials budget
       window jobs expect out loss dup jitter partitions seeds batch pipeline
-      codec =
+      codec shards =
     (* Under walk/dfs/faults, any --loss/--dup/--partition plan is stamped
        on every schedule; the net strategy sweeps its own plans instead. *)
     let base_faults = fault_plan_of loss dup jitter partitions in
@@ -654,12 +695,21 @@ let explore_cmd =
           ~pipeline:(if pipeline > 1 then pipeline else 4)
           ~seeds ()
       in
+      let cross_shard =
+        (* --shards defaults to 1 (sharding off) elsewhere; a 1-shard
+           adversity sweep would test nothing, so fall back to the
+           strategy's own default (4) unless overridden. *)
+        Strategy.cross_shard
+          ~shards:(if shards > 1 then shards else 4)
+          ~seeds ()
+      in
       match strategy with
       | `Walk -> [ walk ]
       | `Dfs -> [ dfs ]
       | `Faults -> [ faults ]
       | `Net -> [ net ]
       | `Batch -> [ batch_boundary ]
+      | `Xshard -> [ cross_shard ]
       | `All -> [ walk; dfs; faults; net ]
     in
     let emit =
@@ -719,7 +769,8 @@ let explore_cmd =
       const explore $ scenario_arg $ requests_arg $ seed_arg $ noise_arg
       $ mutation_arg $ strategy_arg $ trials_arg $ budget_arg $ window_arg
       $ jobs_arg $ expect_arg $ out_arg $ loss_arg $ dup_arg $ jitter_arg
-      $ partitions_arg $ seeds_arg $ batch_arg $ pipeline_arg $ codec_arg)
+      $ partitions_arg $ seeds_arg $ batch_arg $ pipeline_arg $ codec_arg
+      $ shards_arg)
 
 let replay_cmd =
   let doc = "Replay a schedule printed by $(b,xrepl explore)." in

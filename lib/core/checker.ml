@@ -254,6 +254,80 @@ let check ~kinds ~logical_of ?(round_of = fun _ -> None)
   }
 
 (* ------------------------------------------------------------------ *)
+(* Composition (paper section 4).  Reduction rules never relate events of
+   different action instances, and a shard projection is a union of whole
+   logical groups — so a multi-shard history is x-able iff each shard's
+   projection is.  [compose] makes that theorem executable: project the
+   global history per shard, run [check] on each projection, and conjoin.
+   The per-shard reports are kept alongside a flattened [combined] report
+   so existing report plumbing works unchanged. *)
+
+type compose_report = {
+  per_shard : (int * report) list;
+  combined : report;
+}
+
+let compose ~kinds ~logical_of ?round_of ?engine ?(check_order = false) ?cache
+    ~shard_of ~expected h =
+  (* Partition the history into per-shard projections, preserving event
+     order.  An event's shard is a function of its logical group, so every
+     group lands wholly in one projection — the theorem's precondition. *)
+  let hist_tbl : (int, Event.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let base = Action.base (Event.action e) in
+      let s = shard_of base (logical_of base (Event.input e)) in
+      match Hashtbl.find_opt hist_tbl s with
+      | Some cell -> cell := e :: !cell
+      | None -> Hashtbl.replace hist_tbl s (ref [ e ]))
+    h;
+  let exp_tbl : (int, expected list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun exp ->
+      let s = shard_of exp.action exp.logical in
+      match Hashtbl.find_opt exp_tbl s with
+      | Some cell -> cell := exp :: !cell
+      | None -> Hashtbl.replace exp_tbl s (ref [ exp ]))
+    expected;
+  let shards =
+    let add tbl acc = Hashtbl.fold (fun s _ acc -> s :: acc) tbl acc in
+    add hist_tbl (add exp_tbl [])
+    |> List.sort_uniq compare
+  in
+  let per_shard =
+    List.map
+      (fun s ->
+        let h_s =
+          match Hashtbl.find_opt hist_tbl s with
+          | Some cell -> List.rev !cell
+          | None -> []
+        in
+        let exp_s =
+          match Hashtbl.find_opt exp_tbl s with
+          | Some cell -> List.rev !cell
+          | None -> []
+        in
+        ( s,
+          check ~kinds ~logical_of ?round_of ?engine ~check_order ?cache
+            ~expected:exp_s h_s ))
+      shards
+  in
+  let combined =
+    {
+      ok = List.for_all (fun (_, r) -> r.ok) per_shard;
+      groups = List.concat_map (fun (_, r) -> r.groups) per_shard;
+      unexpected = List.concat_map (fun (_, r) -> r.unexpected) per_shard;
+      order_ok = List.for_all (fun (_, r) -> r.order_ok) per_shard;
+      violations =
+        List.concat_map
+          (fun (s, r) ->
+            List.map (fun v -> Printf.sprintf "shard %d: %s" s v) r.violations)
+          per_shard;
+    }
+  in
+  { per_shard; combined }
+
+(* ------------------------------------------------------------------ *)
 (* Online checking.  A growing history cannot be judged not-x-able in
    general — a pending round may still be cancelled, a missing completion
    may still arrive.  What CAN be decided online are the irrevocable
@@ -384,3 +458,14 @@ let pp_report ppf r =
         g.events g.ok g.detail)
     r.groups;
   List.iter (fun v -> Format.fprintf ppf "  violation: %s@," v) r.violations
+
+let pp_compose ppf c =
+  Format.fprintf ppf "x-able (composed): %b@," c.combined.ok;
+  List.iter
+    (fun (s, r) ->
+      Format.fprintf ppf " shard %d: groups=%d ok=%b@," s
+        (List.length r.groups) r.ok)
+    c.per_shard;
+  List.iter
+    (fun v -> Format.fprintf ppf "  violation: %s@," v)
+    c.combined.violations

@@ -81,6 +81,40 @@ val check :
     [reduced] is the synthesized failure-free history (same shape, the
     logical input standing in for the round-tagged one). *)
 
+type compose_report = {
+  per_shard : (int * report) list;
+      (** one {!report} per shard, ascending shard id; a shard appears if
+          it owns at least one expected request or history event *)
+  combined : report;
+      (** the conjunction: [ok] iff every shard's projection is x-able,
+          groups/violations concatenated in shard order (violations
+          prefixed ["shard N: "]) — drop-in for existing report plumbing *)
+}
+(** Verdict of the locality/composition theorem (paper section 4). *)
+
+val compose :
+  kinds:Reduction.kinds ->
+  logical_of:(Action.name -> Value.t -> Value.t) ->
+  ?round_of:(Value.t -> int option) ->
+  ?engine:engine ->
+  ?check_order:bool ->
+  ?cache:cache ->
+  shard_of:(Action.name -> Value.t -> int) ->
+  expected:expected list ->
+  History.t ->
+  compose_report
+(** [compose ~shard_of ...] checks a multi-shard history by the paper's
+    section-4 locality argument: reduction rules never relate events of
+    different action instances, and [shard_of] maps whole logical groups
+    (it sees the base action and the logical identity, exactly the group
+    key), so the global history is x-able iff each shard's projection is.
+    Each projection preserves the global event order restricted to that
+    shard and is judged by {!check} with the same engine and cache.
+
+    [check_order] defaults to [false] here (unlike {!check}): concurrent
+    per-shard sessions induce no global request order.  Pass [true] only
+    when the expected list is a single sequential client's. *)
+
 (** Online (event-at-a-time) checking.
 
     A prefix of a run cannot be rejected just because it is not yet
@@ -126,3 +160,6 @@ end
 
 val pp_report : Format.formatter -> report -> unit
 (** Multi-line rendering: verdict, per-group lines, violations. *)
+
+val pp_compose : Format.formatter -> compose_report -> unit
+(** Composed verdict, one summary line per shard, then violations. *)

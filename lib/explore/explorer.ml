@@ -29,7 +29,23 @@ type scenario = {
     Xreplication.Client.t ->
     (Xsm.Request.t -> Value.t) ->
     unit;
+  sharded_workload :
+    Workloads.services ->
+    Xshard.Deployment.t ->
+    Xshard.Deployment.session ->
+    unit;
+      (** the per-session lane body used when a schedule carries a
+          [shards] override and the run goes through
+          {!Runner.run_sharded} instead of {!Runner.run} *)
 }
+
+(* Default sharded lane: the cross-shard mix.  [cross_every = 3] (not 2)
+   so the undoable [reserve] arm actually fires on even non-cross
+   iterations — the round-varying output is what makes scheduling bugs
+   observable. *)
+let default_sharded_workload ~requests =
+  fun _svcs d sess ->
+    Workloads.sharded_mix ~n:requests ~cross_every:3 d sess
 
 (* Booking is the canonical explorer workload: [reserve] is undoable and
    its output (the seat) is drawn fresh on each retry round, so a
@@ -50,6 +66,7 @@ let booking ?(requests = 3) ?(faults = Schedule.no_faults) () =
             (submit
                (Workloads.reserve client ~passenger:(Printf.sprintf "p%d" i)))
         done);
+    sharded_workload = default_sharded_workload ~requests;
   }
 
 let mixed ?(requests = 4) ?(faults = Schedule.no_faults) () =
@@ -62,6 +79,7 @@ let mixed ?(requests = 4) ?(faults = Schedule.no_faults) () =
     workload =
       (fun _svcs client submit ->
         Workloads.sequence Workloads.Mixed ~n:requests client submit);
+    sharded_workload = default_sharded_workload ~requests;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -149,6 +167,23 @@ let apply scenario (sch : Schedule.t) : Runner.spec =
     | Xreplication.Service.Flat -> Xreplication.Service.Flat
     | Xreplication.Service.Structural -> sc.Xreplication.Service.codec
   in
+  (* A [shards] override moves the run onto an N-way sharded deployment;
+     router blocks become the router config's partition windows.  Crash
+     indices are then flat ([shard * n_replicas + r]), which Runner
+     forwards to {!Xshard.Deployment.kill_replica} unchanged. *)
+  let shards =
+    match sch.Schedule.shards with
+    | Some n -> n
+    | None -> sc.Xreplication.Service.shards
+  in
+  let router =
+    if sch.Schedule.router_blocks = [] then sc.Xreplication.Service.router
+    else
+      {
+        sc.Xreplication.Service.router with
+        Xreplication.Service.blocked = sch.Schedule.router_blocks;
+      }
+  in
   {
     scenario.spec with
     Runner.seed = sch.Schedule.seed;
@@ -158,7 +193,16 @@ let apply scenario (sch : Schedule.t) : Runner.spec =
     clients;
     inflight;
     service_config =
-      { sc with Xreplication.Service.replica; faults; channel; batching; codec };
+      {
+        sc with
+        Xreplication.Service.replica;
+        faults;
+        channel;
+        batching;
+        codec;
+        shards;
+        router;
+      };
   }
 
 (* Run a schedule with chooser [choose] installed; [sch] is the identity
@@ -182,11 +226,28 @@ let run_with ?cache ?(with_trace = false) scenario sch
   let aborted () =
     match !mon_ref with Some m -> Monitor.aborted m | None -> false
   in
-  let result, _run =
-    Runner.run ~spec ~prepare ~aborted ?cache
-      ~setup:(fun env -> Workloads.setup_all env)
-      ~workload:(fun svcs client submit -> scenario.workload svcs client submit)
-      ()
+  (* A sharded spec dispatches to the sharded runner (and its composed
+     section-4 verification); everything downstream of [result] is
+     runner-agnostic. *)
+  let result =
+    if spec.Runner.service_config.Xreplication.Service.shards > 1 then
+      let result, _srv, _dep =
+        Runner.run_sharded ~spec ~prepare ~aborted ?cache
+          ~setup:(fun env -> Workloads.setup_all env)
+          ~workload:(fun svcs dep sess ->
+            scenario.sharded_workload svcs dep sess)
+          ()
+      in
+      result
+    else
+      let result, _srv =
+        Runner.run ~spec ~prepare ~aborted ?cache
+          ~setup:(fun env -> Workloads.setup_all env)
+          ~workload:(fun svcs client submit ->
+            scenario.workload svcs client submit)
+          ()
+      in
+      result
   in
   let monitor = Option.get !mon_ref in
   let eng = Option.get !eng_ref in
@@ -459,6 +520,42 @@ let explore ?jobs ?(chunk = 16) ?(stop_on_first = false)
                 (fun k -> { (base 4) with Schedule.shifts = [ (step, k) ] })
                 [ 1; 2 ])
             (List.init 16 Fun.id)
+      in
+      run_list
+        (fun ~cache sch -> run_schedule ~cache scenario sch)
+        (List.concat_map schedules_for (List.init seeds (fun i -> seed0 + i)))
+  | Strategy.Cross_shard { seeds; shards; group_size; crash_times; block_windows }
+    ->
+      let seed0 = scenario.spec.Runner.seed in
+      (* Per seed: a fault-free sharded baseline, then one owner crash per
+         shard × crash instant (the instants straddle the window in which
+         cross-shard sub-requests are in flight), then one router-shard
+         partition per shard × window.  Scheduling is deterministic
+         (window 1): the swept dimensions are the crash/partition plans. *)
+      let shard_ids = List.init shards Fun.id in
+      let schedules_for seed =
+        let base =
+          {
+            (base_schedule scenario ~mutation ~window:1 ~seed) with
+            Schedule.shards = Some shards;
+            load = Some (1, 2);
+          }
+        in
+        base
+        :: List.concat_map
+             (fun s ->
+               List.map
+                 (fun t ->
+                   { base with Schedule.crashes = [ (t, s * group_size) ] })
+                 crash_times)
+             shard_ids
+        @ List.concat_map
+            (fun s ->
+              List.map
+                (fun (f, u) ->
+                  { base with Schedule.router_blocks = [ (f, u, s) ] })
+                block_windows)
+            shard_ids
       in
       run_list
         (fun ~cache sch -> run_schedule ~cache scenario sch)

@@ -26,6 +26,15 @@ type scenario = {
     Xreplication.Client.t ->
     (Xsm.Request.t -> Value.t) ->
     unit;
+  sharded_workload :
+    Xworkload.Workloads.services ->
+    Xshard.Deployment.t ->
+    Xshard.Deployment.session ->
+    unit;
+      (** per-session lane body for schedules carrying a [shards]
+          override (run via {!Xworkload.Runner.run_sharded}); the built-in
+          scenarios default it to {!Xworkload.Workloads.sharded_mix} with
+          [cross_every = 3] *)
 }
 
 val booking :

@@ -43,6 +43,13 @@ type t = {
   codec : Xreplication.Service.codec_mode;
       (** wire representation under exploration; [Structural] = the
           scenario's own setting (the default) *)
+  shards : int option;
+      (** shard count override: [Some n] runs the scenario on an [n]-way
+          sharded deployment; [None] = the scenario's own (single-group)
+          setting *)
+  router_blocks : (int * int * int) list;
+      (** (from, until, shard): router-directory partitions — the
+          router's entry for [shard] is unavailable during the window *)
   shifts : (int * int) list;
       (** sparse scheduling decisions: at choice point [step], pick ready
           entry [k] (> 0) instead of the default front of the queue;
@@ -51,7 +58,8 @@ type t = {
 
 let make ?(window = 4) ?(mutation = Xreplication.Mutation.Faithful)
     ?(crashes = []) ?client_crash_at ?noise ?(faults = no_faults) ?batching
-    ?load ?(codec = Xreplication.Service.Structural) ?(shifts = []) ~seed () =
+    ?load ?(codec = Xreplication.Service.Structural) ?shards
+    ?(router_blocks = []) ?(shifts = []) ~seed () =
   {
     seed;
     window;
@@ -63,6 +71,8 @@ let make ?(window = 4) ?(mutation = Xreplication.Mutation.Faithful)
     batching;
     load;
     codec;
+    shards;
+    router_blocks;
     shifts = List.sort (fun (a, _) (b, _) -> Int.compare a b) shifts;
   }
 
@@ -157,16 +167,52 @@ let net_of_string s =
         | _ -> None)
     | _ -> None
 
+(* (from, until, shard) triples, e.g. router-block windows. *)
+let string_of_triples ts =
+  if ts = [] then "-"
+  else
+    String.concat ","
+      (List.map (fun (f, u, s) -> Printf.sprintf "%d:%d:%d" f u s) ts)
+
+let triples_of_string s =
+  if s = "-" then Some []
+  else
+    let parse tok =
+      match String.split_on_char ':' tok with
+      | [ f; u; s ] -> (
+          match
+            (int_of_string_opt f, int_of_string_opt u, int_of_string_opt s)
+          with
+          | Some f, Some u, Some s -> Some (f, u, s)
+          | _ -> None)
+      | _ -> None
+    in
+    let toks = String.split_on_char ',' s in
+    let parsed = List.filter_map parse toks in
+    if List.length parsed = List.length toks then Some parsed else None
+
 let to_string t =
   let noise =
     match t.noise with
     | None -> "-"
     | Some (p, dur, until) -> Printf.sprintf "%h:%d:%d" p dur until
   in
-  Printf.sprintf
-    "v1 seed=%d win=%d mut=%s crashes=%s ccrash=%s noise=%s net=%s parts=%s \
-     netf=%s bat=%s load=%s codec=%s shifts=%s"
-    t.seed t.window
+  (* The sharding tokens are appended only when non-default, keeping
+     pre-sharding schedule lines byte-identical. *)
+  let shard_tokens =
+    (match t.shards with
+    | None -> []
+    | Some n -> [ Printf.sprintf "shards=%d" n ])
+    @
+    match t.router_blocks with
+    | [] -> []
+    | bs -> [ Printf.sprintf "rblk=%s" (string_of_triples bs) ]
+  in
+  String.concat " "
+    (Printf.sprintf
+       "v1 seed=%d win=%d mut=%s crashes=%s ccrash=%s noise=%s net=%s \
+        parts=%s netf=%s bat=%s load=%s codec=%s shifts=%s"
+       t.seed t.window
     (Xreplication.Mutation.to_string t.mutation)
     (string_of_pairs ':' t.crashes)
     (match t.client_crash_at with None -> "-" | Some at -> string_of_int at)
@@ -180,10 +226,11 @@ let to_string t =
     (match t.load with
     | None -> "-"
     | Some (c, k) -> Printf.sprintf "%d:%d" c k)
-    (match t.codec with
-    | Xreplication.Service.Structural -> "-"
-    | Xreplication.Service.Flat -> "flat")
-    (string_of_pairs ':' t.shifts)
+       (match t.codec with
+       | Xreplication.Service.Structural -> "-"
+       | Xreplication.Service.Flat -> "flat")
+       (string_of_pairs ':' t.shifts)
+    :: shard_tokens)
 
 let of_string line =
   let ( let* ) = Option.bind in
@@ -272,10 +319,19 @@ let of_string line =
         | "flat" -> Some Xreplication.Service.Flat
         | _ -> None
       in
+      (* Sharding tokens default when absent (pre-sharding lines). *)
+      let* shards =
+        match Option.value (field "shards") ~default:"-" with
+        | "-" -> Some None
+        | s -> Option.map Option.some (int_of_string_opt s)
+      in
+      let* router_blocks =
+        triples_of_string (Option.value (field "rblk") ~default:"-")
+      in
       let faults = { loss; dup_prob; jitter; partitions; forced } in
       Some
         (make ~window ~mutation ~crashes ?client_crash_at ?noise ~faults
-           ?batching ?load ~codec ~shifts ~seed ())
+           ?batching ?load ~codec ?shards ~router_blocks ~shifts ~seed ())
   | _ -> None
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
@@ -313,27 +369,39 @@ let to_json t =
          (pairs t.faults.forced))
     (pairs t.shifts)
   |> fun base ->
-  (* Extend the object with the batching/load/codec dimensions when
-     present, keeping pre-batching JSON byte-identical. *)
-  match (t.batching, t.load, t.codec) with
-  | None, None, Xreplication.Service.Structural -> base
-  | _ ->
-      let extra =
-        (match t.batching with
-        | None -> []
-        | Some (b, d, tick) ->
-            [
-              Printf.sprintf
-                "\"batching\":{\"size\":%d,\"depth\":%d,\"tick\":%d}" b d tick;
-            ])
-        @ (match t.load with
-          | None -> []
-          | Some (c, k) ->
-              [ Printf.sprintf "\"load\":{\"clients\":%d,\"inflight\":%d}" c k ])
-        @
-        match t.codec with
-        | Xreplication.Service.Structural -> []
-        | Xreplication.Service.Flat -> [ "\"codec\":\"flat\"" ]
-      in
-      String.sub base 0 (String.length base - 1)
-      ^ "," ^ String.concat "," extra ^ "}"
+  (* Extend the object with the batching/load/codec/sharding dimensions
+     when present, keeping pre-batching JSON byte-identical. *)
+  let extra =
+    (match t.batching with
+    | None -> []
+    | Some (b, d, tick) ->
+        [
+          Printf.sprintf
+            "\"batching\":{\"size\":%d,\"depth\":%d,\"tick\":%d}" b d tick;
+        ])
+    @ (match t.load with
+      | None -> []
+      | Some (c, k) ->
+          [ Printf.sprintf "\"load\":{\"clients\":%d,\"inflight\":%d}" c k ])
+    @ (match t.codec with
+      | Xreplication.Service.Structural -> []
+      | Xreplication.Service.Flat -> [ "\"codec\":\"flat\"" ])
+    @ (match t.shards with
+      | None -> []
+      | Some n -> [ Printf.sprintf "\"shards\":%d" n ])
+    @
+    match t.router_blocks with
+    | [] -> []
+    | bs ->
+        [
+          Printf.sprintf "\"router_blocks\":[%s]"
+            (String.concat ","
+               (List.map
+                  (fun (f, u, s) -> Printf.sprintf "[%d,%d,%d]" f u s)
+                  bs));
+        ]
+  in
+  if extra = [] then base
+  else
+    String.sub base 0 (String.length base - 1)
+    ^ "," ^ String.concat "," extra ^ "}"

@@ -44,6 +44,15 @@ type t = {
   codec : Xreplication.Service.codec_mode;
       (** wire representation under exploration; [Structural] (default)
           leaves the scenario's own setting untouched *)
+  shards : int option;
+      (** shard-count override: [Some n] runs the scenario on an [n]-way
+          sharded deployment ({!Xshard.Deployment}); [None] (default)
+          keeps the scenario's own single-group setting.  Crash indices
+          in [crashes] are then flat: [shard * n_replicas + r] *)
+  router_blocks : (int * int * int) list;
+      (** [(from, until, shard)]: the router's directory entry for
+          [shard] is unavailable during the window (a router-shard
+          partition); routed requests stall and retry until it heals *)
   shifts : (int * int) list;
       (** sparse scheduling decisions: at choice point [step] pick ready
           entry [k] instead of the queue front; sorted, [0 < k < window] *)
@@ -59,12 +68,15 @@ val make :
   ?batching:int * int * int ->
   ?load:int * int ->
   ?codec:Xreplication.Service.codec_mode ->
+  ?shards:int ->
+  ?router_blocks:(int * int * int) list ->
   ?shifts:(int * int) list ->
   seed:int ->
   unit ->
   t
 (** Defaults: window 4, faithful protocol, no faults, no batching,
-    sequential load, no shifts.  [shifts] is sorted by step. *)
+    sequential load, single group (no shards override), no router
+    blocks, no shifts.  [shifts] is sorted by step. *)
 
 val equal : t -> t -> bool
 (** Structural equality (schedules are plain data). *)
@@ -81,8 +93,9 @@ val of_string : string -> t option
 (** Inverse of {!to_string}: [of_string (to_string t) = Some t].  Lines
     written before the fault plan existed (no [net=]/[parts=]/[netf=]
     tokens) parse with {!no_faults}; lines without [bat=]/[load=] tokens
-    parse with batching and load off, and lines without a [codec=] token
-    parse as [Structural]. *)
+    parse with batching and load off, lines without a [codec=] token
+    parse as [Structural], and lines without [shards=]/[rblk=] tokens
+    parse as single-group with no router blocks. *)
 
 val to_json : t -> string
 (** JSON object, for machine-readable counterexample dumps. *)

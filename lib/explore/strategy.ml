@@ -37,7 +37,18 @@
      partial-batch decision race), and single deferred choice points
      early in the run (reordering pipelined batch fibers).  This targets
      exactly the windows the batch log opens: between slot claim and
-     outcome, and between overlapping in-flight batches. *)
+     outcome, and between overlapping in-flight batches.
+
+   - [Cross_shard]: adversity against the sharded deployment's weak
+     spots.  Run the scenario on an N-way sharded deployment under a
+     cross-shard workload and enumerate, per engine seed: owner crashes
+     in every shard at instants chosen to land mid-cross-shard-request
+     (between a sub-request landing on one shard and its sibling landing
+     on another), and router-directory partitions (one shard's entry
+     unavailable for a window, stalling routed traffic).  The section-4
+     composition theorem says the whole history is x-able iff each
+     shard's projection is; this strategy attacks exactly the seams that
+     theorem stitches. *)
 
 type t =
   | Random_walk of { trials : int; p_defer : float; window : int }
@@ -62,6 +73,13 @@ type t =
       pipeline : int;  (** pipeline depth under test *)
       tick : int;  (** epoch tick — defines the boundary instants *)
     }
+  | Cross_shard of {
+      seeds : int;  (** engine seeds per fault plan *)
+      shards : int;  (** shard count of the deployment under test *)
+      group_size : int;  (** replicas per shard (flat crash indexing) *)
+      crash_times : int list;  (** candidate owner-crash instants *)
+      block_windows : (int * int) list;  (** router-partition windows *)
+    }
 
 let random_walk ?(trials = 100) ?(p_defer = 0.15) ?(window = 4) () =
   Random_walk { trials; p_defer; window }
@@ -81,12 +99,24 @@ let batch_boundary ?(batch = 16) ?(pipeline = 4) ?(tick = 100) ?(seeds = 10) ()
     =
   Batch_boundary { seeds; batch; pipeline; tick }
 
+(* Crash instants default to the window cross-shard sub-requests are in
+   flight during (router lookup latency + consensus rounds put the first
+   cross fan-outs in the low hundreds of virtual-time units); block
+   windows open at t=0 so the very first routed request stalls, and heal
+   early enough that the run still completes. *)
+let cross_shard ?(shards = 4) ?(group_size = 3)
+    ?(crash_times = [ 60; 80; 120; 150; 220; 300; 400; 550; 700 ])
+    ?(block_windows = [ (0, 2_000); (100, 3_000); (500, 4_000); (1_000, 5_000) ])
+    ?(seeds = 10) () =
+  Cross_shard { seeds; shards; group_size; crash_times; block_windows }
+
 let name = function
   | Random_walk _ -> "random-walk"
   | Delay_dfs _ -> "delay-dfs"
   | Fault_enum _ -> "fault-enum"
   | Net_fault _ -> "net-fault"
   | Batch_boundary _ -> "batch-boundary"
+  | Cross_shard _ -> "cross-shard"
 
 let describe = function
   | Random_walk { trials; p_defer; window } ->
@@ -107,3 +137,9 @@ let describe = function
   | Batch_boundary { seeds; batch; pipeline; tick } ->
       Printf.sprintf "batch-boundary batch=%d pipeline=%d tick=%d seeds=%d"
         batch pipeline tick seeds
+  | Cross_shard { seeds; shards; group_size; crash_times; block_windows } ->
+      Printf.sprintf
+        "cross-shard shards=%d group=%d crash_times=%d windows=%d seeds=%d"
+        shards group_size (List.length crash_times)
+        (List.length block_windows)
+        seeds

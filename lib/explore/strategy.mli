@@ -30,7 +30,12 @@
       false-suspicion bursts near them (cleaner-vs-owner partial-batch
       decision races), and defer single early choice points (pipeline
       reorder) — the windows the batch log opens between slot claim and
-      outcome. *)
+      outcome.
+    - {b Cross-shard}: run the scenario on an N-way sharded deployment
+      ({!Xshard.Deployment}) under a cross-shard workload and enumerate
+      owner crashes per shard at instants chosen to land mid-cross-shard
+      request, plus router-directory partition windows per shard — the
+      seams the section-4 composition theorem stitches. *)
 
 type t =
   | Random_walk of { trials : int; p_defer : float; window : int }
@@ -59,6 +64,14 @@ type t =
       pipeline : int;  (** pipeline depth under test *)
       tick : int;  (** epoch tick — defines the boundary instants *)
     }  (** Batch-edge adversity sweep; see {!batch_boundary}. *)
+  | Cross_shard of {
+      seeds : int;  (** engine seeds per fault plan *)
+      shards : int;  (** shard count of the deployment under test *)
+      group_size : int;  (** replicas per shard (flat crash indexing) *)
+      crash_times : int list;  (** candidate owner-crash instants *)
+      block_windows : (int * int) list;
+          (** (from, until) router-partition windows to try per shard *)
+    }  (** Sharded-deployment adversity sweep; see {!cross_shard}. *)
 
 val random_walk : ?trials:int -> ?p_defer:float -> ?window:int -> unit -> t
 (** Defaults: [trials] 100, [p_defer] 0.15, [window] 4. *)
@@ -98,9 +111,23 @@ val batch_boundary :
     32 single-deferral reorder schedules.  Defaults: [batch] 16,
     [pipeline] 4, [tick] 100, [seeds] 10 (= 500 schedules). *)
 
+val cross_shard :
+  ?shards:int ->
+  ?group_size:int ->
+  ?crash_times:int list ->
+  ?block_windows:(int * int) list ->
+  ?seeds:int ->
+  unit ->
+  t
+(** Per seed: a fault-free baseline, one owner crash per shard ×
+    crash time (flat index [shard * group_size]), and one router block
+    per shard × window.  Defaults: [shards] 4, [group_size] 3,
+    9 crash times, 4 block windows, [seeds] 10 — (1 + 4×9 + 4×4) × 10
+    = 530 schedules; raise [seeds] or the lists for bigger sweeps. *)
+
 val name : t -> string
 (** Short family tag: ["random-walk"], ["delay-dfs"], ["fault-enum"],
-    ["net-fault"], ["batch-boundary"]. *)
+    ["net-fault"], ["batch-boundary"], ["cross-shard"]. *)
 
 val describe : t -> string
 (** One-line rendering with parameters, for verdict tables. *)

@@ -18,6 +18,19 @@ type channel_config =
    ARQ frames, and consensus backend alike. *)
 type codec_mode = Structural | Flat
 
+(* Directory/router tier knobs, consumed by the Xshard deployment layer
+   (this library never reads them — keeping the dependency order
+   xshard -> xreplication acyclic while letting one [config] describe a
+   whole sharded deployment). *)
+type router_config = {
+  lookup_latency : int;
+  retry_delay : int;
+  blocked : (int * int * int) list;
+      (* (from, until, shard): directory entry unavailable in a window *)
+}
+
+let default_router = { lookup_latency = 10; retry_delay = 50; blocked = [] }
+
 type config = {
   n_replicas : int;
   n_clients : int;
@@ -34,6 +47,10 @@ type config = {
       (* serial-substrate occupancy per consensus proposal (ticks);
          0 = unserialised substrate (the historical model) *)
   codec : codec_mode;
+  shards : int;
+      (* number of independent replica groups; 1 = this module's classic
+         single-group deployment, >1 is built by Xshard.Deployment *)
+  router : router_config;
 }
 
 let default_config =
@@ -49,6 +66,8 @@ let default_config =
     batching = None;
     consensus_service_time = 0;
     codec = Structural;
+    shards = 1;
+    router = default_router;
   }
 
 (* Which channel implementation carries the service's Wire messages.
@@ -58,6 +77,39 @@ let default_config =
 type net =
   | Raw of Wire.t Xnet.Transport.t
   | Reliable of Wire.t Xnet.Reliable.t
+
+type wire = net
+
+(* One wire can be shared by several groups: a sharded deployment
+   multiplexes N replica groups (distinct address prefixes) over a single
+   transport/ARQ/codec stack, exactly as one datacenter network carries
+   every shard's traffic. *)
+let make_wire eng (cfg : config) : wire =
+  let wire_codec =
+    match cfg.codec with Structural -> None | Flat -> Some Wire.codec
+  in
+  match cfg.channel with
+  | Assumed_reliable ->
+      Raw
+        (Xnet.Transport.create eng ~faults:cfg.faults ?codec:wire_codec
+           ~latency:cfg.net_latency ())
+  | Arq arq ->
+      Reliable
+        (Xnet.Reliable.create eng ~faults:cfg.faults ?codec:wire_codec ~arq
+           ~latency:cfg.net_latency ())
+
+let wire_conduit (w : wire) =
+  match w with
+  | Raw tr -> Xnet.Conduit.of_transport tr
+  | Reliable r -> Xnet.Conduit.of_reliable r
+
+let wire_stats (w : wire) =
+  match w with
+  | Raw tr -> Xnet.Transport.stats tr
+  | Reliable r -> Xnet.Transport.stats (Xnet.Reliable.raw r)
+
+let wire_reliable_stats (w : wire) =
+  match w with Raw _ -> None | Reliable r -> Some (Xnet.Reliable.stats r)
 
 type t = {
   eng : Xsim.Engine.t;
@@ -73,29 +125,20 @@ type t = {
   client_procs : Xsim.Proc.t array;
 }
 
-let create eng env (cfg : config) =
-  let wire_codec =
-    match cfg.codec with Structural -> None | Flat -> Some Wire.codec
-  in
-  let s_net =
-    match cfg.channel with
-    | Assumed_reliable ->
-        Raw
-          (Xnet.Transport.create eng ~faults:cfg.faults ?codec:wire_codec
-             ~latency:cfg.net_latency ())
-    | Arq arq ->
-        Reliable
-          (Xnet.Reliable.create eng ~faults:cfg.faults ?codec:wire_codec ~arq
-             ~latency:cfg.net_latency ())
-  in
-  let s_transport =
-    match s_net with
-    | Raw tr -> Xnet.Conduit.of_transport tr
-    | Reliable r -> Xnet.Conduit.of_reliable r
-  in
+let create ?wire ?(prefix = "") ?(rid_offset = 0) ?(extra_observers = []) eng
+    env (cfg : config) =
+  (* [wire]: register this group's nodes on an existing (shared) wire
+     instead of creating a private one.  [prefix] namespaces the group's
+     address roles (e.g. "s3.replica") so shards never collide on one
+     transport.  [rid_offset] shifts the client rid spaces so every
+     client stub in a multi-group deployment mints globally unique,
+     deterministic request ids.  Defaults reproduce the historical
+     single-group deployment byte-for-byte. *)
+  let s_net = match wire with Some w -> w | None -> make_wire eng cfg in
+  let s_transport = wire_conduit s_net in
   let replica_members =
     List.init cfg.n_replicas (fun i ->
-        let addr = Xnet.Address.make ~role:"replica" ~index:i in
+        let addr = Xnet.Address.make ~role:(prefix ^ "replica") ~index:i in
         let proc =
           Xsim.Proc.create ~name:(Xnet.Address.to_string addr)
         in
@@ -103,7 +146,7 @@ let create eng env (cfg : config) =
   in
   let client_members =
     List.init cfg.n_clients (fun i ->
-        let addr = Xnet.Address.make ~role:"client" ~index:i in
+        let addr = Xnet.Address.make ~role:(prefix ^ "client") ~index:i in
         let proc = Xsim.Proc.create ~name:(Xnet.Address.to_string addr) in
         (addr, proc))
   in
@@ -116,9 +159,13 @@ let create eng env (cfg : config) =
   let s_detector, s_oracle, s_heartbeat =
     match cfg.detector with
     | Oracle { detection_delay; poll_interval } ->
+        (* [extra_observers] lets a sharded deployment's router-tier proxy
+           stubs consult this group's detector like any local client. *)
         let o =
           Xdetect.Oracle.create eng
-            ~observers:(List.map fst (replica_members @ client_members))
+            ~observers:
+              (List.map fst
+                 (replica_members @ client_members @ extra_observers))
             ~targets:replica_members ~detection_delay ~poll_interval ()
         in
         (Xdetect.Oracle.detector o, Some o, None)
@@ -127,7 +174,8 @@ let create eng env (cfg : config) =
            lossy wire (no ARQ): loss shows up as false suspicions. *)
         let hb =
           Xdetect.Heartbeat.create eng ~latency ~faults:cfg.faults
-            ~members:replica_members ~extra_observers:client_members ~period
+            ~members:replica_members
+            ~extra_observers:(client_members @ extra_observers) ~period
             ~initial_timeout ~timeout_increment ()
         in
         (Xdetect.Heartbeat.detector hb, None, Some hb)
@@ -154,7 +202,8 @@ let create eng env (cfg : config) =
            (* Disjoint deterministic rid spaces per client, so re-running
               the same configuration reproduces the same request ids. *)
            Client.create ~eng ~transport:s_transport ~detector:s_detector
-             ~replicas:replica_addrs ~addr ~proc ~rid_base:(i * 1_000_000) ())
+             ~replicas:replica_addrs ~addr ~proc
+             ~rid_base:((rid_offset + i) * 1_000_000) ())
          client_members)
   in
   {
@@ -187,16 +236,10 @@ let heartbeat t = t.s_heartbeat
 let coord t = t.s_coord
 
 (* Wire-level stats of the service transport: under ARQ these count raw
-   packets (data + acks + retransmissions), not application sends. *)
-let net_stats t =
-  match t.s_net with
-  | Raw tr -> Xnet.Transport.stats tr
-  | Reliable r -> Xnet.Transport.stats (Xnet.Reliable.raw r)
-
-let reliable_stats t =
-  match t.s_net with
-  | Raw _ -> None
-  | Reliable r -> Some (Xnet.Reliable.stats r)
+   packets (data + acks + retransmissions), not application sends.  With
+   a shared wire these are deployment-wide, not per-group. *)
+let net_stats t = wire_stats t.s_net
+let reliable_stats t = wire_reliable_stats t.s_net
 
 type totals = {
   rounds_owned : int;

@@ -37,9 +37,25 @@ type codec_mode =
           {!Pval.codec} payloads.  A representation change only: RNG
           draws, delays, and verdicts are identical to [Structural] *)
 
+type router_config = {
+  lookup_latency : int;  (** ticks per directory lookup on the routed path *)
+  retry_delay : int;
+      (** backoff before retrying a blocked directory entry *)
+  blocked : (int * int * int) list;
+      (** [(from, until, shard)] windows during which the router's
+          directory entry for [shard] is unavailable (a router-shard
+          partition); routed requests to that shard stall and retry *)
+}
+(** Knobs for the router/directory tier of a sharded deployment.  This
+    library only carries them; {!Xshard.Deployment} consumes them — the
+    dependency order stays [xshard -> xreplication]. *)
+
+val default_router : router_config
+(** 10-tick lookups, 50-tick retry backoff, no blocked windows. *)
+
 type config = {
   n_replicas : int;
-  n_clients : int;
+  n_clients : int;  (** per replica group *)
   net_latency : Xnet.Latency.t;  (** client-replica message latency *)
   faults : Xnet.Fault.t;
       (** fault plane for the service wire {e and} the heartbeat
@@ -59,16 +75,56 @@ type config = {
           it.  [0] (default) keeps the substrate unserialised and
           pre-existing runs byte-identical; see {!Coord.create} *)
   codec : codec_mode;  (** wire representation (default [Structural]) *)
+  shards : int;
+      (** number of independent replica groups.  [1] (default) is this
+          module's classic single-group deployment; [> 1] asks
+          {!Xshard.Deployment} to build [shards] groups — each with its
+          own owner, batch log, and etx records — multiplexed over one
+          shared wire *)
+  router : router_config;  (** router/directory tier (sharded only) *)
 }
 
 val default_config : config
 (** 3 replicas, 1 client, uniform(20,60) latency, no faults, channels
     assumed reliable, register backend with latency 25, oracle detector
-    with 50-tick detection delay. *)
+    with 50-tick detection delay, 1 shard. *)
+
+type wire
+(** A service wire: the transport (or ARQ reliable layer) plus codec that
+    carries {!Wire.t} messages.  Created per-group by default; a sharded
+    deployment creates one and passes it to every group's {!create} so
+    all shards share a single network. *)
+
+val make_wire : Xsim.Engine.t -> config -> wire
+(** Build the wire a [config] describes ([channel], [faults], [codec],
+    [net_latency]) without building the service. *)
+
+val wire_conduit : wire -> Wire.t Xnet.Conduit.t
+(** Channel-agnostic surface of the wire, e.g. for extra (router-tier)
+    client stubs sharing it. *)
+
+val wire_stats : wire -> Xnet.Transport.stats
+val wire_reliable_stats : wire -> Xnet.Reliable.stats option
 
 type t
 
-val create : Xsim.Engine.t -> Xsm.Environment.t -> config -> t
+val create :
+  ?wire:wire ->
+  ?prefix:string ->
+  ?rid_offset:int ->
+  ?extra_observers:(Xnet.Address.t * Xsim.Proc.t) list ->
+  Xsim.Engine.t ->
+  Xsm.Environment.t ->
+  config ->
+  t
+(** [?wire] registers this group's nodes on an existing shared wire
+    instead of creating a private one.  [?prefix] namespaces the group's
+    address roles (["s3."] gives replicas ["s3.replica.i"]) so several
+    groups coexist on one transport.  [?rid_offset] shifts client rid
+    bases to [(rid_offset + i) * 1_000_000].  [?extra_observers] adds
+    addresses (e.g. a sharded deployment's router proxies) as observers
+    of this group's failure detector.  All default to the historical
+    single-group behaviour, byte-for-byte. *)
 
 val engine : t -> Xsim.Engine.t
 val environment : t -> Xsm.Environment.t

@@ -1,0 +1,229 @@
+module Service = Xreplication.Service
+module Client = Xreplication.Client
+
+type session = {
+  home : int;
+  sc : Client.t;
+  s_key : int * int;  (* (shard, client) — global ordering key *)
+  mutable s_issued : Xsm.Request.t list;  (* reversed *)
+  mutable s_subs : submission list;  (* reversed *)
+}
+
+and submission = { req : Xsm.Request.t; reply : Xability.Value.t; latency : int }
+
+type t = {
+  eng : Xsim.Engine.t;
+  env : Xsm.Environment.t;
+  cfg : Service.config;
+  part : Partition.t;
+  rt : Router.t;
+  wire : Service.wire;
+  groups : Service.t array;
+  proxies : Client.t array;
+  router_proc : Xsim.Proc.t;
+  sessions : (int * int, session) Hashtbl.t;
+  mutable local_submits : int;
+  mutable routed_submits : int;
+  mutable cross_requests : int;
+}
+
+let create eng env (cfg : Service.config) =
+  let shards = max 1 cfg.Service.shards in
+  let n_clients = cfg.Service.n_clients in
+  let part = Partition.hash ~shards in
+  let wire = Service.make_wire eng cfg in
+  let router_proc = Xsim.Proc.create ~name:"router" in
+  (* The router's per-shard proxy stubs are declared up front so each
+     group's failure detector counts its proxy among its observers. *)
+  let proxy_members =
+    Array.init shards (fun s ->
+        (Xnet.Address.make ~role:"router" ~index:s, router_proc))
+  in
+  let groups =
+    Array.init shards (fun s ->
+        Service.create ~wire
+          ~prefix:(Printf.sprintf "s%d." s)
+          ~rid_offset:(s * n_clients)
+          ~extra_observers:[ proxy_members.(s) ]
+          eng env cfg)
+  in
+  let views = Array.map (fun g -> Service.replica_addrs g) groups in
+  let rt =
+    Router.create eng ~partition:part ~views
+      ~lookup_latency:cfg.Service.router.Service.lookup_latency
+      ~retry_delay:cfg.Service.router.Service.retry_delay ()
+  in
+  List.iter
+    (fun (from_t, until_t, shard) ->
+      if shard >= 0 && shard < shards then Router.block rt ~shard ~from_t ~until_t)
+    cfg.Service.router.Service.blocked;
+  let proxies =
+    Array.init shards (fun s ->
+        let addr, proc = proxy_members.(s) in
+        Client.create ~eng
+          ~transport:(Service.wire_conduit wire)
+          ~detector:(Service.detector groups.(s))
+          ~replicas:(Service.replica_addrs groups.(s))
+          ~addr ~proc
+          ~rid_base:(((shards * n_clients) + s) * 1_000_000)
+          ())
+  in
+  {
+    eng;
+    env;
+    cfg;
+    part;
+    rt;
+    wire;
+    groups;
+    proxies;
+    router_proc;
+    sessions = Hashtbl.create 16;
+    local_submits = 0;
+    routed_submits = 0;
+    cross_requests = 0;
+  }
+
+let engine t = t.eng
+let environment t = t.env
+let partition t = t.part
+let router t = t.rt
+let shards t = Array.length t.groups
+let group t s = t.groups.(s)
+let wire_stats t = Service.wire_stats t.wire
+let reliable_stats t = Service.wire_reliable_stats t.wire
+
+let session t ~shard ~client =
+  match Hashtbl.find_opt t.sessions (shard, client) with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          home = shard;
+          sc = Service.client t.groups.(shard) client;
+          s_key = (shard, client);
+          s_issued = [];
+          s_subs = [];
+        }
+      in
+      Hashtbl.replace t.sessions (shard, client) s;
+      s
+
+let home s = s.home
+let session_client s = s.sc
+let session_proc s = Client.proc s.sc
+
+let record sess sub = sess.s_subs <- sub :: sess.s_subs
+
+let obs_incr name =
+  if Xobs.enabled () then Xobs.Counter.incr (Xobs.counter name)
+
+let submit t sess req =
+  sess.s_issued <- req :: sess.s_issued;
+  let key = Partition.key_of_input req.Xsm.Request.input in
+  let s = Partition.shard_of t.part key in
+  let t0 = Xsim.Engine.now t.eng in
+  let reply =
+    if s = sess.home then begin
+      t.local_submits <- t.local_submits + 1;
+      obs_incr "shard.local_submits";
+      Client.submit_until_success sess.sc req
+    end
+    else begin
+      (* The key lives on another shard: consult the directory, then go
+         through that shard's router-tier proxy stub. *)
+      t.routed_submits <- t.routed_submits + 1;
+      obs_incr "shard.routed_submits";
+      let shard, _view = Router.lookup t.rt ~key in
+      Client.submit_until_success t.proxies.(shard) req
+    end
+  in
+  record sess { req; reply; latency = Xsim.Engine.now t.eng - t0 };
+  reply
+
+let submit_cross t sess parts =
+  t.cross_requests <- t.cross_requests + 1;
+  obs_incr "shard.cross_requests";
+  if Xobs.enabled () then
+    Xobs.Histogram.record
+      (Xobs.histogram "shard.cross_fanout")
+      (List.length parts);
+  (* Issue every sub-request before any executes: the cross-shard request
+     is one unit of client intent, its parts one logical group each. *)
+  List.iter
+    (fun req -> sess.s_issued <- req :: sess.s_issued)
+    parts;
+  let fanout =
+    List.map
+      (fun req ->
+        let iv = Xsim.Ivar.create () in
+        let key = Partition.key_of_input req.Xsm.Request.input in
+        let t0 = Xsim.Engine.now t.eng in
+        (* The router tier executes each part: even a part whose key is
+           the session's home shard takes the routed path, so a
+           cross-shard request has one failure surface. *)
+        Xsim.Engine.spawn t.eng ~proc:t.router_proc
+          ~name:(Printf.sprintf "xfwd.%s" (Xsm.Request.key req))
+          (fun () ->
+            let shard, _view = Router.lookup t.rt ~key in
+            let reply = Client.submit_until_success t.proxies.(shard) req in
+            record sess
+              { req; reply; latency = Xsim.Engine.now t.eng - t0 };
+            Xsim.Ivar.fill iv reply);
+        iv)
+      parts
+  in
+  List.map (fun iv -> Xsim.Ivar.read t.eng iv) fanout
+
+let kill_replica t idx =
+  let n = t.cfg.Service.n_replicas in
+  let shard = idx / n and r = idx mod n in
+  if shard < Array.length t.groups then Service.kill_replica t.groups.(shard) r
+
+let kill_session t ~shard ~client = Service.kill_client t.groups.(shard) client
+
+let shard_of_expected t _action logical =
+  Partition.shard_of t.part (Partition.key_of_logical logical)
+
+let sorted_sessions t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
+  |> List.sort (fun a b -> compare a.s_key b.s_key)
+
+let session_issued s = List.rev s.s_issued
+
+let issued t =
+  List.concat_map (fun s -> List.rev s.s_issued) (sorted_sessions t)
+
+let submissions t =
+  List.concat_map (fun s -> List.rev s.s_subs) (sorted_sessions t)
+
+type totals = {
+  service : Service.totals;
+  local_submits : int;
+  routed_submits : int;
+  cross_requests : int;
+  router : Router.stats;
+}
+
+let totals t =
+  let sum f = Array.fold_left (fun acc g -> acc + f (Service.totals g)) 0 t.groups in
+  let service =
+    {
+      Service.rounds_owned = sum (fun m -> m.Service.rounds_owned);
+      executions = sum (fun m -> m.Service.executions);
+      cleanups = sum (fun m -> m.Service.cleanups);
+      takeovers = sum (fun m -> m.Service.takeovers);
+      replies_sent = sum (fun m -> m.Service.replies_sent);
+      consensus_proposals = sum (fun m -> m.Service.consensus_proposals);
+      consensus_messages = sum (fun m -> m.Service.consensus_messages);
+      (* Every group reports the same shared wire: count it once. *)
+      service_messages = (wire_stats t).Xnet.Transport.sent;
+    }
+  in
+  {
+    service;
+    local_submits = t.local_submits;
+    routed_submits = t.routed_submits;
+    cross_requests = t.cross_requests;
+    router = Router.stats t.rt;
+  }

@@ -1,0 +1,104 @@
+(** A sharded deployment: N independent replica groups — each with its
+    own owner, batch log, and etx records from {!Xreplication} —
+    multiplexed over one shared {!Xnet} wire, fronted by a
+    router/directory tier ({!Router}).
+
+    Requests route by a key extracted from their input
+    ({!Partition.key_of_input}).  A {e session} is a closed-loop client
+    pinned to a home shard: requests whose key lands on the home shard
+    go directly to the shard's own client stub; requests for other
+    shards traverse the router (a directory lookup plus a router-tier
+    proxy stub).  A {e cross-shard request} is a list of sub-requests
+    touching ≥ 2 shards, fanned out by the router tier in parallel and
+    joined before the session continues — its history is validated by
+    {!Xability.Checker.compose} per the paper's section-4 composition
+    theorem, each sub-request being one logical group on its shard. *)
+
+type t
+
+val create : Xsim.Engine.t -> Xsm.Environment.t -> Xreplication.Service.config -> t
+(** Builds [cfg.shards] replica groups (address prefixes ["s<i>."],
+    disjoint client rid spaces) on one shared wire, a hash partitioner
+    over [cfg.shards], and the router tier from [cfg.router] (including
+    its [blocked] windows).  The router's per-shard proxy stubs are
+    registered as extra observers of each group's failure detector. *)
+
+val engine : t -> Xsim.Engine.t
+val environment : t -> Xsm.Environment.t
+val partition : t -> Partition.t
+val router : t -> Router.t
+val shards : t -> int
+val group : t -> int -> Xreplication.Service.t
+val wire_stats : t -> Xnet.Transport.stats
+val reliable_stats : t -> Xnet.Reliable.stats option
+
+(** {1 Sessions} *)
+
+type session
+
+val session : t -> shard:int -> client:int -> session
+(** The closed-loop session [client] (of [cfg.n_clients]) homed on
+    [shard].  Its requests are minted from the shard's own client stub
+    (deterministic disjoint rids). *)
+
+val home : session -> int
+val session_client : session -> Xreplication.Client.t
+(** For minting requests (e.g. the {!Xworkload.Workloads} constructors). *)
+
+val session_proc : session -> Xsim.Proc.t
+
+val submit : t -> session -> Xsm.Request.t -> Xability.Value.t
+(** Route by the request's key: directly through the home shard's stub,
+    or — when the key lives elsewhere — through the router (directory
+    lookup, then the target shard's proxy stub).  Blocks the calling
+    fiber until the reply; records the submission.  Obs:
+    [shard.local_submits] / [shard.routed_submits]. *)
+
+val submit_cross : t -> session -> Xsm.Request.t list -> Xability.Value.t list
+(** A cross-shard request: fan the sub-requests out through the router
+    tier in parallel fibers, join all replies (in sub-request order)
+    before returning.  Each sub-request is an independent logical group
+    on its own shard — exactly the shape section 4 composes.  Obs:
+    [shard.cross_requests], [shard.cross_fanout]. *)
+
+(** {1 Faults} *)
+
+val kill_replica : t -> int -> unit
+(** Global replica index [shard * n_replicas + r] — crash-stop replica
+    [r] of that shard, matching the flat index space used by explorer
+    schedules. *)
+
+val kill_session : t -> shard:int -> client:int -> unit
+(** Crash a session's client process. *)
+
+(** {1 Verification & accounting} *)
+
+val shard_of_expected : t -> Xability.Action.name -> Xability.Value.t -> int
+(** The [shard_of] projection for {!Xability.Checker.compose}: derives
+    the shard from a logical identity via {!Partition.key_of_logical} —
+    the same pure function the router used online. *)
+
+type submission = { req : Xsm.Request.t; reply : Xability.Value.t; latency : int }
+
+val session_issued : session -> Xsm.Request.t list
+(** One session's issued requests, in issue order. *)
+
+val issued : t -> Xsm.Request.t list
+(** Every request issued, in deterministic global order (sessions in
+    (shard, client) order, issue order within a session). *)
+
+val submissions : t -> submission list
+(** Every completed submission, same ordering discipline (completion
+    order within a session). *)
+
+type totals = {
+  service : Xreplication.Service.totals;
+      (** replica/consensus counters summed across groups; the shared
+          wire's messages counted once *)
+  local_submits : int;
+  routed_submits : int;
+  cross_requests : int;
+  router : Router.stats;
+}
+
+val totals : t -> totals

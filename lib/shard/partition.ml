@@ -1,0 +1,76 @@
+open Xability
+
+type t =
+  | Hash of { shards : int }
+  | Range of { bounds : string list }
+
+let hash ~shards =
+  if shards < 1 then invalid_arg "Partition.hash: shards must be >= 1";
+  Hash { shards }
+
+let range ~bounds =
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> String.compare a b < 0 && ascending rest
+    | _ -> true
+  in
+  if not (ascending bounds) then
+    invalid_arg "Partition.range: bounds must be strictly ascending";
+  Range { bounds }
+
+let shards = function
+  | Hash { shards } -> shards
+  | Range { bounds } -> List.length bounds + 1
+
+(* FNV-1a (offset basis truncated to OCaml's 63-bit int).  Same mixing
+   family as the transport's [link_hash]: cheap, allocation-free, and
+   stable across runs — the partitioner is part of the deployment's
+   deterministic identity. *)
+let fnv1a s =
+  let h = ref 0x0bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h
+
+let shard_of t key =
+  match t with
+  | Hash { shards } -> abs (fnv1a key) mod shards
+  | Range { bounds } ->
+      let rec find i = function
+        | b :: rest ->
+            if String.compare key b < 0 then i else find (i + 1) rest
+        | [] -> i
+      in
+      find 0 bounds
+
+(* The routing key of a request input, by shape.  Kept here — not in the
+   workload layer — because the checker's shard projection must use the
+   identical function. *)
+let key_of_input = function
+  | Value.Pair (Value.Str k, _) -> k
+  | Value.Str k -> k
+  | Value.Pair (Value.Pair (Value.Str k, _), _) -> k
+  | v -> Value.to_string v
+
+let key_of_logical = function
+  | Value.Pair (Value.Int _rid, input) -> key_of_input input
+  | v -> key_of_input v
+
+let key_for t ~shard ~salt =
+  if shard < 0 || shard >= shards t then
+    invalid_arg "Partition.key_for: shard out of range";
+  let rec try_candidate i =
+    if i >= 10_000 then
+      match t with
+      | Range { bounds } ->
+          (* The candidate series is hash-shaped; for adversarial range
+             bounds fall back to the shard's own lower bound. *)
+          if shard = 0 then "" else List.nth bounds (shard - 1)
+      | Hash _ -> invalid_arg "Partition.key_for: no candidate found"
+    else
+      let k = Printf.sprintf "k%d.%d" salt i in
+      if shard_of t k = shard then k else try_candidate (i + 1)
+  in
+  try_candidate 0

@@ -1,0 +1,50 @@
+(** Deterministic key-space partitioner.
+
+    A sharded deployment routes every request by a string key extracted
+    from its input.  The partitioner is a pure function of the key and
+    the partitioning scheme — client, router, and checker all evaluate
+    it independently and must agree, so it draws no randomness and keeps
+    no state.
+
+    This determinism is what makes the paper's section-4 composition
+    theorem checkable after the fact: the verifier re-derives each
+    logical group's shard from its input alone and projects the global
+    history accordingly (see {!Xability.Checker.compose}). *)
+
+type t =
+  | Hash of { shards : int }
+      (** FNV-1a over the key, folded into [0 .. shards-1] *)
+  | Range of { bounds : string list }
+      (** [bounds = [b1; ...; bn]] (strictly ascending) define [n+1]
+          lexicographic ranges: shard [i] holds keys [< bi+1] *)
+
+val hash : shards:int -> t
+(** [hash ~shards] — uniform hash partitioning.  [shards >= 1]. *)
+
+val range : bounds:string list -> t
+(** [range ~bounds] — ordered partitioning.  Raises [Invalid_argument]
+    if [bounds] is not strictly ascending. *)
+
+val shards : t -> int
+(** Number of shards the scheme defines. *)
+
+val shard_of : t -> string -> int
+(** The shard owning a key.  Total and deterministic. *)
+
+val key_of_input : Xability.Value.t -> string
+(** The routing key of a request input, by shape: [Pair (Str k, _)] and
+    [Str k] route by [k]; [Pair (Pair (Str k, _), _)] (e.g. a transfer's
+    source account) routes by [k]; anything else routes by its printed
+    form.  Single source of truth for router and checker alike. *)
+
+val key_of_logical : Xability.Value.t -> string
+(** Routing key of a {e logical} request identity
+    [Pair (Int rid, input)] — peels the rid and applies
+    {!key_of_input}.  This is what {!Xability.Checker.compose}'s
+    [shard_of] callback should use. *)
+
+val key_for : t -> shard:int -> salt:int -> string
+(** A deterministic key that lands on [shard]: the first candidate in
+    the series ["k<salt>.<i>"] owned by [shard] (for [Range], falls back
+    to the shard's lower bound if the series misses).  Workloads use it
+    to pin requests to chosen shards. *)

@@ -1,0 +1,59 @@
+type t = {
+  eng : Xsim.Engine.t;
+  part : Partition.t;
+  views : Xnet.Address.t list array;
+  lookup_latency : int;
+  retry_delay : int;
+  mutable blocked : (int * int * int) list;  (* (from, until, shard) *)
+  mutable lookups : int;
+  mutable blocked_waits : int;
+}
+
+let create eng ~partition ~views ?(lookup_latency = 10) ?(retry_delay = 50) ()
+    =
+  if Array.length views <> Partition.shards partition then
+    invalid_arg "Router.create: one membership view per shard required";
+  {
+    eng;
+    part = partition;
+    views;
+    lookup_latency;
+    retry_delay;
+    blocked = [];
+    lookups = 0;
+    blocked_waits = 0;
+  }
+
+let partition t = t.part
+let shards t = Partition.shards t.part
+let route t key = Partition.shard_of t.part key
+let view t ~shard = t.views.(shard)
+
+let block t ~shard ~from_t ~until_t =
+  t.blocked <- (from_t, until_t, shard) :: t.blocked
+
+let is_blocked t shard =
+  let now = Xsim.Engine.now t.eng in
+  List.exists
+    (fun (from_t, until_t, s) -> s = shard && from_t <= now && now < until_t)
+    t.blocked
+
+let lookup t ~key =
+  t.lookups <- t.lookups + 1;
+  if Xobs.enabled () then
+    Xobs.Counter.incr (Xobs.counter "shard.router_lookups");
+  Xsim.Engine.sleep t.eng t.lookup_latency;
+  let shard = route t key in
+  (* A blocked entry stalls the routed request; the window is bounded, so
+     liveness is only delayed, never lost. *)
+  while is_blocked t shard do
+    t.blocked_waits <- t.blocked_waits + 1;
+    if Xobs.enabled () then
+      Xobs.Counter.incr (Xobs.counter "shard.router_blocked");
+    Xsim.Engine.sleep t.eng t.retry_delay
+  done;
+  (shard, t.views.(shard))
+
+type stats = { lookups : int; blocked_waits : int }
+
+let stats (t : t) = { lookups = t.lookups; blocked_waits = t.blocked_waits }

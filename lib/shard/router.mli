@@ -1,0 +1,48 @@
+(** Router/directory tier of a sharded deployment.
+
+    The router owns the partitioning scheme and a per-shard membership
+    view (the shard's replica addresses).  Sessions consult it for any
+    request leaving their home shard; each consultation costs
+    [lookup_latency] ticks of simulated time.  A directory entry can be
+    {e blocked} for a window — modelling a partition between the router
+    and that shard — during which routed requests to the shard stall,
+    sleeping [retry_delay] between retries, until the window heals.
+    Blocking delays routed traffic but never loses or reorders it, so it
+    perturbs schedules without breaking R1–R4 on its own. *)
+
+type t
+
+val create :
+  Xsim.Engine.t ->
+  partition:Partition.t ->
+  views:Xnet.Address.t list array ->
+  ?lookup_latency:int ->
+  ?retry_delay:int ->
+  unit ->
+  t
+(** [views.(s)] is shard [s]'s replica membership view; the array length
+    must equal [Partition.shards partition].  Defaults: 10-tick lookups,
+    50-tick retry backoff. *)
+
+val partition : t -> Partition.t
+val shards : t -> int
+
+val route : t -> string -> int
+(** Pure routing decision (no simulated time): the shard owning a key. *)
+
+val view : t -> shard:int -> Xnet.Address.t list
+(** The membership view of a shard (no simulated time). *)
+
+val block : t -> shard:int -> from_t:int -> until_t:int -> unit
+(** Declare the directory entry for [shard] unavailable during
+    [\[from_t, until_t)] of simulated time (absolute ticks). *)
+
+val lookup : t -> key:string -> int * Xnet.Address.t list
+(** Full directory consultation, from a fiber: sleeps [lookup_latency],
+    then — while the owning shard's entry is blocked — sleeps
+    [retry_delay] and retries.  Returns the shard and its view.
+    Obs: [shard.router_lookups], [shard.router_blocked]. *)
+
+type stats = { lookups : int; blocked_waits : int }
+
+val stats : t -> stats

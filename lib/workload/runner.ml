@@ -45,6 +45,9 @@ type result = {
   history_length : int;
   false_suspicions : int;
   rounds_per_request : float;
+  shard_reports : (int * Checker.report) list;
+      (* per-shard projection verdicts of a sharded run ([] otherwise);
+         [report] is then their conjunction (Checker.compose) *)
 }
 
 let ok r =
@@ -273,9 +276,244 @@ let run ~spec ?prepare ?(aborted = fun () -> false) ?cache ~setup ~workload () =
       rounds_per_request =
         Stats.ratio totals.Xreplication.Service.rounds_owned
           (max 1 (List.length issued));
+      shard_reports = [];
     }
   in
   (result, srv)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded runs.  Same closed-loop discipline as [run], but the load is
+   per shard — [spec.clients] sessions x [spec.inflight] lanes on every
+   shard — and verification applies the paper's section-4 composition
+   theorem: the global history is projected per shard by the same pure
+   key function the router used online, each projection checked
+   independently, verdicts conjoined (Checker.compose). *)
+
+let run_sharded ~spec ?prepare ?(aborted = fun () -> false) ?cache ~setup
+    ~workload () =
+  let n_sessions = max 1 spec.clients in
+  let n_lanes = max 1 spec.inflight in
+  let spec =
+    if n_sessions <= spec.service_config.Xreplication.Service.n_clients then
+      spec
+    else
+      {
+        spec with
+        service_config =
+          {
+            spec.service_config with
+            Xreplication.Service.n_clients = n_sessions;
+          };
+      }
+  in
+  let n_shards = max 1 spec.service_config.Xreplication.Service.shards in
+  let eng = Xsim.Engine.create ~seed:spec.seed ~trace_enabled:false () in
+  let env = Xsm.Environment.create eng ~config:spec.env_config () in
+  (match prepare with Some f -> f eng env | None -> ());
+  let srv = setup env in
+  let d = Xshard.Deployment.create eng env spec.service_config in
+  let done_iv = Xsim.Ivar.create () in
+  let sessions =
+    Array.init n_shards (fun shard ->
+        Array.init n_sessions (fun client ->
+            Xshard.Deployment.session d ~shard ~client))
+  in
+  let remaining = ref (n_shards * n_sessions * n_lanes) in
+  Array.iteri
+    (fun shard row ->
+      Array.iteri
+        (fun c sess ->
+          for k = 0 to n_lanes - 1 do
+            Xsim.Engine.spawn eng
+              ~proc:(Xshard.Deployment.session_proc sess)
+              ~name:(Printf.sprintf "workload.s%d.%d.%d" shard c k)
+              (fun () ->
+                workload srv d sess;
+                decr remaining;
+                if !remaining = 0 then Xsim.Ivar.fill done_iv ())
+          done)
+        row)
+    sessions;
+  (* Crash schedule: [idx] is the flat index shard * n_replicas + r. *)
+  List.iter
+    (fun (at, idx) ->
+      Xsim.Engine.schedule eng ~delay:at (fun () ->
+          Xshard.Deployment.kill_replica d idx))
+    spec.crashes;
+  (match spec.client_crash_at with
+  | Some at ->
+      Xsim.Engine.schedule eng ~delay:at (fun () ->
+          Xshard.Deployment.kill_session d ~shard:0 ~client:0)
+  | None -> ());
+  (match spec.noise with
+  | Some (probability, duration, until) ->
+      for s = 0 to n_shards - 1 do
+        match Xreplication.Service.oracle (Xshard.Deployment.group d s) with
+        | Some o -> Xdetect.Oracle.enable_noise o ~probability ~duration ~until ()
+        | None -> ()
+      done
+  | None -> ());
+  let work_end = ref 0 in
+  Xsim.Ivar.watch done_iv (fun () ->
+      work_end := Xsim.Engine.now eng;
+      Xsim.Engine.request_stop eng;
+      true);
+  Xsim.Engine.run ~limit:spec.time_limit eng;
+  let deadline =
+    min spec.time_limit (Xsim.Engine.now eng + spec.quiesce_grace)
+  in
+  let rec quiesce () =
+    let next = min deadline (Xsim.Engine.now eng + 500) in
+    if (not (aborted ())) && Xsim.Engine.now eng < next then begin
+      Xsim.Engine.run ~limit:next eng;
+      if Xsm.Environment.in_flight env > 0 && Xsim.Engine.now eng < deadline
+      then quiesce ()
+      else if (not (aborted ())) && Xsim.Engine.now eng < deadline then begin
+        Xsim.Engine.run ~limit:(min deadline (Xsim.Engine.now eng + 500)) eng;
+        if Xsm.Environment.in_flight env > 0 && Xsim.Engine.now eng < deadline
+        then quiesce ()
+      end
+    end
+  in
+  quiesce ();
+  let completed = Xsim.Ivar.is_full done_iv in
+  let issued = Xshard.Deployment.issued d in
+  let submissions =
+    List.map
+      (fun (s : Xshard.Deployment.submission) ->
+        {
+          req = s.Xshard.Deployment.req;
+          reply = s.Xshard.Deployment.reply;
+          latency = s.Xshard.Deployment.latency;
+        })
+      (Xshard.Deployment.submissions d)
+  in
+  let history = Xsm.Environment.history env in
+  let kinds = Xsm.Environment.kind_of env in
+  let expected = List.map (Xsm.Environment.checker_expected env) issued in
+  let compose exp =
+    (* Concurrent per-shard sessions induce no global request order. *)
+    Checker.compose ~kinds ~logical_of:Xsm.Request.logical_of_env_iv
+      ~round_of:Xsm.Request.round_of_env_iv ~engine:`Hybrid ~check_order:false
+      ?cache
+      ~shard_of:(Xshard.Deployment.shard_of_expected d)
+      ~expected:exp history
+  in
+  let composed =
+    let full = compose expected in
+    if full.Checker.combined.Checker.ok || completed then full
+    else
+      (* The crashed session's last issued request may legitimately have
+         no trace (at-most-once): accept the history without it. *)
+      match
+        List.rev (Xshard.Deployment.session_issued sessions.(0).(0))
+      with
+      | last_req :: _ ->
+          let last = Xsm.Environment.checker_expected env last_req in
+          let without_last =
+            compose
+              (List.filter
+                 (fun (e : Checker.expected) ->
+                   not
+                     (e.Checker.action = last.Checker.action
+                     && Value.equal e.Checker.logical last.Checker.logical))
+                 expected)
+          in
+          let last_untouched =
+            List.for_all
+              (fun (g : Checker.group_result) ->
+                not
+                  (g.expected.Checker.action = last.Checker.action
+                  && Value.equal g.expected.Checker.logical
+                       last.Checker.logical)
+                || g.events = 0)
+              full.Checker.combined.Checker.groups
+          in
+          if without_last.Checker.combined.Checker.ok && last_untouched then
+            without_last
+          else full
+      | [] -> full
+  in
+  let report = composed.Checker.combined in
+  let r4_violations =
+    List.filter_map
+      (fun s ->
+        let possible = Xsm.Environment.possible_replies env s.req in
+        if List.exists (Value.equal s.reply) possible then None
+        else
+          Some
+            (Printf.sprintf "reply %s to %s not in PossibleReply {%s}"
+               (Value.to_string s.reply) (Xsm.Request.key s.req)
+               (String.concat ", " (List.map Value.to_string possible))))
+      submissions
+  in
+  let reply_mismatches =
+    List.filter_map
+      (fun s ->
+        let exp = Xsm.Environment.checker_expected env s.req in
+        let settled =
+          List.find_map
+            (fun (g : Checker.group_result) ->
+              if
+                g.expected.Checker.action = exp.Checker.action
+                && Value.equal g.expected.Checker.logical exp.Checker.logical
+              then g.output
+              else None)
+            report.Checker.groups
+        in
+        match settled with
+        | Some v when not (Value.equal s.reply v) ->
+            Some
+              (Printf.sprintf
+                 "client accepted %s for %s but its effect settled on %s"
+                 (Value.to_string s.reply) (Xsm.Request.key s.req)
+                 (Value.to_string v))
+        | _ -> None)
+      submissions
+  in
+  let false_suspicions =
+    let per_group s =
+      let g = Xshard.Deployment.group d s in
+      match
+        (Xreplication.Service.oracle g, Xreplication.Service.heartbeat g)
+      with
+      | Some o, _ -> Xdetect.Oracle.false_suspicions o
+      | None, Some hb -> Xdetect.Heartbeat.false_suspicions hb
+      | None, None -> 0
+    in
+    let acc = ref 0 in
+    for s = 0 to n_shards - 1 do
+      acc := !acc + per_group s
+    done;
+    !acc
+  in
+  let totals = (Xshard.Deployment.totals d).Xshard.Deployment.service in
+  let result =
+    {
+      completed;
+      end_time = Xsim.Engine.now eng;
+      work_end_time = (if completed then !work_end else Xsim.Engine.now eng);
+      submissions;
+      report;
+      r4_ok = r4_violations = [];
+      r4_violations;
+      reply_mismatches;
+      env_violations = Xsm.Environment.violations env;
+      duplicate_effects = Xsm.Environment.duplicate_effects env;
+      engine_errors =
+        List.map
+          (fun (t, f, e) -> (t, f, Printexc.to_string e))
+          (Xsim.Engine.errors eng);
+      totals;
+      history_length = History.length history;
+      false_suspicions;
+      rounds_per_request =
+        Stats.ratio totals.Xreplication.Service.rounds_owned
+          (max 1 (List.length issued));
+      shard_reports = composed.Checker.per_shard;
+    }
+  in
+  (result, srv, d)
 
 let timed_pp ppf r =
   Format.fprintf ppf

@@ -67,6 +67,11 @@ type result = {
   history_length : int;
   false_suspicions : int;
   rounds_per_request : float;  (** mean rounds of owner-agreement used *)
+  shard_reports : (int * Xability.Checker.report) list;
+      (** a sharded run's per-shard projection verdicts (ascending shard
+          id); [report] is then their conjunction per the section-4
+          composition theorem ({!Xability.Checker.compose}).  [[]] for
+          single-group runs *)
 }
 
 val ok : result -> bool
@@ -108,6 +113,34 @@ val run :
     per the paper's at-most-once discussion (section 4), the checker
     then also accepts the history in which the {e last} issued request
     was never processed. *)
+
+val run_sharded :
+  spec:spec ->
+  ?prepare:(Xsim.Engine.t -> Xsm.Environment.t -> unit) ->
+  ?aborted:(unit -> bool) ->
+  ?cache:Xability.Checker.cache ->
+  setup:(Xsm.Environment.t -> 'srv) ->
+  workload:('srv -> Xshard.Deployment.t -> Xshard.Deployment.session -> unit) ->
+  unit ->
+  result * 'srv * Xshard.Deployment.t
+(** Sharded variant of {!run}: builds an {!Xshard.Deployment} of
+    [spec.service_config.shards] replica groups over one shared wire and
+    drives a {e per-shard} closed loop — [spec.clients] sessions ×
+    [spec.inflight] lanes on {e every} shard, each lane running
+    [workload srv deployment session] on its session's process
+    (issue requests via {!Xshard.Deployment.submit} /
+    {!Xshard.Deployment.submit_cross}).
+
+    Crash indices in [spec.crashes] are flat: [shard * n_replicas + r].
+    [client_crash_at] crashes shard 0's session 0.  [noise] drives every
+    shard's oracle.
+
+    R3 is verified with {!Xability.Checker.compose}: the global history
+    is projected per shard by the same pure key-partition function the
+    router used online, each projection checked independently, and the
+    verdicts conjoined — the paper's section-4 locality/composition
+    theorem, executed.  [result.shard_reports] keeps the per-shard
+    verdicts; [result.report] is the conjunction. *)
 
 val timed_pp : Format.formatter -> result -> unit
 (** One-line summary, for experiment tables. *)

@@ -42,6 +42,41 @@ let kv_get client ~key =
 
 type mix = Idempotent_only | Undoable_only | Mixed
 
+(* Closed-loop load for one sharded session: [n] requests pinned to the
+   session's home shard (keys chosen with [Partition.key_for]), every
+   [cross_every]-th replaced by a cross-shard request fanning a kv_put to
+   the home shard and its clockwise neighbour.  [undoable] interleaves
+   seat reservations (keyed to the home shard) — keep it off for large
+   benches, the stock booking service has 64 seats. *)
+let sharded_mix ?(undoable = true) ~n ~cross_every d sess =
+  let part = Xshard.Deployment.partition d in
+  let nshards = Xshard.Partition.shards part in
+  let home = Xshard.Deployment.home sess in
+  let cl = Xshard.Deployment.session_client sess in
+  let key ~shard ~salt = Xshard.Partition.key_for part ~shard ~salt in
+  for i = 1 to n do
+    if cross_every > 0 && i mod cross_every = 0 then begin
+      let neighbour = (home + 1) mod nshards in
+      let parts =
+        [
+          kv_put cl ~key:(key ~shard:home ~salt:(100 + i)) ~value:(Value.int i);
+          kv_put cl
+            ~key:(key ~shard:neighbour ~salt:(100 + i))
+            ~value:(Value.int i);
+        ]
+      in
+      ignore (Xshard.Deployment.submit_cross d sess parts)
+    end
+    else if undoable && i mod 2 = 0 then
+      ignore
+        (Xshard.Deployment.submit d sess
+           (reserve cl ~passenger:(key ~shard:home ~salt:i)))
+    else
+      ignore
+        (Xshard.Deployment.submit d sess
+           (kv_put cl ~key:(key ~shard:home ~salt:i) ~value:(Value.int i)))
+  done
+
 let sequence mix ~n client submit =
   for i = 1 to n do
     let req =

@@ -26,6 +26,20 @@ val kv_get : Xreplication.Client.t -> key:string -> Xsm.Request.t
 
 type mix = Idempotent_only | Undoable_only | Mixed
 
+val sharded_mix :
+  ?undoable:bool ->
+  n:int ->
+  cross_every:int ->
+  Xshard.Deployment.t ->
+  Xshard.Deployment.session ->
+  unit
+(** Closed-loop load for one sharded session: [n] requests with keys
+    pinned to the session's home shard, every [cross_every]-th replaced
+    by a cross-shard kv_put pair (home shard + clockwise neighbour)
+    submitted via {!Xshard.Deployment.submit_cross}.  [undoable]
+    (default true) interleaves home-shard seat reservations; disable it
+    for large benches (the stock booking service has 64 seats). *)
+
 val sequence :
   mix -> n:int ->
   Xreplication.Client.t ->

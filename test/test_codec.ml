@@ -398,6 +398,100 @@ let test_link_hash_collisions () =
   let b = Address.make ~role:"replica" ~index:1 in
   checkb "asymmetric" true (Transport.link_hash a b <> Transport.link_hash b a)
 
+(* The address population a 64-shard deployment actually creates: role
+   strings carry the shard prefix ("s17.replica"), so the mix has to
+   spread structured, highly-similar strings — exactly where a weak
+   string hash would cluster. *)
+let shard_scale_addrs () =
+  List.concat
+    (List.init 64 (fun s ->
+         List.init 3 (fun i ->
+             Address.make ~role:(Printf.sprintf "s%d.replica" s) ~index:i)
+         @ List.init 2 (fun i ->
+               Address.make ~role:(Printf.sprintf "s%d.client" s) ~index:i)
+         @ [ Address.make ~role:"router" ~index:s ]))
+
+let test_link_hash_shard_scale () =
+  let addrs = shard_scale_addrs () in
+  checki "population" 384 (List.length addrs);
+  let seen = Hashtbl.create (1 lsl 18) in
+  let pairs = ref 0 and collisions = ref 0 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          incr pairs;
+          let h = Transport.link_hash a b in
+          checkb "non-negative" true (h >= 0);
+          (match Hashtbl.find_opt seen h with
+          | Some (a', b') when not (Address.equal a a' && Address.equal b b') ->
+              incr collisions
+          | _ -> ());
+          Hashtbl.replace seen h (a, b))
+        addrs)
+    addrs;
+  checki "all ordered pairs hashed" (384 * 384) !pairs;
+  (* 147k pairs into a 62-bit space: collisions mean the inline integer
+     mix degenerates on prefixed role strings. *)
+  checki
+    (Printf.sprintf "collisions (%d) at shard scale" !collisions)
+    0 !collisions
+
+let test_flat_shard_scale_slot_reuse () =
+  (* One shared wire, 64 shards' worth of links (the sharded deployment
+     multiplexes every group over a single transport): slots must be
+     bounded by peak in-flight, not by links x messages. *)
+  let eng = Engine.create ~seed:11 () in
+  let tr =
+    Transport.create eng ~codec:str_codec ~latency:(Xnet.Latency.Constant 10)
+      ()
+  in
+  let links =
+    List.init 64 (fun s ->
+        let src =
+          Address.make ~role:(Printf.sprintf "s%d.client" s) ~index:0
+        in
+        let dst =
+          Address.make ~role:(Printf.sprintf "s%d.replica" s) ~index:0
+        in
+        let mb =
+          Transport.register tr dst
+            ~proc:(Xsim.Proc.create ~name:(Address.to_string dst))
+        in
+        ignore
+          (Transport.register tr src
+             ~proc:(Xsim.Proc.create ~name:(Address.to_string src)));
+        (src, dst, mb))
+  in
+  let rounds = 10 in
+  let received = ref 0 in
+  List.iter
+    (fun (_, dst, mb) ->
+      Engine.spawn eng ~name:("recv." ^ Address.to_string dst) (fun () ->
+          for _ = 1 to rounds do
+            ignore (Xsim.Mailbox.take eng mb).Transport.payload;
+            incr received
+          done))
+    links;
+  Engine.spawn eng ~name:"send" (fun () ->
+      for i = 1 to rounds do
+        List.iter
+          (fun (src, dst, _) ->
+            Transport.send tr ~src ~dst (string_of_int i))
+          links;
+        (* Space rounds past the latency so every slot is back in the
+           free list before the next burst. *)
+        Xsim.Engine.sleep eng 20
+      done);
+  Engine.run eng;
+  checki "all delivered" (64 * rounds) !received;
+  let st = Transport.arena_stats tr in
+  checki "acquires = sends" (64 * rounds) st.Arena.acquires;
+  checkb
+    (Printf.sprintf "slots (%d) bounded by one burst" st.Arena.slots)
+    true
+    (st.Arena.slots <= 64)
+
 (* ------------------------------------------------------------------ *)
 (* 3. End-to-end byte-identity: Flat vs Structural (tentpole property) *)
 
@@ -634,8 +728,14 @@ let () =
             test_flat_transport_duplicate_shares_slot;
         ] );
       ( "link hash",
-        [ Alcotest.test_case "collision sanity" `Quick test_link_hash_collisions ]
-      );
+        [
+          Alcotest.test_case "collision sanity" `Quick
+            test_link_hash_collisions;
+          Alcotest.test_case "64-shard population collision-free" `Quick
+            test_link_hash_shard_scale;
+          Alcotest.test_case "64-shard shared-wire slot reuse" `Quick
+            test_flat_shard_scale_slot_reuse;
+        ] );
       ("identity", [ qcheck prop_flat_identity ]);
       ( "bench compare",
         [

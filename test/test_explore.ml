@@ -431,6 +431,86 @@ let test_lossy_schedule_replays () =
       checki "end_time" o1.Explorer.end_time o2.Explorer.end_time;
       checkb "clean under ARQ" false (Explorer.violating o1)
 
+(* ------------------------------------------------------------------ *)
+(* Cross-shard strategy: sharded deployments under owner crashes and
+   router partitions, verdicts composed per section 4 *)
+
+let test_cross_shard_covers_plan_and_stays_clean () =
+  (* Per seed: baseline + shards*|crash_times| crashes +
+     shards*|block_windows| router blocks; the faithful protocol
+     survives all of them (composed verdict). *)
+  let sc = Explorer.booking ~requests:3 () in
+  let strat =
+    Strategy.cross_shard ~shards:2 ~crash_times:[ 150 ]
+      ~block_windows:[ (0, 1_500) ]
+      ~seeds:2 ()
+  in
+  let v = Explorer.explore sc strat in
+  checki "explored = (1 + 2*1 + 2*1) * 2" 10 v.Explorer.explored;
+  checki "faithful survives sharded adversity" 0
+    (List.length v.Explorer.violating)
+
+let test_cross_shard_finds_skip_undo () =
+  (* The sharded mix carries undoable reserves, so a protocol that skips
+     undo on takeover is caught by the composed checker too — with the
+     shard named in the violation. *)
+  let sc = Explorer.booking ~requests:4 () in
+  let strat =
+    Strategy.cross_shard ~shards:2 ~block_windows:[] ~seeds:3 ()
+  in
+  let explored, cx =
+    Explorer.hunt ~mutation:Mutation.Skip_undo_on_takeover sc [ strat ]
+  in
+  match cx with
+  | None -> Alcotest.failf "skip-undo under sharding: clean in %d" explored
+  | Some cx ->
+      checkb "shrunk still violating" true (cx.Explorer.cx_violations <> []);
+      checkb "violation names a shard" true
+        (List.exists
+           (fun v ->
+             let re = "shard " in
+             let n = String.length re in
+             let rec find i =
+               i + n <= String.length v && (String.sub v i n = re || find (i + 1))
+             in
+             find 0)
+           cx.Explorer.cx_violations);
+      checkb "shards override survives shrinking" true
+        (cx.Explorer.cx_shrunk.Schedule.shards <> None)
+
+let test_cross_shard_schedule_line_replays () =
+  (* shards= and rblk= tokens are part of the run's identity: the line
+     round-trips and replays byte-identically. *)
+  let sc = Explorer.booking ~requests:3 () in
+  let s =
+    Schedule.make ~window:1 ~shards:2
+      ~router_blocks:[ (0, 1_500, 1) ]
+      ~seed:7 ()
+  in
+  let line = Schedule.to_string s in
+  match Schedule.of_string line with
+  | None -> Alcotest.fail "sharded schedule line does not parse"
+  | Some s' ->
+      checkb "round-trips" true (Schedule.equal s s');
+      let o1 = Explorer.run_schedule sc s in
+      let o2 = Explorer.run_schedule sc s' in
+      checki "events" o1.Explorer.events o2.Explorer.events;
+      checki "end_time" o1.Explorer.end_time o2.Explorer.end_time;
+      checkb "clean" false (Explorer.violating o1)
+
+let test_cross_shard_pool_size_independent () =
+  let sc = Explorer.booking ~requests:3 () in
+  let strat =
+    Strategy.cross_shard ~shards:2 ~crash_times:[ 150 ]
+      ~block_windows:[ (0, 1_500) ]
+      ~seeds:2 ()
+  in
+  let v1 = Explorer.explore ~jobs:1 sc strat in
+  let v4 = Explorer.explore ~jobs:4 sc strat in
+  checks "sharded verdict JSON byte-identical across JOBS"
+    (Explorer.verdict_to_json v1)
+    (Explorer.verdict_to_json v4)
+
 let () =
   Alcotest.run "xexplore"
     [
@@ -500,5 +580,16 @@ let () =
             test_net_fault_pool_size_independent;
           Alcotest.test_case "lossy schedule line replays" `Quick
             test_lossy_schedule_replays;
+        ] );
+      ( "cross-shard",
+        [
+          Alcotest.test_case "sweep covers plan, faithful clean" `Quick
+            test_cross_shard_covers_plan_and_stays_clean;
+          Alcotest.test_case "finds skip-undo, names the shard" `Quick
+            test_cross_shard_finds_skip_undo;
+          Alcotest.test_case "sharded schedule line replays" `Quick
+            test_cross_shard_schedule_line_replays;
+          Alcotest.test_case "sharded verdict independent of pool size"
+            `Quick test_cross_shard_pool_size_independent;
         ] );
     ]
