@@ -45,7 +45,18 @@ let seeds n = if quick then max 2 (n / 5) else n
 
 let jobs_arg = ref None
 let json_arg = ref (Sys.getenv_opt "BENCH_JSON")
-let default_json_path = "BENCH_verdict_pipeline.json"
+
+(* A bare [--json] names the file after the experiment subset when
+   BENCH_ONLY selects exactly one (BENCH_E15.json, BENCH_E16.json, ...);
+   whole-suite runs keep the historical name. *)
+let default_json_path =
+  match Sys.getenv_opt "BENCH_ONLY" with
+  | Some s -> (
+      match String.split_on_char ',' s with
+      | [ one ] when one <> "" ->
+          "BENCH_" ^ String.uppercase_ascii one ^ ".json"
+      | _ -> "BENCH_verdict_pipeline.json")
+  | None -> "BENCH_verdict_pipeline.json"
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -173,7 +184,7 @@ let timed_exp name f =
 (* Shared runners *)
 
 let protocol_run ?(n_requests = 5) ?(mix = Workloads.Mixed) ?(crashes = [])
-    ?noise ?(fail_prob = 0.0) ?(n_replicas = 3) ?(backend = `Register 25)
+    ?noise ?(fail_prob = 0.0) ?(n_replicas = 3) ?(substrate = `Register 25)
     ~seed () =
   let spec =
     {
@@ -182,7 +193,7 @@ let protocol_run ?(n_requests = 5) ?(mix = Workloads.Mixed) ?(crashes = [])
       crashes;
       noise;
       env_config = { Xsm.Environment.default_config with fail_prob };
-      service_config = { Service.default_config with n_replicas; backend };
+      service_config = { Service.default_config with n_replicas; substrate };
       time_limit = 5_000_000;
       quiesce_grace = 20_000;
     }
@@ -452,11 +463,11 @@ let e4 () =
     row "%-24s %-6d %-10.0f %-10.0f %-10.0f %-10.0f %-12s@." name n_replicas
       s.Stats.mean s.Stats.p50 s.Stats.p95 s.Stats.p99 msgs
   in
-  let protocol_row name backend n_replicas =
+  let protocol_row name substrate n_replicas =
     let results =
       psweep n_runs (fun seed ->
           let r, _ =
-            protocol_run ~n_requests ~n_replicas ~backend ~seed:(seed * 31) ()
+            protocol_run ~n_requests ~n_replicas ~substrate ~seed:(seed * 31) ()
           in
           ( List.map
               (fun s -> float_of_int s.Runner.latency)
@@ -1890,6 +1901,200 @@ let e15 () =
       ]
 
 (* ------------------------------------------------------------------ *)
+(* E16: leased-owner fast path across consensus substrates.  The E13 hot
+   point (batch=16 x pipeline=4, 4 clients x 8 lanes, serial consensus
+   substrate) re-run on every substrate x lease setting, fault-free and
+   under the E12 lossy wire (loss=0.1 dup=0.1 over ARQ).  While the
+   lease is held the owner skips owner agreement entirely, so
+   msgs/request must drop (>= 2x on the register substrate, whose every
+   owner decision is otherwise a round trip) with p50 no worse; verdicts
+   must stay x-able in every cell and identical across substrates.
+   Gates are greppable as "e16 gate" / "e16 substrate". *)
+
+let e16_lease : json ref = ref (J_obj [])
+
+let e16_substrates =
+  [
+    ("register", `Register 25);
+    ("paxos", `Paxos (Xnet.Latency.Uniform (10, 40)));
+    ("seqlog", `Seqlog (Xnet.Latency.Uniform (10, 40)));
+  ]
+
+let e16_spec ~substrate ~lease ~loss ~seed () =
+  {
+    Runner.default_spec with
+    seed;
+    time_limit = 5_000_000;
+    quiesce_grace = 20_000;
+    (* E13's closed loop: enough outstanding work for batches to fill. *)
+    clients = 4;
+    inflight = 8;
+    service_config =
+      {
+        Service.default_config with
+        consensus_service_time = 30;
+        substrate;
+        lease =
+          (if lease then Some Xreplication.Lease.default_config else None);
+        faults =
+          (if loss > 0.0 then
+             Xnet.Fault.make ~default:(Xnet.Fault.link ~drop:loss ~dup:0.1 ()) ()
+           else Xnet.Fault.none);
+        channel =
+          (if loss > 0.0 then Service.Arq Xnet.Reliable.default_arq
+           else Service.Assumed_reliable);
+        batching =
+          Some
+            { Xreplication.Batcher.default_config with size = 16; depth = 4 };
+      };
+  }
+
+let e16_run ~substrate ~lease ~loss ~seed () =
+  Runner.run
+    ~spec:(e16_spec ~substrate ~lease ~loss ~seed ())
+    ~setup:Workloads.setup_all
+    ~workload:(fun _ c s -> Workloads.sequence Workloads.Mixed ~n:4 c s)
+    ()
+
+(* One cell over [n] seeds on [pool]; plain data out so two pools'
+   tables compare structurally.  [oks] keeps the per-seed verdicts so
+   substrate identity can be checked seed-by-seed, not just in count. *)
+let e16_cell ~pool ~n ~sub_name ~substrate ~lease ~loss =
+  let results =
+    Pool.map pool
+      (fun seed ->
+        let r, _ = e16_run ~substrate ~lease ~loss ~seed:(seed * 7919) () in
+        let requests = max 1 (List.length r.Runner.submissions) in
+        ( Runner.ok r,
+          Stats.ratio (1000 * requests) (max 1 r.Runner.work_end_time),
+          List.map
+            (fun s -> float_of_int s.Runner.latency)
+            r.Runner.submissions,
+          Stats.ratio r.Runner.totals.Service.coord_msgs requests ))
+      (List.init n (fun i -> i + 1))
+  in
+  let oks = List.map (fun (o, _, _, _) -> o) results in
+  let lats = List.concat_map (fun (_, _, l, _) -> l) results in
+  ( sub_name,
+    lease,
+    loss,
+    List.length (List.filter Fun.id oks),
+    oks,
+    Stats.mean (List.map (fun (_, t, _, _) -> t) results),
+    Stats.p50 lats,
+    Stats.p95 lats,
+    Stats.mean (List.map (fun (_, _, _, m) -> m) results) )
+
+let e16 () =
+  header
+    "E16 Leased-owner fast path x consensus substrates  [owner agreement \
+     skipped while the lease holds; fenced by the epoch in Pval.Leased]";
+  let n = seeds 3 in
+  let cells =
+    List.concat_map
+      (fun loss ->
+        List.concat_map
+          (fun (sub_name, substrate) ->
+            List.map
+              (fun lease -> (sub_name, substrate, lease, loss))
+              [ false; true ])
+          e16_substrates)
+      [ 0.0; 0.1 ]
+  in
+  let table pool =
+    List.map
+      (fun (sub_name, substrate, lease, loss) ->
+        e16_cell ~pool ~n ~sub_name ~substrate ~lease ~loss)
+      cells
+  in
+  let pool1 = Pool.create ~domains:1 () in
+  let pool4 = Pool.create ~domains:4 () in
+  let rows1 = table pool1 in
+  let rows4 = table pool4 in
+  Pool.shutdown pool1;
+  Pool.shutdown pool4;
+  let identical = rows1 = rows4 in
+  row "%-10s %-6s %-6s %-6s %-9s %-8s %-8s %-9s@." "substrate" "lease" "loss"
+    "ok" "req/s" "p50" "p95" "msgs/req";
+  List.iter
+    (fun (sub, lease, loss, ok, _, rps, p50, p95, msgs) ->
+      row "%-10s %-6b %-6.2f %-6s %-9.1f %-8.0f %-8.0f %-9.2f@." sub lease loss
+        (Printf.sprintf "%d/%d" ok n)
+        rps p50 p95 msgs)
+    rows4;
+  let find sub lease loss =
+    List.find
+      (fun (s, l, f, _, _, _, _, _, _) -> s = sub && l = lease && f = loss)
+      rows4
+  in
+  let msgs_of (_, _, _, _, _, _, _, _, m) = m in
+  let p50_of (_, _, _, _, _, _, p, _, _) = p in
+  let oks_of (_, _, _, _, oks, _, _, _, _) = oks in
+  let off = find "register" false 0.0 and on = find "register" true 0.0 in
+  let ratio =
+    if msgs_of off > 0.0 then msgs_of on /. msgs_of off else infinity
+  in
+  let ratio_ok = ratio <= 0.60 in
+  let p50_ok = p50_of on <= p50_of off in
+  let all_ok =
+    List.for_all (fun (_, _, _, ok, _, _, _, _, _) -> ok = n) rows4
+  in
+  (* Same workload + seed must reach the same verdict whichever substrate
+     (and lease setting) backs agreement — checked seed-by-seed. *)
+  let substrate_identical =
+    List.for_all
+      (fun loss ->
+        List.for_all
+          (fun lease ->
+            let reg = oks_of (find "register" lease loss) in
+            oks_of (find "paxos" lease loss) = reg
+            && oks_of (find "seqlog" lease loss) = reg)
+          [ false; true ])
+      [ 0.0; 0.1 ]
+  in
+  row
+    "e16 gate lease msgs/request ratio (register, loss=0, must be <= 0.60): \
+     %.2f pass=%b@."
+    ratio ratio_ok;
+  row "e16 p50 lease-on vs lease-off (register, loss=0): %.0f vs %.0f \
+       pass=%b@."
+    (p50_of on) (p50_of off) p50_ok;
+  row "e16 substrate verdicts identical: %b@." substrate_identical;
+  row "e16 all cells x-able: %b   jobs=1 vs jobs=4 tables identical: %b@."
+    all_ok identical;
+  row
+    "expected shape: msgs/request halves (register) or falls (paxos/seqlog) \
+     with the lease held, p50 no worse, every cell x-able on every \
+     substrate@.";
+  e16_lease :=
+    J_obj
+      [
+        ( "rows",
+          J_list
+            (List.map
+               (fun (sub, lease, loss, ok, _, rps, p50, p95, msgs) ->
+                 J_obj
+                   [
+                     ("substrate", J_str sub);
+                     ("lease", J_bool lease);
+                     ("loss", J_float loss);
+                     ("runs", J_int n);
+                     ("ok", J_int ok);
+                     ("req_per_s", J_float rps);
+                     ("latency_p50", J_float p50);
+                     ("latency_p95", J_float p95);
+                     ("msgs_per_request", J_float msgs);
+                   ])
+               rows4) );
+        ("lease_msgs_ratio_register", J_float ratio);
+        ("gate_ratio_le_0_6", J_bool ratio_ok);
+        ("p50_no_worse", J_bool p50_ok);
+        ("substrate_verdicts_identical", J_bool substrate_identical);
+        ("all_ok", J_bool all_ok);
+        ("jobs_tables_identical", J_bool identical);
+      ]
+
+(* ------------------------------------------------------------------ *)
 (* Parallel speedup calibration: one fixed sweep, sequential vs pool. *)
 
 let calibrate () =
@@ -2056,6 +2261,7 @@ let write_json path =
         ("e13_batch", !e13_batch);
         ("e14_codec", !e14_codec);
         ("e15_shard", !e15_shard);
+        ("e16_lease", !e16_lease);
         ("calibration", !calibration);
         ("microbench", J_list (List.rev !micro_rows));
       ]
@@ -2085,6 +2291,7 @@ let () =
   timed_exp "e13" e13;
   timed_exp "e14" e14;
   timed_exp "e15" e15;
+  timed_exp "e16" e16;
   timed_exp "calibration" calibrate;
   timed_exp "microbench" microbench;
   (match !json_arg with Some path -> write_json path | None -> ());

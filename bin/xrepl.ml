@@ -163,12 +163,27 @@ let fault_plan_of loss dup jitter partitions =
     forced = [];
   }
 
-let backend_arg =
+let substrate_arg =
   Arg.(
     value
-    & opt (enum [ ("register", `Register); ("paxos", `Paxos) ]) `Register
-    & info [ "backend" ] ~docv:"B"
-        ~doc:"Consensus backend: $(b,register) or $(b,paxos).")
+    & opt
+        (enum
+           [ ("register", `Register); ("paxos", `Paxos); ("seqlog", `Seqlog) ])
+        `Register
+    & info [ "substrate"; "backend" ] ~docv:"S"
+        ~doc:
+          "Consensus substrate: $(b,register) (remote atomic cell), \
+           $(b,paxos) (per-instance synod) or $(b,seqlog) (VR/Zab-style \
+           sequenced log).")
+
+let lease_arg =
+  Arg.(
+    value & flag
+    & info [ "lease" ]
+        ~doc:
+          "Arm the leased-owner fast path: the lease holder decides \
+           owner-agreement instances unilaterally (epoch-fenced), skipping \
+           one agreement per request while the lease is held.")
 
 let detector_arg =
   Arg.(
@@ -249,8 +264,8 @@ let batching_of ~batch ~pipeline =
 
 let make_spec ?(faults = Xexplore.Schedule.no_faults) ?(batch = 1)
     ?(pipeline = 1) ?(clients = 1) ?(inflight = 1)
-    ?(codec = Service.Structural) ?(shards = 1) seed n_replicas crashes noise
-    fail_prob backend detector client_crash =
+    ?(codec = Service.Structural) ?(shards = 1) ?(lease = false) seed
+    n_replicas crashes noise fail_prob substrate detector client_crash =
   let net_faults = Xexplore.Explorer.net_faults_of_plan faults in
   let channel =
     if Xexplore.Schedule.faults_are_none faults then Service.Assumed_reliable
@@ -262,10 +277,13 @@ let make_spec ?(faults = Xexplore.Schedule.no_faults) ?(batch = 1)
       n_replicas;
       faults = net_faults;
       channel;
-      backend =
-        (match backend with
+      substrate =
+        (match substrate with
         | `Register -> `Register 25
-        | `Paxos -> `Paxos (Xnet.Latency.Uniform (10, 40)));
+        | `Paxos -> `Paxos (Xnet.Latency.Uniform (10, 40))
+        | `Seqlog -> `Seqlog (Xnet.Latency.Uniform (10, 40)));
+      lease =
+        (if lease then Some Xreplication.Lease.default_config else None);
       detector =
         (match detector with
         | `Oracle -> Service.default_config.Service.detector
@@ -341,13 +359,13 @@ let print_result (r : Runner.result) =
 
 let run_cmd =
   let doc = "Run one replication scenario and verify R1-R4." in
-  let run seed n crashes noise fail_prob backend detector requests mix
+  let run seed n crashes noise fail_prob substrate detector requests mix
       client_crash loss dup jitter partitions batch pipeline clients inflight
-      codec shards =
+      codec shards lease =
     let faults = fault_plan_of loss dup jitter partitions in
     let spec =
-      make_spec ~faults ~batch ~pipeline ~clients ~inflight ~codec ~shards seed
-        n crashes noise fail_prob backend detector client_crash
+      make_spec ~faults ~batch ~pipeline ~clients ~inflight ~codec ~shards
+        ~lease seed n crashes noise fail_prob substrate detector client_crash
     in
     if shards > 1 then begin
       (* Sharded deployment: per-shard closed loop over the cross-shard
@@ -384,10 +402,10 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
-      $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
+      $ fail_prob_arg $ substrate_arg $ detector_arg $ requests_arg $ mix_arg
       $ client_crash_arg $ loss_arg $ dup_arg $ jitter_arg $ partitions_arg
       $ batch_arg $ pipeline_arg $ clients_arg $ inflight_arg $ codec_arg
-      $ shards_arg)
+      $ shards_arg $ lease_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
@@ -517,7 +535,7 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const trace $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
-      $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
+      $ fail_prob_arg $ substrate_arg $ detector_arg $ requests_arg $ mix_arg
       $ client_crash_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -589,6 +607,8 @@ let explore_cmd =
                ("net", `Net);
                ("batch", `Batch);
                ("xshard", `Xshard);
+               ("lease", `Lease);
+               ("lease-edge", `Lease);
                ("all", `All);
              ])
           `All
@@ -600,7 +620,10 @@ let explore_cmd =
              (batch-boundary adversity with batching/pipelining on), \
              $(b,xshard) (sharded-deployment adversity: owner crashes \
              mid-cross-shard request and router partitions, verdicts \
-             composed per section 4), or $(b,all).")
+             composed per section 4), $(b,lease) (lease-boundary \
+             adversity: owner crashes, suspicion bursts and holder \
+             partitions at lease grant/renewal/expiry instants, swept \
+             across all consensus substrates), or $(b,all).")
   in
   let seeds_arg =
     Arg.(
@@ -703,6 +726,12 @@ let explore_cmd =
           ~shards:(if shards > 1 then shards else 4)
           ~seeds ()
       in
+      let lease_edge =
+        (* Cap the per-substrate seed count so --seeds (shared with the
+           net sweep, default 10) doesn't balloon the 27-plan × 3-substrate
+           grid; 7 seeds is the strategy's own ≥500-schedule default. *)
+        Strategy.lease_edge ~seeds:(min seeds 7) ()
+      in
       match strategy with
       | `Walk -> [ walk ]
       | `Dfs -> [ dfs ]
@@ -710,6 +739,7 @@ let explore_cmd =
       | `Net -> [ net ]
       | `Batch -> [ batch_boundary ]
       | `Xshard -> [ cross_shard ]
+      | `Lease -> [ lease_edge ]
       | `All -> [ walk; dfs; faults; net ]
     in
     let emit =
@@ -904,15 +934,15 @@ let stats_cmd =
              stdout): line 1 the scenario run, line 2 the merged explore \
              sweep.")
   in
-  let stats seed n crashes noise fail_prob backend detector requests mix
+  let stats seed n crashes noise fail_prob substrate detector requests mix
       client_crash trials obs_json loss dup jitter partitions batch pipeline
-      clients inflight codec =
+      clients inflight codec lease =
     Xobs.set_enabled true;
     Xobs.reset ();
     let faults = fault_plan_of loss dup jitter partitions in
     let spec =
-      make_spec ~faults ~batch ~pipeline ~clients ~inflight ~codec seed n
-        crashes noise fail_prob backend detector client_crash
+      make_spec ~faults ~batch ~pipeline ~clients ~inflight ~codec ~lease seed
+        n crashes noise fail_prob substrate detector client_crash
     in
     let r, _ =
       Runner.run ~spec ~setup:Workloads.setup_all
@@ -961,10 +991,10 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       const stats $ seed_arg $ replicas_arg $ crashes_arg $ noise_arg
-      $ fail_prob_arg $ backend_arg $ detector_arg $ requests_arg $ mix_arg
+      $ fail_prob_arg $ substrate_arg $ detector_arg $ requests_arg $ mix_arg
       $ client_crash_arg $ explore_trials_arg $ obs_json_arg $ loss_arg
       $ dup_arg $ jitter_arg $ partitions_arg $ batch_arg $ pipeline_arg
-      $ clients_arg $ inflight_arg $ codec_arg)
+      $ clients_arg $ inflight_arg $ codec_arg $ lease_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench --compare: diff two bench JSON reports (bench/main.exe --json),

@@ -128,7 +128,13 @@ type 'v group = {
   phase_timeout : int;
   backoff_base : int;
   rng : Xsim.Rng.t;
-  decided_insts : (string, unit) Hashtbl.t;
+  (* Canonical decisions, group-wide: inst -> decided value.  Historically
+     a presence set (for the decision count); with the leased fast path
+     enabled it doubles as the shared authority consulted atomically at
+     every decide point, so a lease holder's unilateral decision and a
+     cleaner's quorum campaign can never commit conflicting values. *)
+  decided_insts : (string, 'v) Hashtbl.t;
+  mutable fast_enabled : bool;
   mutable proposals : int;
   mutable ballots : int;
 }
@@ -151,7 +157,8 @@ let record_decision g st inst value =
     a.decided <- Some value;
     if (not (Hashtbl.mem g.decided_insts inst)) && Xobs.enabled () then
       Xobs.Counter.incr (Xobs.counter "consensus.decisions");
-    Hashtbl.replace g.decided_insts inst ();
+    if not (Hashtbl.mem g.decided_insts inst) then
+      Hashtbl.replace g.decided_insts inst value;
     let ws = a.decision_waiters in
     a.decision_waiters <- [];
     List.iter (fun iv -> ignore (Xsim.Ivar.try_fill iv value)) ws
@@ -230,6 +237,7 @@ let create_group eng ~latency ~members ?(phase_timeout = 400)
       backoff_base;
       rng = Xsim.Rng.split (Xsim.Engine.rng eng);
       decided_insts = Hashtbl.create 32;
+      fast_enabled = false;
       proposals = 0;
       ballots = 0;
     }
@@ -291,10 +299,21 @@ let propose { group = g; st; inst } ?(weight = 1) v =
     end
   end;
   let n = List.length g.member_list in
+  let canonical () =
+    if g.fast_enabled then Hashtbl.find_opt g.decided_insts inst else None
+  in
   let rec campaign attempt =
     let a = acceptor st inst in
     match a.decided with
     | Some d -> d
+    | None ->
+    (* Fast path enabled: the canonical table is the decide authority —
+       learn an already-committed (possibly lease-fast) decision instead
+       of campaigning against it. *)
+    match canonical () with
+    | Some d ->
+        record_decision g st inst d;
+        d
     | None -> (
         g.ballots <- g.ballots + 1;
         let ballot = (attempt * n) + st.index in
@@ -332,12 +351,21 @@ let propose { group = g; st; inst } ?(weight = 1) v =
             Hashtbl.remove st.campaigns (inst, ballot);
             match outcome2 with
             | `Decided d -> d
-            | `Chosen ->
-                Xnet.Transport.broadcast g.transport ~src:st.addr
-                  ~include_self:true
-                  (Decided { inst; value });
-                record_decision g st inst value;
-                value
+            | `Chosen -> (
+                (* Under the fast path, re-check the canonical table at
+                   the commit point: a lease holder may have decided
+                   while our quorum was forming, and its decision wins
+                   (it held the lease; we must not broadcast a rival). *)
+                match canonical () with
+                | Some d ->
+                    record_decision g st inst d;
+                    d
+                | None ->
+                    Xnet.Transport.broadcast g.transport ~src:st.addr
+                      ~include_self:true
+                      (Decided { inst; value });
+                    record_decision g st inst value;
+                    value)
             | `Nacked promised ->
                 let next = max (attempt + 1) ((promised / n) + 1) in
                 Xsim.Engine.sleep g.eng (backoff g attempt);
@@ -353,6 +381,31 @@ let propose { group = g; st; inst } ?(weight = 1) v =
     Xobs.Span.record (Xobs.span "consensus.propose") ~t0 ~t1:(Xsim.Engine.now g.eng)
   end;
   d
+
+let set_fast_path g on = g.fast_enabled <- on
+
+(* Leased fast path: commit [inst] at the canonical table (first value
+   wins, atomically — cooperative fibers), learn it locally, and
+   broadcast [Decided] so the other members learn too.  n messages
+   instead of the two quorum phases; sound only while the caller holds a
+   valid lease, which Coord checks in the same atomic step. *)
+let fast_decide g ~member ~inst v =
+  match Hashtbl.find_opt g.decided_insts inst with
+  | Some d ->
+      (match Hashtbl.find_opt g.states member with
+      | Some st -> record_decision g st inst d
+      | None -> ());
+      d
+  | None ->
+      (match Hashtbl.find_opt g.states member with
+      | Some st -> record_decision g st inst v
+      | None ->
+          if Xobs.enabled () then
+            Xobs.Counter.incr (Xobs.counter "consensus.decisions");
+          Hashtbl.replace g.decided_insts inst v);
+      Xnet.Transport.broadcast g.transport ~src:member ~include_self:false
+        (Decided { inst; value = v });
+      v
 
 let decided_at g ~member ~inst =
   match Hashtbl.find_opt g.states member with

@@ -69,6 +69,19 @@ val propose : 'v handle -> ?weight:int -> 'v -> 'v
 val read : 'v handle -> 'v option
 (** This member's current knowledge of the decision (local, instant). *)
 
+val set_fast_path : 'v group -> bool -> unit
+(** Enable the leased fast path: the group's canonical decision table
+    becomes the authority consulted atomically at every decide point
+    (campaign entry, quorum commit, {!fast_decide}).  Off (the default)
+    keeps the historical quorum-only behaviour byte-identical. *)
+
+val fast_decide : 'v group -> member:Xnet.Address.t -> inst:string -> 'v -> 'v
+(** Decide [inst] unilaterally at the canonical table (first value wins;
+    returns the existing decision otherwise) and broadcast [Decided] so
+    the members learn — n messages instead of two quorum phases.  Sound
+    only while the caller holds a valid lease, which
+    {!Xreplication.Coord} checks in the same atomic step. *)
+
 val decided_at :
   'v group -> member:Xnet.Address.t -> inst:string -> 'v option
 

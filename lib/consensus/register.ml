@@ -51,6 +51,19 @@ let propose t ?(weight = 1) v =
     Xobs.Span.record (Xobs.span "consensus.propose") ~t0 ~t1:(Xsim.Engine.now t.eng);
   decided
 
+(* Leased fast path: decide without the round trip (first value wins) —
+   models the lease holder owning the register's decision right, so no
+   wire exchange is needed.  Zero latency, zero modelled messages; sound
+   only under a valid lease, checked atomically by the caller. *)
+let decide_if_unset t v =
+  match t.decided with
+  | Some d -> d
+  | None ->
+      t.decided <- Some v;
+      if Xobs.enabled () then
+        Xobs.Counter.incr (Xobs.counter "consensus.decisions");
+      v
+
 let read t =
   Xsim.Engine.sleep t.eng t.latency;
   let d = t.decided in

@@ -26,6 +26,12 @@ val propose : 'v t -> ?weight:int -> 'v -> 'v
     round-trip, and weights > 1 are recorded to the
     [consensus.value_weight] histogram. *)
 
+val decide_if_unset : 'v t -> 'v -> 'v
+(** Leased fast path: decide instantly without the round trip (first
+    value wins; returns the existing decision otherwise).  Zero latency
+    and zero modelled messages — sound only while the caller holds a
+    valid lease, which {!Xreplication.Coord} checks atomically. *)
+
 val read : 'v t -> 'v option
 
 val peek : 'v t -> 'v option

@@ -184,6 +184,22 @@ let apply scenario (sch : Schedule.t) : Runner.spec =
         Xreplication.Service.blocked = sch.Schedule.router_blocks;
       }
   in
+  (* Lease/substrate overrides: a [lease=1] schedule arms the leased-owner
+     fast path with the default grant parameters; a [sub=<name>] schedule
+     swaps the consensus substrate (latencies match xrepl's --substrate
+     flag).  Both default to the scenario's own settings, so pre-existing
+     schedules replay byte-identically. *)
+  let lease =
+    if sch.Schedule.lease then Some Xreplication.Lease.default_config
+    else sc.Xreplication.Service.lease
+  in
+  let substrate =
+    match sch.Schedule.substrate with
+    | Some "register" -> `Register 25
+    | Some "paxos" -> `Paxos (Xnet.Latency.Uniform (10, 40))
+    | Some "seqlog" -> `Seqlog (Xnet.Latency.Uniform (10, 40))
+    | Some _ | None -> sc.Xreplication.Service.substrate
+  in
   {
     scenario.spec with
     Runner.seed = sch.Schedule.seed;
@@ -202,6 +218,8 @@ let apply scenario (sch : Schedule.t) : Runner.spec =
         codec;
         shards;
         router;
+        lease;
+        substrate;
       };
   }
 
@@ -560,6 +578,81 @@ let explore ?jobs ?(chunk = 16) ?(stop_on_first = false)
       run_list
         (fun ~cache sch -> run_schedule ~cache scenario sch)
         (List.concat_map schedules_for (List.init seeds (fun i -> seed0 + i)))
+  | Strategy.Lease_edge { seeds; substrates; renew_interval; duration } ->
+      let seed0 = scenario.spec.Runner.seed in
+      (* The instants the lease changes hands or state: the grant (t≈0),
+         the first two renewals, and expiry — each with its immediate
+         neighbours (±ε), so a crash or suspicion lands just before, at,
+         and just after the boundary. *)
+      let eps = 10 in
+      let edges =
+        [
+          1;
+          renew_interval / 2;
+          renew_interval - eps;
+          renew_interval;
+          renew_interval + eps;
+          (2 * renew_interval) - eps;
+          2 * renew_interval;
+          (2 * renew_interval) + eps;
+          duration - eps;
+          duration;
+          duration + eps;
+        ]
+      in
+      (* Partitions severing the holder (replica 0) across a boundary:
+         while cut off it cannot renew, so the lease lapses mid-window
+         and a challenger acquires; heal must not outlive the run. *)
+      let windows =
+        [
+          (0, renew_interval + 200);
+          (renew_interval - 50, renew_interval + 400);
+          ((2 * renew_interval) - 50, (2 * renew_interval) + 400);
+          (duration - 50, duration + 400);
+        ]
+      in
+      let schedules_for seed sub =
+        let base =
+          {
+            (base_schedule scenario ~mutation ~window:1 ~seed) with
+            Schedule.lease = true;
+            substrate = Some sub;
+            load = Some (2, 4);
+          }
+        in
+        (* Fault-free leased baseline: the fast path itself, per substrate. *)
+        base
+        (* Kill the holder exactly at each boundary: its fast decisions
+           race the takeover and the fence epoch must settle the race. *)
+        :: List.map (fun e -> { base with Schedule.crashes = [ (e, 0) ] }) edges
+        (* False-suspicion bursts ending just past each boundary: a
+           challenger breaks a live holder's lease (clock-jitter stand-in). *)
+        @ List.map
+            (fun e ->
+              { base with Schedule.noise = Some (0.5, 150, e + 400) })
+            edges
+        (* Sever the holder across a boundary: it keeps fast-deciding on a
+           lease the rest of the group watches lapse. *)
+        @ List.map
+            (fun (f, u) ->
+              {
+                base with
+                Schedule.faults =
+                  {
+                    Schedule.no_faults with
+                    Schedule.partitions = [ (f, u, [ 0 ]) ];
+                  };
+              })
+            windows
+      in
+      run_list
+        (fun ~cache sch -> run_schedule ~cache scenario sch)
+        (List.concat_map
+           (fun sub ->
+             List.concat_map
+               (fun i -> schedules_for (seed0 + i) sub)
+               (List.init seeds Fun.id))
+           substrates)
   | Strategy.Delay_dfs { budget; max_delays; horizon; window } ->
       let seed = scenario.spec.Runner.seed in
       let root = base_schedule scenario ~mutation ~window ~seed in

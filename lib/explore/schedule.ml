@@ -50,6 +50,12 @@ type t = {
   router_blocks : (int * int * int) list;
       (** (from, until, shard): router-directory partitions — the
           router's entry for [shard] is unavailable during the window *)
+  lease : bool;
+      (** arm the leased-owner fast path; [false] = the scenario's own
+          (unleased) setting (the default) *)
+  substrate : string option;
+      (** consensus substrate override ("register" / "paxos" / "seqlog");
+          [None] = the scenario's own setting *)
   shifts : (int * int) list;
       (** sparse scheduling decisions: at choice point [step], pick ready
           entry [k] (> 0) instead of the default front of the queue;
@@ -59,7 +65,7 @@ type t = {
 let make ?(window = 4) ?(mutation = Xreplication.Mutation.Faithful)
     ?(crashes = []) ?client_crash_at ?noise ?(faults = no_faults) ?batching
     ?load ?(codec = Xreplication.Service.Structural) ?shards
-    ?(router_blocks = []) ?(shifts = []) ~seed () =
+    ?(router_blocks = []) ?(lease = false) ?substrate ?(shifts = []) ~seed () =
   {
     seed;
     window;
@@ -73,6 +79,8 @@ let make ?(window = 4) ?(mutation = Xreplication.Mutation.Faithful)
     codec;
     shards;
     router_blocks;
+    lease;
+    substrate;
     shifts = List.sort (fun (a, _) (b, _) -> Int.compare a b) shifts;
   }
 
@@ -208,6 +216,11 @@ let to_string t =
     | [] -> []
     | bs -> [ Printf.sprintf "rblk=%s" (string_of_triples bs) ]
   in
+  (* Lease/substrate tokens likewise append only when non-default. *)
+  let lease_tokens =
+    (if t.lease then [ "lease=1" ] else [])
+    @ match t.substrate with None -> [] | Some s -> [ "sub=" ^ s ]
+  in
   String.concat " "
     (Printf.sprintf
        "v1 seed=%d win=%d mut=%s crashes=%s ccrash=%s noise=%s net=%s \
@@ -230,7 +243,7 @@ let to_string t =
        | Xreplication.Service.Structural -> "-"
        | Xreplication.Service.Flat -> "flat")
        (string_of_pairs ':' t.shifts)
-    :: shard_tokens)
+    :: (shard_tokens @ lease_tokens))
 
 let of_string line =
   let ( let* ) = Option.bind in
@@ -328,10 +341,24 @@ let of_string line =
       let* router_blocks =
         triples_of_string (Option.value (field "rblk") ~default:"-")
       in
+      (* Lease/substrate tokens default when absent (pre-lease lines). *)
+      let* lease =
+        match Option.value (field "lease") ~default:"0" with
+        | "0" -> Some false
+        | "1" -> Some true
+        | _ -> None
+      in
+      let* substrate =
+        match Option.value (field "sub") ~default:"-" with
+        | "-" -> Some None
+        | ("register" | "paxos" | "seqlog") as s -> Some (Some s)
+        | _ -> None
+      in
       let faults = { loss; dup_prob; jitter; partitions; forced } in
       Some
         (make ~window ~mutation ~crashes ?client_crash_at ?noise ~faults
-           ?batching ?load ~codec ?shards ~router_blocks ~shifts ~seed ())
+           ?batching ?load ~codec ?shards ~router_blocks ~lease ?substrate
+           ~shifts ~seed ())
   | _ -> None
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
@@ -389,17 +416,18 @@ let to_json t =
     @ (match t.shards with
       | None -> []
       | Some n -> [ Printf.sprintf "\"shards\":%d" n ])
-    @
-    match t.router_blocks with
-    | [] -> []
-    | bs ->
-        [
-          Printf.sprintf "\"router_blocks\":[%s]"
-            (String.concat ","
-               (List.map
-                  (fun (f, u, s) -> Printf.sprintf "[%d,%d,%d]" f u s)
-                  bs));
-        ]
+    @ (match t.router_blocks with
+      | [] -> []
+      | bs ->
+          [
+            Printf.sprintf "\"router_blocks\":[%s]"
+              (String.concat ","
+                 (List.map
+                    (fun (f, u, s) -> Printf.sprintf "[%d,%d,%d]" f u s)
+                    bs));
+          ])
+    @ (if t.lease then [ "\"lease\":true" ] else [])
+    @ match t.substrate with None -> [] | Some s -> [ Printf.sprintf "\"substrate\":%S" s ]
   in
   if extra = [] then base
   else

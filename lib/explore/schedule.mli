@@ -53,6 +53,13 @@ type t = {
       (** [(from, until, shard)]: the router's directory entry for
           [shard] is unavailable during the window (a router-shard
           partition); routed requests stall and retry until it heals *)
+  lease : bool;
+      (** arm the leased-owner fast path ({!Xreplication.Lease}) with the
+          default grant parameters; [false] (default) keeps the
+          scenario's own (unleased) setting *)
+  substrate : string option;
+      (** consensus substrate override (["register"] / ["paxos"] /
+          ["seqlog"]); [None] (default) keeps the scenario's own *)
   shifts : (int * int) list;
       (** sparse scheduling decisions: at choice point [step] pick ready
           entry [k] instead of the queue front; sorted, [0 < k < window] *)
@@ -70,6 +77,8 @@ val make :
   ?codec:Xreplication.Service.codec_mode ->
   ?shards:int ->
   ?router_blocks:(int * int * int) list ->
+  ?lease:bool ->
+  ?substrate:string ->
   ?shifts:(int * int) list ->
   seed:int ->
   unit ->
@@ -94,8 +103,10 @@ val of_string : string -> t option
     written before the fault plan existed (no [net=]/[parts=]/[netf=]
     tokens) parse with {!no_faults}; lines without [bat=]/[load=] tokens
     parse with batching and load off, lines without a [codec=] token
-    parse as [Structural], and lines without [shards=]/[rblk=] tokens
-    parse as single-group with no router blocks. *)
+    parse as [Structural], lines without [shards=]/[rblk=] tokens
+    parse as single-group with no router blocks, and lines without
+    [lease=]/[sub=] tokens parse as unleased on the scenario's own
+    substrate. *)
 
 val to_json : t -> string
 (** JSON object, for machine-readable counterexample dumps. *)

@@ -39,6 +39,17 @@
      exactly the windows the batch log opens: between slot claim and
      outcome, and between overlapping in-flight batches.
 
+   - [Lease_edge]: adversity at the boundaries of the leased-owner fast
+     path.  With the lease enabled (and swept across every consensus
+     substrate), enumerate owner crashes at lease-grant, renewal and
+     expiry instants (and their immediate neighbours), false-suspicion
+     bursts ending just after those instants (a challenger breaking a
+     live owner's lease — the fence-epoch race), and partitions severing
+     the holder across a renewal or expiry boundary (the holder keeps
+     fast-deciding on a lease the rest of the group thinks lapsed).
+     This targets exactly the windows the lease opens: between a grant
+     and its first renewal, across each renewal, and at expiry.
+
    - [Cross_shard]: adversity against the sharded deployment's weak
      spots.  Run the scenario on an N-way sharded deployment under a
      cross-shard workload and enumerate, per engine seed: owner crashes
@@ -80,6 +91,12 @@ type t =
       crash_times : int list;  (** candidate owner-crash instants *)
       block_windows : (int * int) list;  (** router-partition windows *)
     }
+  | Lease_edge of {
+      seeds : int;  (** engine seeds per fault plan *)
+      substrates : string list;  (** substrate names swept, lease on *)
+      renew_interval : int;  (** lease renew period — boundary instants *)
+      duration : int;  (** lease duration — the expiry boundary *)
+    }
 
 let random_walk ?(trials = 100) ?(p_defer = 0.15) ?(window = 4) () =
   Random_walk { trials; p_defer; window }
@@ -110,6 +127,15 @@ let cross_shard ?(shards = 4) ?(group_size = 3)
     ?(seeds = 10) () =
   Cross_shard { seeds; shards; group_size; crash_times; block_windows }
 
+(* 27 schedules per (seed, substrate): a fault-free leased baseline, an
+   owner crash at each of 11 boundary instants (grant, first/second
+   renewal, expiry, each ±ε), a suspicion burst ending just past each
+   instant, and 4 holder partitions straddling the boundaries.  The
+   defaults give 27 × 3 substrates × 7 seeds = 567 schedules. *)
+let lease_edge ?(substrates = [ "register"; "paxos"; "seqlog" ])
+    ?(renew_interval = 200) ?(duration = 600) ?(seeds = 7) () =
+  Lease_edge { seeds; substrates; renew_interval; duration }
+
 let name = function
   | Random_walk _ -> "random-walk"
   | Delay_dfs _ -> "delay-dfs"
@@ -117,6 +143,7 @@ let name = function
   | Net_fault _ -> "net-fault"
   | Batch_boundary _ -> "batch-boundary"
   | Cross_shard _ -> "cross-shard"
+  | Lease_edge _ -> "lease-edge"
 
 let describe = function
   | Random_walk { trials; p_defer; window } ->
@@ -143,3 +170,6 @@ let describe = function
         shards group_size (List.length crash_times)
         (List.length block_windows)
         seeds
+  | Lease_edge { seeds; substrates; renew_interval; duration } ->
+      Printf.sprintf "lease-edge substrates=%d renew=%d duration=%d seeds=%d"
+        (List.length substrates) renew_interval duration seeds

@@ -31,6 +31,12 @@
       decision races), and defer single early choice points (pipeline
       reorder) — the windows the batch log opens between slot claim and
       outcome.
+    - {b Lease edges}: with the leased-owner fast path on (swept across
+      every consensus substrate), place owner crashes at lease grant,
+      renewal and expiry boundary instants, end false-suspicion bursts
+      just past them (challenger-vs-live-holder fence races), and sever
+      the holder across renewal/expiry windows — the instants at which a
+      stale lease could let two owners decide.
     - {b Cross-shard}: run the scenario on an N-way sharded deployment
       ({!Xshard.Deployment}) under a cross-shard workload and enumerate
       owner crashes per shard at instants chosen to land mid-cross-shard
@@ -72,6 +78,14 @@ type t =
       block_windows : (int * int) list;
           (** (from, until) router-partition windows to try per shard *)
     }  (** Sharded-deployment adversity sweep; see {!cross_shard}. *)
+  | Lease_edge of {
+      seeds : int;  (** engine seeds per fault plan *)
+      substrates : string list;
+          (** substrate names to sweep with the lease enabled *)
+      renew_interval : int;
+          (** lease renew period — defines the boundary instants *)
+      duration : int;  (** lease duration — the expiry boundary *)
+    }  (** Lease-boundary adversity sweep; see {!lease_edge}. *)
 
 val random_walk : ?trials:int -> ?p_defer:float -> ?window:int -> unit -> t
 (** Defaults: [trials] 100, [p_defer] 0.15, [window] 4. *)
@@ -125,9 +139,24 @@ val cross_shard :
     9 crash times, 4 block windows, [seeds] 10 — (1 + 4×9 + 4×4) × 10
     = 530 schedules; raise [seeds] or the lists for bigger sweeps. *)
 
+val lease_edge :
+  ?substrates:string list ->
+  ?renew_interval:int ->
+  ?duration:int ->
+  ?seeds:int ->
+  unit ->
+  t
+(** Per (seed, substrate), all with the lease on: a fault-free leased
+    baseline, an owner crash at each of 11 boundary instants (grant,
+    first/second renewal, expiry, each ±ε of [renew_interval] /
+    [duration]), a false-suspicion burst ending just past each instant,
+    and 4 partitions severing the holder across a boundary.  Defaults:
+    [substrates] all three, [renew_interval] 200, [duration] 600,
+    [seeds] 7 — 27 × 3 × 7 = 567 schedules. *)
+
 val name : t -> string
 (** Short family tag: ["random-walk"], ["delay-dfs"], ["fault-enum"],
-    ["net-fault"], ["batch-boundary"], ["cross-shard"]. *)
+    ["net-fault"], ["batch-boundary"], ["cross-shard"], ["lease-edge"]. *)
 
 val describe : t -> string
 (** One-line rendering with parameters, for verdict tables. *)

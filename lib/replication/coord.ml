@@ -1,22 +1,160 @@
-type backend =
+type substrate =
   [ `Register of int
-  | `Paxos of Xnet.Latency.t ]
+  | `Paxos of Xnet.Latency.t
+  | `Seqlog of Xnet.Latency.t ]
 
-type impl =
-  | Registers of {
-      eng : Xsim.Engine.t;
-      latency : int;
-      table : (string, Pval.t Xconsensus.Register.t) Hashtbl.t;
-      codec : Pval.t Xnet.Codec.t option;
-      (* Per-member local knowledge, so `Register reads stay honest about
-         which member has observed which decision. *)
-      mutable proposals : int;
-    }
-  | Paxos of Pval.t Xconsensus.Paxos.group
+type backend = substrate
+
+(* The pluggable consensus substrate behind one first-class-module
+   interface: each implementation provides the same propose/read surface
+   over Pval values, so the replicas never know which point of the
+   paper's section 5.1 spectrum they are running on. *)
+module type SUBSTRATE = sig
+  type t
+
+  val name : string
+
+  val propose :
+    t -> member:Xnet.Address.t -> inst:string -> weight:int -> Pval.t -> Pval.t
+
+  val read : t -> member:Xnet.Address.t -> inst:string -> Pval.t option
+
+  val peek : t -> member:Xnet.Address.t -> inst:string -> Pval.t option
+  (** Instant local view: no latency, no messages. *)
+
+  val instances_known : t -> member:Xnet.Address.t -> string list
+
+  val fast_decide :
+    t -> member:Xnet.Address.t -> inst:string -> Pval.t -> Pval.t
+  (** Unilateral decide for the leased fast path (first value wins);
+      only called under a lease validity check. *)
+
+  val total_proposals : t -> int
+
+  val messages_sent : t -> int
+  (** Raw substrate transport sends (0 for [`Register], whose cost is
+      modelled as latency). *)
+
+  val messages_model : t -> int
+  (** Modelled message count, covering [`Register] too (two messages per
+      round trip) — the numerator of [coord.msgs_per_request]. *)
+end
+
+(* ---- `Register: the paper's write-once register service ---- *)
+
+module Register_sub = struct
+  type t = {
+    eng : Xsim.Engine.t;
+    latency : int;
+    table : (string, Pval.t Xconsensus.Register.t) Hashtbl.t;
+    codec : Pval.t Xnet.Codec.t option;
+    mutable proposals : int;
+    mutable full_proposes : int;
+        (** round-trip proposes only (not fast decides), for the model *)
+  }
+
+  let name = "register"
+
+  let create eng ~latency ~codec =
+    { eng; latency; table = Hashtbl.create 64; codec; proposals = 0;
+      full_proposes = 0 }
+
+  let obj t inst =
+    match Hashtbl.find_opt t.table inst with
+    | Some obj -> obj
+    | None ->
+        let obj =
+          Xconsensus.Register.create t.eng ~latency:t.latency ?codec:t.codec
+            ~name:inst ()
+        in
+        Hashtbl.replace t.table inst obj;
+        obj
+
+  let propose t ~member:_ ~inst ~weight v =
+    t.proposals <- t.proposals + 1;
+    t.full_proposes <- t.full_proposes + 1;
+    Xconsensus.Register.propose (obj t inst) ~weight v
+
+  let read t ~member:_ ~inst = Xconsensus.Register.read (obj t inst)
+
+  let peek t ~member:_ ~inst =
+    match Hashtbl.find_opt t.table inst with
+    | Some obj -> Xconsensus.Register.peek obj
+    | None -> None
+
+  let instances_known t ~member:_ =
+    Hashtbl.fold
+      (fun inst obj acc ->
+        match Xconsensus.Register.peek obj with
+        | Some _ -> inst :: acc
+        | None -> acc)
+      t.table []
+
+  let fast_decide t ~member:_ ~inst v =
+    t.proposals <- t.proposals + 1;
+    Xconsensus.Register.decide_if_unset (obj t inst) v
+
+  let total_proposals t = t.proposals
+
+  let messages_sent _ = 0
+
+  (* Two messages per agreement round trip; reads are excluded so the
+     model is comparable across substrates (Paxos/Seqlog reads are local
+     and free), and fast decides genuinely cost zero. *)
+  let messages_model t = 2 * t.full_proposes
+end
+
+(* ---- `Paxos: per-instance synod among the replicas ---- *)
+
+module Paxos_sub = struct
+  type t = Pval.t Xconsensus.Paxos.group
+
+  let name = "paxos"
+
+  let propose g ~member ~inst ~weight v =
+    Xconsensus.Paxos.propose (Xconsensus.Paxos.handle g ~member ~inst) ~weight v
+
+  let read g ~member ~inst =
+    Xconsensus.Paxos.read (Xconsensus.Paxos.handle g ~member ~inst)
+
+  let peek g ~member ~inst = Xconsensus.Paxos.decided_at g ~member ~inst
+  let instances_known g ~member = Xconsensus.Paxos.instances_known g ~member
+  let fast_decide g ~member ~inst v = Xconsensus.Paxos.fast_decide g ~member ~inst v
+  let total_proposals g = (Xconsensus.Paxos.stats g).proposals
+  let messages_sent g = (Xconsensus.Paxos.stats g).messages_sent
+  let messages_model = messages_sent
+end
+
+(* ---- `Seqlog: VR/Zab-style sequenced log ---- *)
+
+module Seqlog_sub = struct
+  type t = Pval.t Xconsensus.Seqlog.group
+
+  let name = "seqlog"
+
+  let propose g ~member ~inst ~weight v =
+    Xconsensus.Seqlog.propose
+      (Xconsensus.Seqlog.handle g ~member ~inst)
+      ~weight v
+
+  let read g ~member ~inst = Xconsensus.Seqlog.decided_at g ~member ~inst
+  let peek g ~member ~inst = Xconsensus.Seqlog.decided_at g ~member ~inst
+  let instances_known g ~member = Xconsensus.Seqlog.instances_known g ~member
+
+  let fast_decide g ~member ~inst v =
+    Xconsensus.Seqlog.fast_decide g ~member ~inst v
+
+  let total_proposals g = (Xconsensus.Seqlog.stats g).proposals
+  let messages_sent g = (Xconsensus.Seqlog.stats g).messages_sent
+  let messages_model = messages_sent
+end
+
+type sub = Sub : (module SUBSTRATE with type t = 'a) * 'a -> sub
 
 type t = {
-  impl : impl;
+  sub : sub;
   eng : Xsim.Engine.t;
+  lease : Lease.t option;
   (* Serial-substrate model: a Multi-Paxos-style log sequences proposals,
      it does not run them all concurrently.  Each proposal occupies the
      substrate for [service_time] ticks (one log slot — a batched
@@ -27,34 +165,30 @@ type t = {
   mutable busy_until : int;
 }
 
-let create eng ?(service_time = 0) ?codec ~backend ~members () =
-  let impl =
-    match backend with
+let create eng ?(service_time = 0) ?codec ?lease ~substrate ~members () =
+  let sub =
+    match substrate with
     | `Register latency ->
         ignore members;
-        Registers
-          { eng; latency; table = Hashtbl.create 64; codec; proposals = 0 }
+        Sub
+          ( (module Register_sub : SUBSTRATE with type t = Register_sub.t),
+            Register_sub.create eng ~latency ~codec )
     | `Paxos latency ->
-        Paxos (Xconsensus.Paxos.create_group eng ~latency ~members ?codec ())
+        let g = Xconsensus.Paxos.create_group eng ~latency ~members ?codec () in
+        if lease <> None then Xconsensus.Paxos.set_fast_path g true;
+        Sub ((module Paxos_sub : SUBSTRATE with type t = Paxos_sub.t), g)
+    | `Seqlog latency ->
+        Sub
+          ( (module Seqlog_sub : SUBSTRATE with type t = Seqlog_sub.t),
+            Xconsensus.Seqlog.create_group eng ~latency ~members ?codec () )
   in
-  { impl; eng; service_time; busy_until = 0 }
+  { sub; eng; lease; service_time; busy_until = 0 }
 
-let register_obj r inst =
-  match r.impl with
-  | Registers { eng; latency; table; codec; _ } -> (
-      match Hashtbl.find_opt table inst with
-      | Some obj -> obj
-      | None ->
-          let obj =
-            Xconsensus.Register.create eng ~latency ?codec ~name:inst ()
-          in
-          Hashtbl.replace table inst obj;
-          obj)
-  | Paxos _ ->
-      invalid_arg
-        "Coord.register_obj: consensus objects are per-instance Paxos \
-         handles on a `Paxos backend; registers exist only on the \
-         `Register backend"
+let substrate_name t =
+  let (Sub ((module S), _)) = t.sub in
+  S.name
+
+let lease t = t.lease
 
 (* Pval names instances "o/..."/"r/..."/"x/..." (owner / result /
    outcome) and "b/..."/"y/..." (batch slot / batch outcome); classify
@@ -71,10 +205,11 @@ let count_decision_family inst =
 
 (* Cardinality of an aggregate proposal: a batch slot or batch outcome
    settles one consensus instance for all its members at once. *)
-let weight_of = function
+let weight_of v =
+  match Pval.strip v with
   | Pval.Batch { members; _ } -> max 1 (List.length members)
   | Pval.Batch_outcome { results; _ } -> max 1 (List.length results)
-  | Pval.Owner _ | Pval.Result _ | Pval.Outcome _ -> 1
+  | Pval.Owner _ | Pval.Result _ | Pval.Outcome _ | Pval.Leased _ -> 1
 
 let propose t ~member ~inst v =
   (* Take this proposal's turn on the serial substrate before touching
@@ -93,80 +228,84 @@ let propose t ~member ~inst v =
   end;
   count_decision_family inst;
   let weight = weight_of v in
-  match t.impl with
-  | Registers r ->
-      r.proposals <- r.proposals + 1;
-      ignore member;
-      Xconsensus.Register.propose (register_obj t inst) ~weight v
-  | Paxos g ->
-      Xconsensus.Paxos.propose (Xconsensus.Paxos.handle g ~member ~inst) ~weight v
+  let (Sub ((module S), s)) = t.sub in
+  Pval.strip (S.propose s ~member ~inst ~weight v)
+
+(* The leased fast path: if [member] holds the group's unexpired lease,
+   decide [inst] unilaterally (wrapped in {!Pval.Leased} with the fence
+   epoch) — no owner agreement, no serial-substrate turn.  The lease
+   check and the decide happen in one atomic step (cooperative fibers),
+   so a stale holder can never commit; [None] sends the caller down the
+   full agreement path. *)
+let fast_propose t ~member ~inst v =
+  match t.lease with
+  | None -> None
+  | Some l -> (
+      match Lease.holder l with
+      | Some (h, epoch) when Xnet.Address.equal h member ->
+          if Xobs.enabled () then
+            Xobs.Counter.incr (Xobs.counter "coord.lease_hits");
+          count_decision_family inst;
+          let (Sub ((module S), s)) = t.sub in
+          Some
+            (Pval.strip
+               (S.fast_decide s ~member ~inst (Pval.Leased { epoch; inner = v })))
+      | _ ->
+          if Xobs.enabled () then
+            Xobs.Counter.incr (Xobs.counter "coord.lease_misses");
+          None)
 
 let read t ~member ~inst =
   if Xobs.enabled () then Xobs.Counter.incr (Xobs.counter "coord.reads");
-  match t.impl with
-  | Registers _ ->
-      ignore member;
-      Xconsensus.Register.read (register_obj t inst)
-  | Paxos g -> Xconsensus.Paxos.read (Xconsensus.Paxos.handle g ~member ~inst)
+  let (Sub ((module S), s)) = t.sub in
+  Option.map Pval.strip (S.read s ~member ~inst)
 
 (* Instant local view of a decision: no latency, no messages.  For the
    `Register backend this is globally accurate; for `Paxos it is the
-   member's knowledge (decisions it has learned). *)
+   member's knowledge (decisions it has learned); for `Seqlog it is
+   local knowledge backed by the log (recovery reads). *)
 let peek t ~member ~inst =
-  match t.impl with
-  | Registers { table; _ } -> (
-      ignore member;
-      match Hashtbl.find_opt table inst with
-      | Some obj -> Xconsensus.Register.peek obj
-      | None -> None)
-  | Paxos g -> Xconsensus.Paxos.decided_at g ~member ~inst
+  let (Sub ((module S), s)) = t.sub in
+  Option.map Pval.strip (S.peek s ~member ~inst)
+
+(* Raw (unstripped) view, exposing the {!Pval.Leased} fence evidence. *)
+let peek_raw t ~member ~inst =
+  let (Sub ((module S), s)) = t.sub in
+  S.peek s ~member ~inst
 
 (* Decided batch-log slots known at this member, as (slot, decision)
    pairs.  Cleaners use this to discover batches whose owner crashed. *)
 let known_batch_slots t ~member =
-  let collect acc inst peek_v =
-    match Pval.parse_batch_inst inst with
-    | Some slot -> (
-        match peek_v () with Some v -> (slot, v) :: acc | None -> acc)
-    | None -> acc
-  in
-  match t.impl with
-  | Registers { table; _ } ->
-      Hashtbl.fold
-        (fun inst obj acc ->
-          collect acc inst (fun () -> Xconsensus.Register.peek obj))
-        table []
-  | Paxos g ->
-      List.fold_left
-        (fun acc inst ->
-          collect acc inst (fun () -> Xconsensus.Paxos.decided_at g ~member ~inst))
-        []
-        (Xconsensus.Paxos.instances_known g ~member)
+  let (Sub ((module S), s)) = t.sub in
+  List.fold_left
+    (fun acc inst ->
+      match Pval.parse_batch_inst inst with
+      | Some slot -> (
+          match S.peek s ~member ~inst with
+          | Some v -> (slot, Pval.strip v) :: acc
+          | None -> acc)
+      | None -> acc)
+    []
+    (S.instances_known s ~member)
 
 let known_owner_instances t ~member =
-  let parse acc inst =
-    match Pval.parse_owner_inst inst with
-    | Some pair -> pair :: acc
-    | None -> acc
-  in
-  match t.impl with
-  | Registers { table; _ } ->
-      Hashtbl.fold
-        (fun inst obj acc ->
-          match Xconsensus.Register.peek obj with
-          | Some _ -> parse acc inst
-          | None -> acc)
-        table []
-  | Paxos g ->
-      List.fold_left parse []
-        (Xconsensus.Paxos.instances_known g ~member)
+  let (Sub ((module S), s)) = t.sub in
+  List.fold_left
+    (fun acc inst ->
+      match Pval.parse_owner_inst inst with
+      | Some pair -> pair :: acc
+      | None -> acc)
+    []
+    (S.instances_known s ~member)
 
 let total_proposals t =
-  match t.impl with
-  | Registers { proposals; _ } -> proposals
-  | Paxos g -> (Xconsensus.Paxos.stats g).proposals
+  let (Sub ((module S), s)) = t.sub in
+  S.total_proposals s
 
 let messages_sent t =
-  match t.impl with
-  | Registers _ -> 0
-  | Paxos g -> (Xconsensus.Paxos.stats g).messages_sent
+  let (Sub ((module S), s)) = t.sub in
+  S.messages_sent s
+
+let messages_model t =
+  let (Sub ((module S), s)) = t.sub in
+  S.messages_model s

@@ -1,0 +1,151 @@
+(* Epoch-numbered owner lease (Derecho-style leader lease, the
+   primary-backup end of the paper's section 5.1 spectrum made explicit).
+
+   The lease cell is the group's shared authority — modelling a
+   consensus-backed lease service whose grant/revoke operations are paid
+   once per epoch, not per request.  Holding an unexpired lease gives
+   its owner the unilateral right to decide owner-agreement instances
+   (Coord's fast path); everyone else must go through full agreement,
+   which in turn is fenced by the atomic validity check Coord performs
+   at each fast decide.
+
+   Renewal rides the failure-detector (◇P) discipline: the holder's
+   renewal fiber extends the lease while the holder is up; challengers
+   refrain from acquiring while the lease is unexpired, and break it
+   early only when ◇P suspects the holder.  Epochs are strictly
+   increasing and grant intervals never overlap (see [try_acquire]), so
+   at most one lease is valid at any instant — the safety property the
+   qcheck sweep in test_lease.ml exercises under fault plans. *)
+
+type config = {
+  duration : int;  (** ticks a grant/renewal is valid for *)
+  renew_interval : int;  (** holder renewal / challenger poll period *)
+}
+
+let default_config = { duration = 600; renew_interval = 200 }
+
+type grant = {
+  g_epoch : int;
+  g_holder : Xnet.Address.t;
+  g_start : int;
+  mutable g_expires : int;
+  mutable g_revoked_at : int option;
+}
+
+type t = {
+  eng : Xsim.Engine.t;
+  cfg : config;
+  mutable epoch : int;
+  mutable current : grant option;
+  mutable history : grant list;  (** most recent first *)
+  mutable grants : int;
+  mutable renewals : int;
+  mutable expiries : int;  (** natural expiries + suspicion revocations *)
+}
+
+let create eng ?(config = default_config) () =
+  {
+    eng;
+    cfg = config;
+    epoch = 0;
+    current = None;
+    history = [];
+    grants = 0;
+    renewals = 0;
+    expiries = 0;
+  }
+
+let config t = t.cfg
+let epoch t = t.epoch
+
+let note_expiry t =
+  t.expiries <- t.expiries + 1;
+  if Xobs.enabled () then
+    Xobs.Counter.incr (Xobs.counter "coord.lease_expiries")
+
+let live g ~now = g.g_revoked_at = None && now < g.g_expires
+
+(* The current holder, if its lease is unexpired. *)
+let holder t =
+  let now = Xsim.Engine.now t.eng in
+  match t.current with
+  | Some g when live g ~now -> Some (g.g_holder, g.g_epoch)
+  | _ -> None
+
+(* The fence: [addr] may fast-decide iff it holds the current epoch's
+   unexpired lease — checked (atomically, cooperative fibers) at the
+   decide instant, so a stale holder can never commit. *)
+let valid t ~holder:addr ~epoch =
+  let now = Xsim.Engine.now t.eng in
+  match t.current with
+  | Some g ->
+      g.g_epoch = epoch && Xnet.Address.equal g.g_holder addr && live g ~now
+  | None -> false
+
+(* Grant a fresh epoch to [addr] if no unexpired lease stands.  Intervals
+   never overlap: a new grant starts at [now], and the previous grant's
+   end (expiry or revocation instant) is <= now by the [live] check. *)
+let try_acquire t addr =
+  let now = Xsim.Engine.now t.eng in
+  match t.current with
+  | Some g when live g ~now ->
+      if Xnet.Address.equal g.g_holder addr then `Already g.g_epoch else `Held
+  | prior ->
+      (match prior with
+      | Some g when g.g_revoked_at = None ->
+          (* Lapsed without revocation: count the natural expiry here,
+             where it is observed. *)
+          note_expiry t
+      | _ -> ());
+      t.epoch <- t.epoch + 1;
+      let g =
+        {
+          g_epoch = t.epoch;
+          g_holder = addr;
+          g_start = now;
+          g_expires = now + t.cfg.duration;
+          g_revoked_at = None;
+        }
+      in
+      t.current <- Some g;
+      t.history <- g :: t.history;
+      t.grants <- t.grants + 1;
+      `Granted t.epoch
+
+(* Extend the holder's lease; fails (and the holder must fall back to
+   full agreement) once the lease lapsed or was broken. *)
+let renew t addr =
+  let now = Xsim.Engine.now t.eng in
+  match t.current with
+  | Some g when live g ~now && Xnet.Address.equal g.g_holder addr ->
+      g.g_expires <- now + t.cfg.duration;
+      t.renewals <- t.renewals + 1;
+      true
+  | _ -> false
+
+(* Break the lease of a suspected holder (◇P evidence), bumping the
+   epoch fence immediately instead of waiting out the expiry. *)
+let break_suspect t ~suspect =
+  let now = Xsim.Engine.now t.eng in
+  match t.current with
+  | Some g when live g ~now && Xnet.Address.equal g.g_holder suspect ->
+      g.g_revoked_at <- Some now;
+      note_expiry t
+  | _ -> ()
+
+type stats = { grants : int; renewals : int; expiries : int }
+
+let stats (t : t) =
+  { grants = t.grants; renewals = t.renewals; expiries = t.expiries }
+
+(* Grant ledger for safety checks, oldest first:
+   (epoch, holder, start, end) where end is the revocation instant or the
+   final expiry. *)
+let history t =
+  List.rev_map
+    (fun g ->
+      ( g.g_epoch,
+        g.g_holder,
+        g.g_start,
+        match g.g_revoked_at with Some r -> r | None -> g.g_expires ))
+    t.history

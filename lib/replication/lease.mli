@@ -1,0 +1,65 @@
+(** Epoch-numbered owner lease: the primary-backup end of the paper's
+    section 5.1 spectrum made explicit and safe.
+
+    One lease cell per replica group models a consensus-backed lease
+    service (grant/revoke paid once per epoch, not per request).  While
+    a replica holds the unexpired lease it may decide owner-agreement
+    instances unilaterally ({!Coord}'s fast path); stale holders are
+    fenced by the atomic {!valid} check at every fast decide, and the
+    epoch travels in the decided {!Pval.Leased} wrapper as evidence.
+
+    Renewal rides ◇P: the holder renews every [renew_interval]; other
+    replicas acquire only once the lease lapsed, or break it early when
+    the failure detector suspects the holder ({!break_suspect}).
+
+    Safety invariant (exercised by the qcheck sweep in test_lease.ml):
+    epochs are strictly increasing and grant validity intervals never
+    overlap, so at most one lease is valid at any instant — hence at
+    most one unexpired lease per epoch under any fault interleaving. *)
+
+type config = {
+  duration : int;  (** ticks a grant/renewal is valid for *)
+  renew_interval : int;  (** holder renewal / challenger poll period *)
+}
+
+val default_config : config
+(** 600-tick leases renewed every 200 ticks. *)
+
+type t
+
+val create : Xsim.Engine.t -> ?config:config -> unit -> t
+val config : t -> config
+
+val epoch : t -> int
+(** Highest epoch ever granted (0 initially); strictly increasing. *)
+
+val holder : t -> (Xnet.Address.t * int) option
+(** Current (holder, epoch) if the lease is unexpired and unbroken. *)
+
+val valid : t -> holder:Xnet.Address.t -> epoch:int -> bool
+(** The fence: true iff [holder] holds epoch [epoch]'s lease, unexpired,
+    right now.  {!Coord} calls this in the same atomic step as the fast
+    decide, so a stale holder can never commit. *)
+
+val try_acquire :
+  t -> Xnet.Address.t -> [ `Granted of int | `Already of int | `Held ]
+(** Grant a fresh epoch if no unexpired lease stands; [`Already] when
+    the caller holds it; [`Held] when someone else does. *)
+
+val renew : t -> Xnet.Address.t -> bool
+(** Extend the caller's lease by [duration]; false once lapsed/broken. *)
+
+val break_suspect : t -> suspect:Xnet.Address.t -> unit
+(** Revoke the lease if [suspect] holds it (◇P evidence) — bumps the
+    fence immediately instead of waiting out the expiry. *)
+
+type stats = { grants : int; renewals : int; expiries : int }
+
+val stats : t -> stats
+(** [expiries] counts natural lapses and suspicion revocations; also
+    surfaced as the [coord.lease_expiries] counter when {!Xobs} is on. *)
+
+val history : t -> (int * Xnet.Address.t * int * int) list
+(** Grant ledger, oldest first: (epoch, holder, start, end) with [end]
+    the revocation instant or final expiry — the input to the safety
+    property. *)

@@ -43,6 +43,10 @@ type t =
           per-member results ([None] = member skipped because an earlier
           slot already claimed its rid); [Abort] vetoes every member, the
           cleaner's abort-all (all results [None]) *)
+  | Leased of { epoch : int; inner : t }
+      (** a decision taken on the leased fast path, fenced by the lease
+          epoch it was taken under ({!Lease}); [inner] is the ordinary
+          decision value and is never itself [Leased] *)
 
 let owner_inst ~rid ~round = Printf.sprintf "o/%d/%d" rid round
 let result_inst ~rid ~round = Printf.sprintf "r/%d/%d" rid round
@@ -69,6 +73,12 @@ let parse_owner_inst s =
   | _ -> None
 
 let outcome_to_string = function Commit -> "commit" | Abort -> "abort"
+
+(* Unwrap the lease fence: protocol logic matches on the ordinary
+   constructors; the epoch is evidence, not meaning. *)
+let strip = function Leased { inner; _ } -> inner | v -> v
+
+let lease_epoch = function Leased { epoch; _ } -> Some epoch | _ -> None
 
 (* Flat codec over every constructor (tags 0-4 in declaration order),
    reusing the wire layer's value/request/address encodings. *)
@@ -106,57 +116,64 @@ let decode_slot_result r =
   let res = decode_result r in
   (rid, res)
 
-let codec : t C.t =
-  {
-    C.encode =
-      (fun w -> function
-        | Owner { owner; req; client } ->
-            C.write_tag w 0;
-            C.address.C.encode w owner;
-            Wire.encode_request w req;
-            C.address.C.encode w client
-        | Result res ->
-            C.write_tag w 1;
-            encode_result w res
-        | Outcome { outcome; result } ->
-            C.write_tag w 2;
-            encode_outcome w outcome;
-            encode_result w result
-        | Batch { owner; bid; members } ->
-            C.write_tag w 3;
-            C.address.C.encode w owner;
-            C.write_int w bid;
-            C.write_list encode_member w members
-        | Batch_outcome { outcome; results } ->
-            C.write_tag w 4;
-            encode_outcome w outcome;
-            C.write_list encode_slot_result w results);
-    decode =
-      (fun r ->
-        match C.read_tag r with
-        | 0 ->
-            let owner = C.address.C.decode r in
-            let req = Wire.decode_request r in
-            let client = C.address.C.decode r in
-            Owner { owner; req; client }
-        | 1 -> Result (decode_result r)
-        | 2 ->
-            let outcome = decode_outcome r in
-            let result = decode_result r in
-            Outcome { outcome; result }
-        | 3 ->
-            let owner = C.address.C.decode r in
-            let bid = C.read_int r in
-            let members = C.read_list decode_member r in
-            Batch { owner; bid; members }
-        | 4 ->
-            let outcome = decode_outcome r in
-            let results = C.read_list decode_slot_result r in
-            Batch_outcome { outcome; results }
-        | tag -> raise (C.Malformed (Printf.sprintf "pval: unknown tag %d" tag)));
-  }
+let rec encode_pval w = function
+  | Owner { owner; req; client } ->
+      C.write_tag w 0;
+      C.address.C.encode w owner;
+      Wire.encode_request w req;
+      C.address.C.encode w client
+  | Result res ->
+      C.write_tag w 1;
+      encode_result w res
+  | Outcome { outcome; result } ->
+      C.write_tag w 2;
+      encode_outcome w outcome;
+      encode_result w result
+  | Batch { owner; bid; members } ->
+      C.write_tag w 3;
+      C.address.C.encode w owner;
+      C.write_int w bid;
+      C.write_list encode_member w members
+  | Batch_outcome { outcome; results } ->
+      C.write_tag w 4;
+      encode_outcome w outcome;
+      C.write_list encode_slot_result w results
+  | Leased { epoch; inner } ->
+      C.write_tag w 5;
+      C.write_int w epoch;
+      encode_pval w inner
 
-let pp ppf = function
+let rec decode_pval r =
+  match C.read_tag r with
+  | 0 ->
+      let owner = C.address.C.decode r in
+      let req = Wire.decode_request r in
+      let client = C.address.C.decode r in
+      Owner { owner; req; client }
+  | 1 -> Result (decode_result r)
+  | 2 ->
+      let outcome = decode_outcome r in
+      let result = decode_result r in
+      Outcome { outcome; result }
+  | 3 ->
+      let owner = C.address.C.decode r in
+      let bid = C.read_int r in
+      let members = C.read_list decode_member r in
+      Batch { owner; bid; members }
+  | 4 ->
+      let outcome = decode_outcome r in
+      let results = C.read_list decode_slot_result r in
+      Batch_outcome { outcome; results }
+  | 5 ->
+      let epoch = C.read_int r in
+      let inner = decode_pval r in
+      Leased { epoch; inner }
+  | tag -> raise (C.Malformed (Printf.sprintf "pval: unknown tag %d" tag))
+
+let codec : t C.t = { C.encode = encode_pval; decode = decode_pval }
+
+let rec pp ppf = function
+  | Leased { epoch; inner } -> Format.fprintf ppf "Leased(e%d,%a)" epoch pp inner
   | Owner { owner; req; _ } ->
       Format.fprintf ppf "Owner(%a,%s)" Xnet.Address.pp owner
         (Xsm.Request.show req)

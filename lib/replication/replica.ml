@@ -70,6 +70,7 @@ type t = {
   transport : Wire.t Xnet.Conduit.t;
   detector : Xdetect.Detector.t;
   coord : Coord.t;
+  lease : Lease.t option;  (** the group's lease cell (from [coord]) *)
   r_addr : Xnet.Address.t;
   r_proc : Xsim.Proc.t;
   cfg : config;
@@ -300,9 +301,14 @@ let rec process_request t (req : Xsm.Request.t) client =
   let rs = state_of t req.rid in
   if rs.client = None then rs.client <- Some client;
   let inst = Pval.owner_inst ~rid:req.rid ~round:req.round in
+  let proposal = Pval.Owner { owner = t.r_addr; req; client } in
+  (* Leased fast path: while this replica holds the group's lease it
+     decides owner-agreement unilaterally (fenced, zero messages) and the
+     request goes straight to result/outcome settlement below. *)
   let decision =
-    Coord.propose t.coord ~member:t.r_addr ~inst
-      (Pval.Owner { owner = t.r_addr; req; client })
+    match Coord.fast_propose t.coord ~member:t.r_addr ~inst proposal with
+    | Some d -> d
+    | None -> Coord.propose t.coord ~member:t.r_addr ~inst proposal
   in
   match decision with
   | Pval.Owner { owner; req = req'; client = client' } ->
@@ -412,6 +418,11 @@ and clean_request t rs =
             (* Cleaning a suspected owner's round is the protocol's
                active-replication-like behaviour taking over. *)
             note_mode t true;
+            (* Fence first: a suspected owner must not keep fast-deciding
+               while we clean behind it. *)
+            (match t.lease with
+            | Some l -> Lease.break_suspect l ~suspect:owner
+            | None -> ());
             tracef t "cleaning %s round %d (suspect %s)" (Xsm.Request.key req)
               req.round
               (Xnet.Address.to_string owner);
@@ -488,9 +499,14 @@ let claim_slot t ~bid members =
   lock_slots t;
   let rec go () =
     let n = max t.next_slot (t.scanned_slot + 1) in
+    let inst = Pval.batch_inst ~slot:n in
+    let proposal = Pval.Batch { owner = t.r_addr; bid; members } in
+    (* A leased owner claims the slot unilaterally: the whole batch skips
+       owner agreement in one fenced decide. *)
     let decision =
-      Coord.propose t.coord ~member:t.r_addr ~inst:(Pval.batch_inst ~slot:n)
-        (Pval.Batch { owner = t.r_addr; bid; members })
+      match Coord.fast_propose t.coord ~member:t.r_addr ~inst proposal with
+      | Some d -> d
+      | None -> Coord.propose t.coord ~member:t.r_addr ~inst proposal
     in
     match decision with
     | Pval.Batch b ->
@@ -706,6 +722,9 @@ let clean_batches t =
           t.m.cleanups <- t.m.cleanups + 1;
           obs_incr t (fun o -> o.o_cleanups);
           note_mode t true;
+          (match t.lease with
+          | Some l -> Lease.break_suspect l ~suspect:s.s_owner
+          | None -> ());
           tracef t "cleaning slot %d (suspect %s)" slot
             (Xnet.Address.to_string s.s_owner);
           let results =
@@ -776,6 +795,7 @@ let create ~eng ~env ~transport ~detector ~coord ~addr:r_addr ~proc:r_proc
       transport;
       detector;
       coord;
+      lease = Coord.lease coord;
       r_addr;
       r_proc;
       cfg = config;
@@ -900,4 +920,31 @@ let create ~eng ~env ~transport ~detector ~coord ~addr:r_addr ~proc:r_proc
         loop ()
       in
       loop ());
+  (* Lease activity (only when the group is leased): the holder renews
+     every renew_interval; challengers break a suspected holder's lease
+     (◇P evidence) and acquire once no valid lease stands.  All replicas
+     poll at time 0, so the first replica deterministically takes the
+     first epoch before any request arrives. *)
+  (match t.lease with
+  | None -> ()
+  | Some l ->
+      spawn_named t "lease" (fun () ->
+          let period = (Lease.config l).Lease.renew_interval in
+          let rec loop () =
+            (match Lease.holder l with
+            | Some (h, _) when Xnet.Address.equal h t.r_addr ->
+                ignore (Lease.renew l t.r_addr)
+            | Some (h, _) ->
+                if
+                  Xdetect.Detector.suspects t.detector ~observer:t.r_addr
+                    ~target:h
+                then begin
+                  Lease.break_suspect l ~suspect:h;
+                  ignore (Lease.try_acquire l t.r_addr)
+                end
+            | None -> ignore (Lease.try_acquire l t.r_addr));
+            Xsim.Timer.sleep eng period;
+            loop ()
+          in
+          loop ()));
   t

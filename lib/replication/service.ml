@@ -37,7 +37,11 @@ type config = {
   net_latency : Xnet.Latency.t;
   faults : Xnet.Fault.t;
   channel : channel_config;
-  backend : Coord.backend;
+  substrate : Coord.substrate;
+  lease : Lease.config option;
+      (* [Some] arms the leased-owner fast path: one epoch-numbered lease
+         per replica group, renewed off the failure detector; None (the
+         default) keeps every run byte-identical to the unleased model *)
   detector : detector_config;
   replica : Replica.config;
   batching : Batcher.config option;
@@ -60,7 +64,8 @@ let default_config =
     net_latency = Xnet.Latency.Uniform (20, 60);
     faults = Xnet.Fault.none;
     channel = Assumed_reliable;
-    backend = `Register 25;
+    substrate = `Register 25;
+    lease = None;
     detector = Oracle { detection_delay = 50; poll_interval = 25 };
     replica = Replica.default_config;
     batching = None;
@@ -150,11 +155,14 @@ let create ?wire ?(prefix = "") ?(rid_offset = 0) ?(extra_observers = []) eng
         let proc = Xsim.Proc.create ~name:(Xnet.Address.to_string addr) in
         (addr, proc))
   in
+  let s_lease =
+    Option.map (fun config -> Lease.create eng ~config ()) cfg.lease
+  in
   let s_coord =
     Coord.create eng ~service_time:cfg.consensus_service_time
       ?codec:
         (match cfg.codec with Structural -> None | Flat -> Some Pval.codec)
-      ~backend:cfg.backend ~members:replica_members ()
+      ?lease:s_lease ~substrate:cfg.substrate ~members:replica_members ()
   in
   let s_detector, s_oracle, s_heartbeat =
     match cfg.detector with
@@ -234,6 +242,7 @@ let detector t = t.s_detector
 let oracle t = t.s_oracle
 let heartbeat t = t.s_heartbeat
 let coord t = t.s_coord
+let lease t = Coord.lease t.s_coord
 
 (* Wire-level stats of the service transport: under ARQ these count raw
    packets (data + acks + retransmissions), not application sends.  With
@@ -249,6 +258,9 @@ type totals = {
   replies_sent : int;
   consensus_proposals : int;
   consensus_messages : int;
+  coord_msgs : int;
+      (* modelled substrate messages (messages_model): covers `Register
+         too, the numerator of coord.msgs_per_request *)
   service_messages : int;
 }
 
@@ -264,5 +276,6 @@ let totals t =
     replies_sent = sum (fun m -> m.Replica.replies_sent);
     consensus_proposals = Coord.total_proposals t.s_coord;
     consensus_messages = Coord.messages_sent t.s_coord;
+    coord_msgs = Coord.messages_model t.s_coord;
     service_messages = (net_stats t).Xnet.Transport.sent;
   }

@@ -61,7 +61,15 @@ type config = {
       (** fault plane for the service wire {e and} the heartbeat
           transport (heartbeats always ride the raw lossy wire) *)
   channel : channel_config;
-  backend : Coord.backend;
+  substrate : Coord.substrate;
+      (** which consensus substrate backs the group's agreement instances
+          (register / paxos / seqlog); see {!Coord} *)
+  lease : Lease.config option;
+      (** [Some] arms the leased-owner fast path: one epoch-numbered
+          {!Lease} per replica group, renewed off the failure detector,
+          letting the holder skip owner agreement ({!Coord.fast_propose}).
+          [None] (default) keeps runs byte-identical to the unleased
+          model *)
   detector : detector_config;
   replica : Replica.config;
   batching : Batcher.config option;
@@ -86,8 +94,8 @@ type config = {
 
 val default_config : config
 (** 3 replicas, 1 client, uniform(20,60) latency, no faults, channels
-    assumed reliable, register backend with latency 25, oracle detector
-    with 50-tick detection delay, 1 shard. *)
+    assumed reliable, register substrate with latency 25, no lease,
+    oracle detector with 50-tick detection delay, 1 shard. *)
 
 type wire
 (** A service wire: the transport (or ARQ reliable layer) plus codec that
@@ -149,6 +157,9 @@ val heartbeat : t -> Xdetect.Heartbeat.t option
 
 val coord : t -> Coord.t
 
+val lease : t -> Lease.t option
+(** The group's lease cell when [config.lease] is [Some]. *)
+
 val net_stats : t -> Xnet.Transport.stats
 (** Wire-level stats of the service transport.  Under [Arq] these count
     raw packets (data, acks, retransmissions), not application sends. *)
@@ -164,6 +175,10 @@ type totals = {
   replies_sent : int;
   consensus_proposals : int;
   consensus_messages : int;
+  coord_msgs : int;
+      (** modelled substrate messages ({!Coord.messages_model}): covers
+          the register substrate too — the numerator of the
+          [coord.msgs_per_request] gauge *)
   service_messages : int;
 }
 

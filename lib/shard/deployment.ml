@@ -216,6 +216,7 @@ let totals t =
       replies_sent = sum (fun m -> m.Service.replies_sent);
       consensus_proposals = sum (fun m -> m.Service.consensus_proposals);
       consensus_messages = sum (fun m -> m.Service.consensus_messages);
+      coord_msgs = sum (fun m -> m.Service.coord_msgs);
       (* Every group reports the same shared wire: count it once. *)
       service_messages = (wire_stats t).Xnet.Transport.sent;
     }

@@ -200,6 +200,8 @@ let metric_direction path =
     has "latency" || has "wall_s" || has "ns_per_run" || has "violating"
     || has "consensus_per_request"
     || has "wire_messages_per_request"
+    || has "msgs_per_request" || has "messages_per_request"
+    || has "msgs_per_req" || has "lease_misses" || has "lease_expiries"
     || has "retransmit" || has "drops" || has "minor_words" || has "_s"
   then `Lower_better
   else `Unjudged

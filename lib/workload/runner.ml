@@ -254,6 +254,14 @@ let run ~spec ?prepare ?(aborted = fun () -> false) ?cache ~setup ~workload () =
     | None, None -> 0
   in
   let totals = Xreplication.Service.totals svc in
+  (* Modelled substrate messages per served request, in milli-units so the
+     integer gauge keeps two decimals (4000 = 4.0 msgs/request). *)
+  if Xobs.enabled () then
+    Xobs.Gauge.set
+      (Xobs.gauge "coord.msgs_per_request")
+      (totals.Xreplication.Service.coord_msgs
+       * 1000
+       / max 1 totals.Xreplication.Service.replies_sent);
   let result =
     {
       completed;
@@ -488,6 +496,12 @@ let run_sharded ~spec ?prepare ?(aborted = fun () -> false) ?cache ~setup
     !acc
   in
   let totals = (Xshard.Deployment.totals d).Xshard.Deployment.service in
+  if Xobs.enabled () then
+    Xobs.Gauge.set
+      (Xobs.gauge "coord.msgs_per_request")
+      (totals.Xreplication.Service.coord_msgs
+       * 1000
+       / max 1 totals.Xreplication.Service.replies_sent);
   let result =
     {
       completed;

@@ -100,7 +100,7 @@ let gen_wire =
 
 let gen_outcome = QCheck.Gen.(map (fun b -> if b then Pval.Commit else Pval.Abort) bool)
 
-let gen_pval =
+let gen_pval_plain =
   QCheck.Gen.(
     oneof
       [
@@ -119,6 +119,18 @@ let gen_pval =
           (fun outcome results -> Pval.Batch_outcome { outcome; results })
           gen_outcome
           (list_size (int_bound 5) (pair int (option gen_value)));
+      ])
+
+(* Plain pvals plus the {!Pval.Leased} fence wrapper (the fast path's
+   epoch evidence), which the codec encodes recursively. *)
+let gen_pval =
+  QCheck.Gen.(
+    oneof
+      [
+        gen_pval_plain;
+        map2
+          (fun epoch inner -> Pval.Leased { epoch; inner })
+          small_nat gen_pval_plain;
       ])
 
 let gen_paxos_msg =
@@ -513,7 +525,7 @@ let spec_of ~codec ~seed ~fault =
       {
         Service.default_config with
         consensus_service_time = 30;
-        backend =
+        substrate =
           (if paxos then `Paxos (Xnet.Latency.Uniform (10, 40))
            else `Register 25);
         faults =
@@ -636,6 +648,33 @@ let test_compare_regression_direction () =
   checki "both regress" 2 summary.Bench_compare.regressions;
   checkb "marked" true (contains out "REGRESSION")
 
+let test_compare_msgs_per_request_direction () =
+  (* Message-economy metrics are lower-better: a rising msgs/request (or
+     lease miss/expiry count) is a regression, a falling one an
+     improvement — not unjudged noise. *)
+  List.iter
+    (fun leaf ->
+      checkb (leaf ^ " is lower-better") true
+        (Bench_compare.metric_direction ("e16_lease.rows[0]." ^ leaf)
+        = `Lower_better))
+    [
+      "msgs_per_request";
+      "messages_per_request";
+      "msgs_per_req";
+      "lease_misses";
+      "lease_expiries";
+    ];
+  let summary, out =
+    diff_to_string {|{"msgs_per_request":2.0}|} {|{"msgs_per_request":4.0}|}
+  in
+  checki "increase regresses" 1 summary.Bench_compare.regressions;
+  checkb "marked" true (contains out "REGRESSION");
+  let summary, out =
+    diff_to_string {|{"msgs_per_request":4.0}|} {|{"msgs_per_request":2.0}|}
+  in
+  checki "decrease is not a regression" 0 summary.Bench_compare.regressions;
+  checkb "improved" true (contains out "improved")
+
 let test_compare_parse_error () =
   checkb "trailing garbage rejected" true
     (try
@@ -686,6 +725,26 @@ let test_schedule_codec_backcompat () =
   | Some parsed ->
       checkb "old line parses to the same schedule" true (parsed = s)
   | None -> Alcotest.fail "pre-codec line no longer parses"
+
+let test_schedule_lease_tokens () =
+  (* lease=/sub= tokens append only when non-default, so pre-lease lines
+     (and their byte-identical replays) are untouched. *)
+  let leased = Schedule.make ~lease:true ~substrate:"seqlog" ~seed:5 () in
+  let line = Schedule.to_string leased in
+  checkb "lease token" true (contains line "lease=1");
+  checkb "substrate token" true (contains line "sub=seqlog");
+  checkb "round-trips" true (Schedule.of_string line = Some leased);
+  let plain = Schedule.make ~seed:5 () in
+  let pline = Schedule.to_string plain in
+  checkb "no lease token by default" false (contains pline "lease=");
+  checkb "no sub token by default" false (contains pline "sub=");
+  checkb "pre-lease line parses unleased" true
+    (Schedule.of_string pline = Some plain);
+  checkb "json lease tagged" true
+    (contains (Schedule.to_json leased) {|"lease":true|});
+  checkb "json substrate tagged" true
+    (contains (Schedule.to_json leased) {|"substrate":"seqlog"|});
+  checkb "plain json untagged" false (contains (Schedule.to_json plain) "lease")
 
 let test_schedule_codec_json () =
   let structural = Schedule.make ~seed:1 () in
@@ -744,6 +803,8 @@ let () =
           Alcotest.test_case "zero baseline" `Quick test_compare_zero_baseline;
           Alcotest.test_case "regression direction" `Quick
             test_compare_regression_direction;
+          Alcotest.test_case "msgs/request direction" `Quick
+            test_compare_msgs_per_request_direction;
           Alcotest.test_case "parse error" `Quick test_compare_parse_error;
         ] );
       ( "schedule",
@@ -752,6 +813,8 @@ let () =
             test_schedule_codec_roundtrip;
           Alcotest.test_case "pre-codec line back-compat" `Quick
             test_schedule_codec_backcompat;
+          Alcotest.test_case "lease/substrate tokens" `Quick
+            test_schedule_lease_tokens;
           Alcotest.test_case "json tagging" `Quick test_schedule_codec_json;
         ] );
     ]

@@ -6,6 +6,7 @@ module Proc = Xsim.Proc
 module Address = Xnet.Address
 module Register = Xconsensus.Register
 module Paxos = Xconsensus.Paxos
+module Seqlog = Xconsensus.Seqlog
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -177,6 +178,94 @@ let test_paxos_stats () =
   checkb "some messages" true (st.Paxos.messages_sent > 0);
   checki "one decision" 1 st.Paxos.decisions
 
+(* ------------------------------------------------------------------ *)
+(* Seqlog *)
+
+let make_seqlog ?(n = 3) ?(seed = 41) ?(latency = Xnet.Latency.Uniform (5, 25))
+    ?forward_timeout () =
+  let eng = Engine.create ~seed () in
+  let members =
+    List.init n (fun i ->
+        let a = Address.make ~role:"sl" ~index:i in
+        (a, Proc.create ~name:(Address.to_string a)))
+  in
+  let g = Seqlog.create_group eng ~latency ~members ?forward_timeout () in
+  (eng, members, g)
+
+let test_seqlog_agreement_concurrent () =
+  let eng, members, g = make_seqlog ~seed:43 () in
+  let results = Array.make 3 (-1) in
+  List.iteri
+    (fun i (m, p) ->
+      Engine.spawn eng ~proc:p ~name:(Printf.sprintf "p%d" i) (fun () ->
+          results.(i) <-
+            Seqlog.propose (Seqlog.handle g ~member:m ~inst:"race") (300 + i)))
+    members;
+  Engine.run ~limit:200_000 eng;
+  checkb "all decided" true (Array.for_all (fun v -> v >= 0) results);
+  checkb "agreement" true
+    (results.(0) = results.(1) && results.(1) = results.(2));
+  checkb "validity" true (List.mem results.(0) [ 300; 301; 302 ])
+
+let test_seqlog_read_is_local () =
+  let eng, members, g = make_seqlog ~seed:47 () in
+  let m0 = fst (List.nth members 0) and m1 = fst (List.nth members 1) in
+  checkb "no decision yet" true
+    (Seqlog.read (Seqlog.handle g ~member:m1 ~inst:"z") = None);
+  Engine.spawn eng ~name:"p" (fun () ->
+      ignore (Seqlog.propose (Seqlog.handle g ~member:m0 ~inst:"z") 5));
+  Engine.run ~limit:200_000 eng;
+  (* Commit fan-out reached every live member. *)
+  checkb "peer learned decision" true
+    (Seqlog.read (Seqlog.handle g ~member:m1 ~inst:"z") = Some 5)
+
+let test_seqlog_leader_crash_view_change () =
+  let eng, members, g = make_seqlog ~seed:53 ~forward_timeout:300 () in
+  (* The view-0 sequencer is member 0: kill it before anything is
+     forwarded, so the proposer must time out and rotate the view. *)
+  let _, p0 = List.nth members 0 in
+  Proc.kill p0;
+  let m1 = fst (List.nth members 1) in
+  let got = ref (-1) in
+  Engine.spawn eng ~name:"p" (fun () ->
+      got := Seqlog.propose (Seqlog.handle g ~member:m1 ~inst:"vc") 7);
+  Engine.run ~limit:500_000 eng;
+  checki "decides after view change" 7 !got;
+  checkb "view changed" true ((Seqlog.stats g).Seqlog.view_changes >= 1)
+
+let test_seqlog_fast_decide () =
+  let eng, members, g = make_seqlog ~seed:59 () in
+  let m0 = fst (List.nth members 0) in
+  let before = (Seqlog.stats g).Seqlog.messages_sent in
+  let d1 = Seqlog.fast_decide g ~member:m0 ~inst:"f" 1 in
+  let d2 = Seqlog.fast_decide g ~member:m0 ~inst:"f" 2 in
+  ignore eng;
+  checki "first value wins" 1 d1;
+  checki "second call adopts" 1 d2;
+  checki "zero messages" before (Seqlog.stats g).Seqlog.messages_sent;
+  checkb "recovery read sees it" true
+    (Seqlog.decided_at g ~member:m0 ~inst:"f" = Some 1)
+
+let test_seqlog_stats () =
+  let eng, members, g = make_seqlog ~seed:61 () in
+  let m0 = fst (List.nth members 0) in
+  Engine.spawn eng ~name:"p" (fun () ->
+      ignore (Seqlog.propose (Seqlog.handle g ~member:m0 ~inst:"s") 1));
+  Engine.run ~limit:100_000 eng;
+  let st = Seqlog.stats g in
+  checki "one proposal" 1 st.Seqlog.proposals;
+  checki "one decision" 1 st.Seqlog.decisions;
+  checkb "some messages" true (st.Seqlog.messages_sent > 0)
+
+let test_seqlog_msg_codec_roundtrip () =
+  let int_codec =
+    { Xnet.Codec.encode = Xnet.Codec.write_int; decode = Xnet.Codec.read_int }
+  in
+  let codec = Seqlog.msg_codec int_codec in
+  let check m = checkb "roundtrip" true (Xnet.Codec.roundtrip codec m = m) in
+  check (Seqlog.Forward { inst = "o/1/2"; value = 42 });
+  check (Seqlog.Commit { seq = 7; inst = "b/3"; value = -1 })
+
 (* Property: agreement and validity hold across random seeds, latencies,
    and proposer subsets. *)
 let prop_paxos_agreement =
@@ -226,6 +315,15 @@ let () =
           tc "n=1" test_paxos_n1;
           tc "n=5 concurrent" test_paxos_n5_concurrent;
           tc "stats" test_paxos_stats;
+        ] );
+      ( "seqlog",
+        [
+          tc "agreement (concurrent)" test_seqlog_agreement_concurrent;
+          tc "read is local" test_seqlog_read_is_local;
+          tc "leader crash -> view change" test_seqlog_leader_crash_view_change;
+          tc "fast decide" test_seqlog_fast_decide;
+          tc "stats" test_seqlog_stats;
+          tc "msg codec roundtrip" test_seqlog_msg_codec_roundtrip;
         ] );
       ("properties", [ qcheck prop_paxos_agreement ]);
     ]

@@ -511,6 +511,55 @@ let test_cross_shard_pool_size_independent () =
     (Explorer.verdict_to_json v1)
     (Explorer.verdict_to_json v4)
 
+(* ------------------------------------------------------------------ *)
+(* Lease-edge strategy *)
+
+let test_lease_edge_covers_plan_and_stays_clean () =
+  (* One seed, one substrate: 1 baseline + 11 crashes + 11 suspicion
+     bursts + 4 holder partitions = 27 schedules; the faithful protocol
+     survives every lease boundary. *)
+  let sc = Explorer.booking ~requests:3 () in
+  let strat = Strategy.lease_edge ~substrates:[ "register" ] ~seeds:1 () in
+  let v = Explorer.explore sc strat in
+  checki "explored = 1 + 11 + 11 + 4" 27 v.Explorer.explored;
+  checki "faithful survives lease edges" 0 (List.length v.Explorer.violating)
+
+let test_lease_edge_default_is_full_sweep () =
+  (* The default parameters must keep the CI sweep's >= 500 schedules. *)
+  match Strategy.lease_edge () with
+  | Strategy.Lease_edge { seeds; substrates; _ } ->
+      checkb ">= 500 schedules" true (27 * seeds * List.length substrates >= 500)
+  | _ -> Alcotest.fail "lease_edge built something else"
+
+let test_leased_schedule_line_replays () =
+  (* A leased schedule's line round-trips and replays clean on every
+     substrate (the lease=1 / sub= tokens drive Explorer.apply). *)
+  let sc = Explorer.booking ~requests:3 () in
+  List.iter
+    (fun sub ->
+      let s =
+        Schedule.make ~window:1 ~lease:true ~substrate:sub
+          ~crashes:[ (200, 0) ] ~seed:5 ()
+      in
+      match Schedule.of_string (Schedule.to_string s) with
+      | None -> Alcotest.fail "leased schedule line does not parse back"
+      | Some s' ->
+          checkb "parses back equal" true (Schedule.equal s s');
+          let o = Explorer.run_schedule sc s' in
+          checkb (sub ^ " replay clean") false (Explorer.violating o))
+    [ "register"; "paxos"; "seqlog" ]
+
+let test_lease_edge_pool_size_independent () =
+  let sc = Explorer.booking ~requests:3 () in
+  let strat =
+    Strategy.lease_edge ~substrates:[ "register"; "seqlog" ] ~seeds:1 ()
+  in
+  let v1 = Explorer.explore ~jobs:1 sc strat in
+  let v4 = Explorer.explore ~jobs:4 sc strat in
+  checks "leased verdict JSON byte-identical across JOBS"
+    (Explorer.verdict_to_json v1)
+    (Explorer.verdict_to_json v4)
+
 let () =
   Alcotest.run "xexplore"
     [
@@ -591,5 +640,16 @@ let () =
             test_cross_shard_schedule_line_replays;
           Alcotest.test_case "sharded verdict independent of pool size"
             `Quick test_cross_shard_pool_size_independent;
+        ] );
+      ( "lease-edge",
+        [
+          Alcotest.test_case "sweep covers plan, faithful clean" `Quick
+            test_lease_edge_covers_plan_and_stays_clean;
+          Alcotest.test_case "default sweep >= 500 schedules" `Quick
+            test_lease_edge_default_is_full_sweep;
+          Alcotest.test_case "leased schedule line replays" `Quick
+            test_leased_schedule_line_replays;
+          Alcotest.test_case "leased verdict independent of pool size" `Quick
+            test_lease_edge_pool_size_independent;
         ] );
     ]

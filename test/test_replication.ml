@@ -163,7 +163,7 @@ let test_paxos_backend () =
       service_config =
         {
           Service.default_config with
-          backend = `Paxos (Xnet.Latency.Uniform (10, 40));
+          substrate = `Paxos (Xnet.Latency.Uniform (10, 40));
         };
     }
   in
@@ -180,7 +180,7 @@ let test_paxos_backend_with_crash () =
       service_config =
         {
           Service.default_config with
-          backend = `Paxos (Xnet.Latency.Uniform (10, 40));
+          substrate = `Paxos (Xnet.Latency.Uniform (10, 40));
         };
       crashes = [ (200, 0) ];
     }
@@ -433,7 +433,7 @@ let full_async_spec ~seed ~crashes =
       {
         Service.default_config with
         net_latency = chaos_then_stable;
-        backend = `Paxos chaos_then_stable;
+        substrate = `Paxos chaos_then_stable;
         detector =
           Service.Heartbeat
             {
